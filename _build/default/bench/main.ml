@@ -1,0 +1,84 @@
+(* The benchmark harness.
+
+   Section 1 regenerates every table and figure of the reproduced
+   evaluation (experiments T1, F1..F8, T2, A1 — see DESIGN.md for the
+   mapping to the paper's claims). These numbers are *modeled* machine
+   results and are deterministic.
+
+   Section 2 uses Bechamel to measure the wall-clock throughput of the
+   simulator itself (one Test.make per experiment family), so regressions
+   in the simulation infrastructure show up here. *)
+
+module E = Ninja_core.Experiments
+module Driver = Ninja_kernels.Driver
+module Machine = Ninja_arch.Machine
+
+let print_experiments () =
+  Fmt.pr "==================================================================@.";
+  Fmt.pr " Reproduced evaluation (modeled results; see EXPERIMENTS.md)@.";
+  Fmt.pr "==================================================================@.";
+  List.iter
+    (fun (e : E.experiment) ->
+      Fmt.pr "@.## %s — %s (%s)@.@." (String.uppercase_ascii e.id) e.title e.claim;
+      List.iter (fun t -> Fmt.pr "%a@." Ninja_report.Table.render t) (e.run ()))
+    E.all
+
+(* ---- Bechamel micro-benchmarks of the simulator ---- *)
+
+open Bechamel
+open Toolkit
+
+(* one representative simulated workload per experiment family, at a small
+   scale so each Bechamel run is a few milliseconds *)
+let sim_test ~name ~bench_name ~step ~machine =
+  let b = Ninja_kernels.Registry.find bench_name in
+  let s =
+    List.find
+      (fun (s : Driver.step) -> s.step_name = step)
+      (b.steps ~scale:1)
+  in
+  Test.make ~name (Staged.stage (fun () -> ignore (Driver.run_step ~machine s)))
+
+let tests () =
+  Test.make_grouped ~name:"simulator"
+    [ sim_test ~name:"t1/f1 ninja-on-westmere" ~bench_name:"BlackScholes"
+        ~step:"ninja" ~machine:Machine.westmere;
+      sim_test ~name:"f2 naive-on-kentsfield" ~bench_name:"ComplexConv1D"
+        ~step:"naive serial" ~machine:Machine.kentsfield;
+      sim_test ~name:"f3 autovec-on-westmere" ~bench_name:"Stencil7"
+        ~step:"+autovec" ~machine:Machine.westmere;
+      sim_test ~name:"f4 algorithmic-on-westmere" ~bench_name:"LBM"
+        ~step:"+algorithmic" ~machine:Machine.westmere;
+      sim_test ~name:"f5 ninja-on-mic" ~bench_name:"TreeSearch" ~step:"ninja"
+        ~machine:Machine.knights_ferry;
+      sim_test ~name:"f6 gather-sensitive" ~bench_name:"BackProjection"
+        ~step:"+algorithmic" ~machine:Machine.knights_ferry;
+      sim_test ~name:"f7 future-machine" ~bench_name:"NBody" ~step:"ninja"
+        ~machine:(Machine.future ~generation:1);
+      sim_test ~name:"f8/a1 multi-launch" ~bench_name:"MergeSort" ~step:"ninja"
+        ~machine:Machine.westmere ]
+
+let run_bechamel () =
+  Fmt.pr "@.==================================================================@.";
+  Fmt.pr " Bechamel: simulator wall-clock throughput (ns per simulated run)@.";
+  Fmt.pr "==================================================================@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Fmt.pr "%-40s %12.0f ns/run@." name est
+      | _ -> Fmt.pr "%-40s (no estimate)@." name)
+    results
+
+let () =
+  print_experiments ();
+  run_bechamel ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Fmt List Ninja_arch Ninja_kernels Ninja_util

@@ -1,0 +1,1 @@
+examples/option_pricing.ml: Fmt List Ninja_analysis Ninja_arch Ninja_kernels Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt List Ninja_arch Ninja_kernels Ninja_lang Ninja_workloads

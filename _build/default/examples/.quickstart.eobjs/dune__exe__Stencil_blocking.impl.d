@@ -1,0 +1,1 @@
+examples/stencil_blocking.ml: Fmt List Ninja_arch Ninja_kernels

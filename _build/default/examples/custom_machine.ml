@@ -1,0 +1,52 @@
+(* Define a hypothetical machine and re-evaluate the whole suite on it —
+   the workflow for "what would this workload need from future hardware?"
+   questions. Here: an aggressive wide-SIMD design with and without
+   hardware gather, quantifying how much of the suite's bridged-variant
+   performance depends on that one programmability feature.
+
+   Run with:  dune exec examples/custom_machine.exe *)
+
+module Driver = Ninja_kernels.Driver
+module Machine = Ninja_arch.Machine
+module Timing = Ninja_arch.Timing
+
+(* A 16-core, 16-wide hypothetical CPU at Westmere-era frequency. *)
+let wide_cpu ~gather =
+  {
+    Machine.westmere with
+    name = (if gather then "wide-16x16 +gather" else "wide-16x16");
+    cores = 16;
+    simd_width = 16;
+    fma_native = true;
+    gather_native = gather;
+    dram_bw_gbs = 80.;
+    llc = { Machine.westmere.llc with size_bytes = 24 * 1024 * 1024 };
+  }
+
+let () =
+  let with_g = wide_cpu ~gather:true in
+  let without_g = wide_cpu ~gather:false in
+  Fmt.pr "suite on %a@.   vs %a@.@." Machine.pp with_g Machine.pp without_g;
+  Fmt.pr "%-16s %14s %14s %10s@." "benchmark" "no gather (Mc)" "gather (Mc)" "benefit";
+  let benefits =
+    List.map
+      (fun (b : Driver.benchmark) ->
+        let step =
+          List.find
+            (fun (s : Driver.step) -> s.step_name = "ninja")
+            (b.steps ~scale:b.default_scale)
+        in
+        let r0 = Driver.run_step ~machine:without_g step in
+        let r1 = Driver.run_step ~machine:with_g step in
+        let benefit = Timing.speedup ~baseline:r0 r1 in
+        Fmt.pr "%-16s %14.3f %14.3f %9.2fx@." b.b_name (r0.cycles /. 1e6)
+          (r1.cycles /. 1e6) benefit;
+        benefit)
+      Ninja_kernels.Registry.all
+  in
+  Fmt.pr "@.geomean gather benefit at 16-wide SIMD: %.2fx@."
+    (Ninja_util.Stats.geomean benefits);
+  Fmt.pr
+    "(The wider the SIMD, the more an emulated gather costs — this is why\n\
+     the paper argues gather/scatter hardware is the key programmability\n\
+     feature for manycore.)@."

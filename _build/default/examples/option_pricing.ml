@@ -1,0 +1,35 @@
+(* Option pricing end to end: the BlackScholes benchmark's full ladder on
+   both the paper's CPU and the MIC, with the roofline placement of the
+   final variants — a compressed tour of what the library measures.
+
+   Run with:  dune exec examples/option_pricing.exe *)
+
+module Driver = Ninja_kernels.Driver
+module Machine = Ninja_arch.Machine
+module Timing = Ninja_arch.Timing
+module Roofline = Ninja_analysis.Roofline
+
+let () =
+  let bench = Ninja_kernels.Blackscholes.benchmark in
+  List.iter
+    (fun machine ->
+      Fmt.pr "@.%a@." Machine.pp machine;
+      let steps = bench.steps ~scale:bench.default_scale in
+      let baseline = ref None in
+      List.iter
+        (fun (step : Driver.step) ->
+          (* validate against the reference pricer, then measure *)
+          (match Driver.validate_step ~machine step with
+          | Ok () -> ()
+          | Error e -> Fmt.failwith "%s: %s" step.step_name e);
+          let r = Driver.run_step ~machine step in
+          (match !baseline with None -> baseline := Some r | Some _ -> ());
+          Fmt.pr "  %-14s %8.3f Mcycles  %7.2fx@." step.step_name
+            (r.cycles /. 1e6)
+            (Timing.speedup ~baseline:(Option.get !baseline) r);
+          if step.step_name = "ninja" then begin
+            let p = Roofline.point ~label:"blackscholes ninja" r in
+            Fmt.pr "  roofline: %a@." Roofline.pp_point p
+          end)
+        steps)
+    [ Machine.westmere; Machine.knights_ferry ]

@@ -1,0 +1,43 @@
+(* Streaming-kernel anatomy: why the 7-point stencil is bandwidth-bound, and
+   what each optimization layer contributes — including a DRAM-traffic
+   breakdown showing the write-allocate elimination by streaming stores.
+
+   Run with:  dune exec examples/stencil_blocking.exe *)
+
+module Driver = Ninja_kernels.Driver
+module Machine = Ninja_arch.Machine
+module Timing = Ninja_arch.Timing
+
+let () =
+  let machine = Machine.westmere in
+  let bench = Ninja_kernels.Stencil7.benchmark in
+  Fmt.pr "7-point stencil on %a@.@." Machine.pp machine;
+  Fmt.pr "%-14s %10s %10s %12s %12s %10s@." "variant" "Mcycles" "issue(M)"
+    "DRAM rd MB" "DRAM wr MB" "bound";
+  List.iter
+    (fun (step : Driver.step) ->
+      let r = Driver.run_step ~machine step in
+      Fmt.pr "%-14s %10.3f %10.3f %12.2f %12.2f %10s@." step.step_name
+        (r.cycles /. 1e6) (r.issue_cycles /. 1e6)
+        (float_of_int r.dram_read_bytes /. 1e6)
+        (float_of_int r.dram_write_bytes /. 1e6)
+        (Timing.bound_name r.bound))
+    (bench.steps ~scale:bench.default_scale);
+  Fmt.pr
+    "@.Note how the ninja variant's read traffic drops by the output-array\n\
+     volume: its non-temporal stores skip the write-allocate reads, which is\n\
+     worth ~25%% of total traffic once the sweep is bandwidth-bound.@.";
+  (* sensitivity: the same ladder if the machine had half / double bandwidth *)
+  Fmt.pr "@.bandwidth sensitivity of the ninja variant:@.";
+  List.iter
+    (fun scale ->
+      let m =
+        Machine.with_name
+          { machine with dram_bw_gbs = machine.dram_bw_gbs *. scale }
+          (Fmt.str "Westmere x%.1f BW" scale)
+      in
+      let step = List.nth (bench.steps ~scale:bench.default_scale) 4 in
+      let r = Driver.run_step ~machine:m step in
+      Fmt.pr "  %4.1fx bandwidth: %8.3f Mcycles (%s-bound)@." scale
+        (r.cycles /. 1e6) (Timing.bound_name r.bound))
+    [ 0.5; 1.0; 2.0; 4.0 ]

@@ -1,0 +1,1 @@
+lib/analysis/roofline.ml: Float Fmt Ninja_arch

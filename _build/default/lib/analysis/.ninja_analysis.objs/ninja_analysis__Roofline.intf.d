@@ -1,0 +1,1 @@
+lib/analysis/roofline.mli: Fmt Ninja_arch

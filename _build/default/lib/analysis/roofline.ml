@@ -1,0 +1,41 @@
+module Machine = Ninja_arch.Machine
+module Timing = Ninja_arch.Timing
+
+type point = {
+  label : string;
+  intensity : float;
+  gflops : float;
+  roof_gflops : float;
+  efficiency : float;
+}
+
+let peak_gflops (m : Machine.t) ~use_simd =
+  Machine.peak_flops_per_cycle m ~use_simd *. m.freq_ghz
+
+let ridge_intensity (m : Machine.t) = peak_gflops m ~use_simd:true /. m.dram_bw_gbs
+
+let attainable (m : Machine.t) ~intensity =
+  Float.min (peak_gflops m ~use_simd:true) (m.dram_bw_gbs *. intensity)
+
+let achieved_gflops (r : Timing.report) = Timing.flops r /. r.seconds /. 1e9
+
+let point ~label (r : Timing.report) =
+  let intensity = Timing.operational_intensity r in
+  let roof = attainable r.machine ~intensity in
+  let gflops = achieved_gflops r in
+  { label; intensity; gflops; roof_gflops = roof; efficiency = gflops /. roof }
+
+let point_compute ~label (r : Timing.report) =
+  let roof = peak_gflops r.machine ~use_simd:true in
+  let gflops = achieved_gflops r in
+  {
+    label;
+    intensity = ridge_intensity r.machine;
+    gflops;
+    roof_gflops = roof;
+    efficiency = gflops /. roof;
+  }
+
+let pp_point ppf p =
+  Fmt.pf ppf "%-24s %8.2f flop/B %8.2f GF/s (roof %8.2f, %.0f%%)" p.label
+    p.intensity p.gflops p.roof_gflops (100. *. p.efficiency)

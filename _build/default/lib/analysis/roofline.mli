@@ -1,0 +1,31 @@
+(** Roofline analysis: place a simulated run against a machine's compute and
+    bandwidth ceilings (Williams et al., CACM 2009) — the bound-and-
+    bottleneck reasoning the paper uses to explain where each benchmark's
+    performance must come from. *)
+
+type point = {
+  label : string;
+  intensity : float;  (** FLOP per DRAM byte *)
+  gflops : float;  (** achieved GFLOP/s *)
+  roof_gflops : float;  (** attainable at this intensity *)
+  efficiency : float;  (** achieved / attainable *)
+}
+
+val peak_gflops : Ninja_arch.Machine.t -> use_simd:bool -> float
+(** Chip peak single-precision GFLOP/s. *)
+
+val ridge_intensity : Ninja_arch.Machine.t -> float
+(** Intensity at which the compute roof meets the bandwidth roof. *)
+
+val attainable : Ninja_arch.Machine.t -> intensity:float -> float
+(** Roofline value min(peak, BW * intensity) in GFLOP/s. *)
+
+val point : label:string -> Ninja_arch.Timing.report -> point
+(** Place a run on its machine's roofline. Raises [Invalid_argument] if the
+    run produced no DRAM traffic (infinite intensity; use {!point_compute}). *)
+
+val point_compute : label:string -> Ninja_arch.Timing.report -> point
+(** Like {!point}, but for cache-resident runs: intensity is reported as
+    the compute ridge and the roof is the compute peak. *)
+
+val pp_point : point Fmt.t

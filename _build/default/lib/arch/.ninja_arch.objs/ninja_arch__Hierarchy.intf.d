@@ -1,0 +1,1 @@
+lib/arch/hierarchy.mli: Machine

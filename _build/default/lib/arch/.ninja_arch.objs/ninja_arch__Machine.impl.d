@@ -1,0 +1,1 @@
+lib/arch/machine.ml: Float Fmt Ninja_vm

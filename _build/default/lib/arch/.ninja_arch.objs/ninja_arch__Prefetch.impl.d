@@ -1,0 +1,1 @@
+lib/arch/prefetch.ml: Array

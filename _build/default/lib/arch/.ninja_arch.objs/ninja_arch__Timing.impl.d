@@ -1,0 +1,1 @@
+lib/arch/timing.ml: Array Counts Event Float Fmt Hierarchy Interp Isa List Machine Ninja_vm

@@ -1,0 +1,1 @@
+lib/arch/timing.mli: Fmt Hierarchy Machine Ninja_vm

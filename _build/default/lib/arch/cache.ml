@@ -1,0 +1,118 @@
+type cfg = Machine.cache_cfg
+
+type t = {
+  cfg : cfg;
+  n_sets : int;
+  (* ways, flat arrays indexed by set * assoc + way *)
+  tags : int array;
+  valid : bool array;
+  dirty : bool array;
+  stamp : int array; (* LRU timestamp *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type outcome = { hit : bool; evicted_dirty : int option }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create (cfg : cfg) =
+  let lines = cfg.size_bytes / cfg.line_bytes in
+  if lines < cfg.assoc then invalid_arg "Cache.create: fewer lines than ways";
+  let n_sets = lines / cfg.assoc in
+  (* set counts need not be powers of two (e.g. a 12 MiB LLC) *)
+  if not (is_pow2 cfg.line_bytes) then invalid_arg "Cache.create: line size must be a power of two";
+  let n = n_sets * cfg.assoc in
+  {
+    cfg;
+    n_sets;
+    tags = Array.make n 0;
+    valid = Array.make n false;
+    dirty = Array.make n false;
+    stamp = Array.make n 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let line_bytes t = t.cfg.line_bytes
+let sets t = t.n_sets
+let assoc t = t.cfg.assoc
+
+(* The stored tag is the full line address (the set index bits are
+   redundant but harmless, and eviction reporting stays trivial). *)
+let set_of t line_addr = line_addr mod t.n_sets
+
+let access t ~line_addr ~write =
+  t.clock <- t.clock + 1;
+  let set = set_of t line_addr in
+  let base = set * t.cfg.assoc in
+  let found = ref (-1) in
+  for w = 0 to t.cfg.assoc - 1 do
+    let i = base + w in
+    if t.valid.(i) && t.tags.(i) = line_addr then found := i
+  done;
+  if !found >= 0 then begin
+    let i = !found in
+    t.hits <- t.hits + 1;
+    t.stamp.(i) <- t.clock;
+    if write then t.dirty.(i) <- true;
+    { hit = true; evicted_dirty = None }
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* victim: first invalid way, else LRU *)
+    let victim = ref base in
+    let best = ref max_int in
+    (try
+       for w = 0 to t.cfg.assoc - 1 do
+         let i = base + w in
+         if not t.valid.(i) then begin
+           victim := i;
+           raise Exit
+         end;
+         if t.stamp.(i) < !best then begin
+           best := t.stamp.(i);
+           victim := i
+         end
+       done
+     with Exit -> ());
+    let i = !victim in
+    let evicted_dirty =
+      if t.valid.(i) && t.dirty.(i) then Some t.tags.(i) else None
+    in
+    t.tags.(i) <- line_addr;
+    t.valid.(i) <- true;
+    t.dirty.(i) <- write;
+    t.stamp.(i) <- t.clock;
+    { hit = false; evicted_dirty }
+  end
+
+let probe t ~line_addr =
+  let set = set_of t line_addr in
+  let base = set * t.cfg.assoc in
+  let found = ref false in
+  for w = 0 to t.cfg.assoc - 1 do
+    let i = base + w in
+    if t.valid.(i) && t.tags.(i) = line_addr then found := true
+  done;
+  !found
+
+let invalidate_all t =
+  Array.fill t.valid 0 (Array.length t.valid) false;
+  Array.fill t.dirty 0 (Array.length t.dirty) false
+
+let stats_hits t = t.hits
+let stats_misses t = t.misses
+
+let dirty_lines t =
+  let n = ref 0 in
+  for i = 0 to Array.length t.valid - 1 do
+    if t.valid.(i) && t.dirty.(i) then incr n
+  done;
+  !n
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

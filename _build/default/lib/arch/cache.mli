@@ -1,0 +1,37 @@
+(** A single set-associative, write-back, write-allocate cache with LRU
+    replacement, operating on line addresses. Used as a building block for
+    the per-core L1/L2 and the shared LLC in {!Hierarchy}. *)
+
+type t
+
+type cfg = Machine.cache_cfg
+
+(** Result of a lookup-with-fill. *)
+type outcome = {
+  hit : bool;
+  evicted_dirty : int option;
+      (** line address of a dirty line displaced by the fill, if any *)
+}
+
+val create : cfg -> t
+
+val line_bytes : t -> int
+val sets : t -> int
+val assoc : t -> int
+
+val access : t -> line_addr:int -> write:bool -> outcome
+(** Probe for [line_addr]; on a miss, fill it (possibly evicting). [write]
+    marks the (resulting) line dirty. *)
+
+val probe : t -> line_addr:int -> bool
+(** Non-destructive hit test (no fill, no LRU update). *)
+
+val invalidate_all : t -> unit
+
+val dirty_lines : t -> int
+(** Number of valid dirty lines currently held (for end-of-run write-back
+    draining). *)
+
+val stats_hits : t -> int
+val stats_misses : t -> int
+val reset_stats : t -> unit

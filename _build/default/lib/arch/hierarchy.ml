@@ -1,0 +1,108 @@
+type level = L1 | L2 | LLC | Dram
+
+type result = { level : level; covered : bool }
+
+type core_caches = { l1 : Cache.t; l2 : Cache.t; pf : Prefetch.t }
+
+type t = {
+  machine : Machine.t;
+  cores : core_caches array;
+  llc : Cache.t;
+  mutable dram_read : int;
+  mutable dram_write : int;
+  by_level : int array; (* accesses whose deepest level was L1/L2/LLC/DRAM *)
+}
+
+let level_index = function L1 -> 0 | L2 -> 1 | LLC -> 2 | Dram -> 3
+let level_name = function L1 -> "L1" | L2 -> "L2" | LLC -> "LLC" | Dram -> "DRAM"
+
+let create (m : Machine.t) =
+  {
+    machine = m;
+    cores =
+      Array.init m.cores (fun _ ->
+          { l1 = Cache.create m.l1; l2 = Cache.create m.l2; pf = Prefetch.create ~streams:32 });
+    llc = Cache.create m.llc;
+    dram_read = 0;
+    dram_write = 0;
+    by_level = Array.make 4 0;
+  }
+
+let line_bytes t = t.machine.l1.line_bytes
+
+(* One cache-line access. Returns the level that supplied the line and
+   whether the prefetcher covered a (L1-missing) access. Write-back dirty
+   state is propagated down at fill time so that LLC evictions of written
+   lines generate DRAM write-back traffic. *)
+let access_line t ~core ~line_addr ~write =
+  let c = t.cores.(core) in
+  let l1r = Cache.access c.l1 ~line_addr ~write in
+  if l1r.hit then (L1, false)
+  else begin
+    let covered =
+      t.machine.prefetch && Prefetch.observe c.pf ~line_addr
+    in
+    let l2r = Cache.access c.l2 ~line_addr ~write in
+    if l2r.hit then (L2, covered)
+    else begin
+      let llcr = Cache.access t.llc ~line_addr ~write in
+      (match llcr.evicted_dirty with
+      | Some _ -> t.dram_write <- t.dram_write + line_bytes t
+      | None -> ());
+      if llcr.hit then (LLC, covered)
+      else begin
+        t.dram_read <- t.dram_read + line_bytes t;
+        (Dram, covered)
+      end
+    end
+  end
+
+let deeper a b = if level_index a >= level_index b then a else b
+
+let access t ~core ~addr ~bytes ~write ~nt =
+  if nt && write then begin
+    (* streaming store: write-combining buffers send full lines to DRAM
+       without reading them first *)
+    t.dram_write <- t.dram_write + bytes;
+    { level = Dram; covered = true }
+  end
+  else begin
+    let lb = line_bytes t in
+    let first = addr / lb and last = (addr + bytes - 1) / lb in
+    let deepest = ref L1 in
+    let all_covered = ref true in
+    for line_addr = first to last do
+      let level, covered = access_line t ~core ~line_addr ~write in
+      deepest := deeper !deepest level;
+      if level <> L1 && not covered then all_covered := false
+    done;
+    let res = { level = !deepest; covered = (!deepest = L1) || !all_covered } in
+    t.by_level.(level_index res.level) <- t.by_level.(level_index res.level) + 1;
+    res
+  end
+
+(* Steady-state accounting: dirty lines still resident at the end of a
+   measurement will eventually be written back; drain them into the DRAM
+   write counter. Dirty state is propagated to the LLC at fill time, so the
+   LLC's dirty lines cover the private caches'. *)
+let drain_writebacks t =
+  t.dram_write <- t.dram_write + (Cache.dirty_lines t.llc * line_bytes t)
+
+let dram_read_bytes t = t.dram_read
+let dram_write_bytes t = t.dram_write
+let accesses t level = t.by_level.(level_index level)
+
+let reset t =
+  Array.iter
+    (fun c ->
+      Cache.invalidate_all c.l1;
+      Cache.invalidate_all c.l2;
+      Cache.reset_stats c.l1;
+      Cache.reset_stats c.l2;
+      Prefetch.reset c.pf)
+    t.cores;
+  Cache.invalidate_all t.llc;
+  Cache.reset_stats t.llc;
+  t.dram_read <- 0;
+  t.dram_write <- 0;
+  Array.fill t.by_level 0 4 0

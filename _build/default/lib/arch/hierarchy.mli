@@ -1,0 +1,36 @@
+(** The chip's memory system: per-core L1/L2 with a stride prefetcher, a
+    shared last-level cache, and DRAM traffic accounting. Consumes the
+    interpreter's address stream; classifies each access by the deepest
+    level it had to reach and whether an established prefetch stream covered
+    it. *)
+
+type t
+
+type level = L1 | L2 | LLC | Dram
+
+type result = {
+  level : level;  (** deepest level reached by any line of the access *)
+  covered : bool;  (** all missing lines were prefetch-covered *)
+}
+
+val create : Machine.t -> t
+
+val access :
+  t -> core:int -> addr:int -> bytes:int -> write:bool -> nt:bool -> result
+(** Route one access through core [core]'s private caches and the shared
+    LLC. Non-temporal writes ([nt]) bypass the hierarchy entirely and count
+    as DRAM write traffic. *)
+
+val drain_writebacks : t -> unit
+(** Count still-resident dirty lines as DRAM write traffic (end-of-run
+    steady-state accounting). *)
+
+val dram_read_bytes : t -> int
+val dram_write_bytes : t -> int
+
+val accesses : t -> level -> int
+(** Number of accesses whose deepest level was [level]. *)
+
+val reset : t -> unit
+
+val level_name : level -> string

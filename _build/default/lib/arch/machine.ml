@@ -1,0 +1,206 @@
+type cache_cfg = { size_bytes : int; assoc : int; line_bytes : int; latency : int }
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  cores : int;
+  simd_width : int;
+  issue_width : int;
+  fma_native : bool;
+  gather_native : bool;
+  prefetch : bool;
+  mlp : int;
+  l1 : cache_cfg;
+  l2 : cache_cfg;
+  llc : cache_cfg;
+  dram_latency : int;
+  dram_bw_gbs : float;
+  issue_cost : Ninja_vm.Isa.op_class -> float;
+  barrier_cycles : int;
+  spawn_cycles : int;
+}
+
+(* Issue costs for the out-of-order x86 cores of the 2007-2010 era: one FP
+   add pipe + one FP mul pipe (modeled as a single 0.5-cycle FP class), one
+   load port, long-latency divide/sqrt, libm-call scalar transcendentals vs
+   SVML-style vector ones. Vector ops occupy a whole port cycle. *)
+let x86_costs (cls : Ninja_vm.Isa.op_class) =
+  match cls with
+  | Salu -> 0.5
+  | Sfp -> 0.5
+  | Sdivsqrt -> 14.0
+  | Smath -> 40.0
+  | Valu -> 1.0
+  | Vfp -> 1.0
+  | Vdivsqrt -> 16.0
+  | Vmath -> 44.0
+  | Vshuf -> 1.0
+  | Vmask -> 1.0
+  | Sload -> 1.0
+  | Sstore -> 1.0
+  | Vload -> 1.0
+  | Vstore -> 1.0
+  | Vgather | Vscatter -> 0.0 (* priced by [gather_cost] *)
+  | Branch -> 1.5
+
+(* The MIC core is dual-issue in-order: scalar work is relatively more
+   expensive (no out-of-order window), vector math is supported by
+   hardware transcendental approximation. *)
+let mic_costs (cls : Ninja_vm.Isa.op_class) =
+  match cls with
+  | Salu -> 1.0
+  | Sfp -> 1.0
+  | Sdivsqrt -> 24.0
+  | Smath -> 60.0
+  | Valu -> 1.0
+  | Vfp -> 1.0
+  | Vdivsqrt -> 16.0
+  | Vmath -> 8.0
+  | Vshuf -> 1.0
+  | Vmask -> 1.0
+  | Sload -> 1.0
+  | Sstore -> 1.0
+  | Vload -> 1.0
+  | Vstore -> 1.0
+  | Vgather | Vscatter -> 0.0
+  | Branch -> 2.0
+
+let gather_cost t =
+  if t.gather_native then
+    (* one line-probe per ~4 lanes, as in the MIC gather unit *)
+    Float.max 1.0 (float_of_int t.simd_width /. 4.0)
+  else
+    (* emulated: per lane, a scalar load plus an insert *)
+    2.0 *. float_of_int t.simd_width
+
+let peak_flops_per_cycle t ~use_simd =
+  let lanes = if use_simd then float_of_int t.simd_width else 1.0 in
+  let fma = if t.fma_native then 2.0 else 1.0 in
+  (* two FP pipes (add + mul) sustained *)
+  2.0 *. lanes *. fma *. float_of_int t.cores
+
+let bytes_per_cycle t = t.dram_bw_gbs /. t.freq_ghz
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let l1_default = { size_bytes = kib 32; assoc = 8; line_bytes = 64; latency = 4 }
+let l2_default = { size_bytes = kib 256; assoc = 8; line_bytes = 64; latency = 11 }
+
+let kentsfield =
+  {
+    name = "Core 2 Quad (Kentsfield)";
+    freq_ghz = 2.4;
+    cores = 4;
+    simd_width = 4;
+    issue_width = 3;
+    fma_native = false;
+    gather_native = false;
+    prefetch = true;
+    mlp = 4;
+    l1 = l1_default;
+    (* Kentsfield has no L3; its big L2 plays the shared-cache role. *)
+    l2 = { size_bytes = kib 64; assoc = 8; line_bytes = 64; latency = 8 };
+    llc = { size_bytes = mib 8; assoc = 16; line_bytes = 64; latency = 15 };
+    dram_latency = 220;
+    dram_bw_gbs = 8.5;
+    issue_cost = x86_costs;
+    barrier_cycles = 3000;
+    spawn_cycles = 12000;
+  }
+
+let nehalem =
+  {
+    name = "Core i7 (Nehalem)";
+    freq_ghz = 3.2;
+    cores = 4;
+    simd_width = 4;
+    issue_width = 4;
+    fma_native = false;
+    gather_native = false;
+    prefetch = true;
+    mlp = 6;
+    l1 = l1_default;
+    l2 = l2_default;
+    llc = { size_bytes = mib 8; assoc = 16; line_bytes = 64; latency = 38 };
+    dram_latency = 190;
+    dram_bw_gbs = 25.6;
+    issue_cost = x86_costs;
+    barrier_cycles = 2000;
+    spawn_cycles = 10000;
+  }
+
+let westmere =
+  {
+    name = "Core i7 X980 (Westmere)";
+    freq_ghz = 3.33;
+    cores = 6;
+    simd_width = 4;
+    issue_width = 4;
+    fma_native = false;
+    gather_native = false;
+    prefetch = true;
+    mlp = 6;
+    l1 = l1_default;
+    l2 = l2_default;
+    llc = { size_bytes = mib 12; assoc = 16; line_bytes = 64; latency = 40 };
+    dram_latency = 200;
+    dram_bw_gbs = 32.0;
+    issue_cost = x86_costs;
+    barrier_cycles = 2500;
+    spawn_cycles = 10000;
+  }
+
+let knights_ferry =
+  {
+    name = "Knights Ferry (MIC)";
+    freq_ghz = 1.2;
+    cores = 32;
+    simd_width = 16;
+    issue_width = 2;
+    fma_native = true;
+    gather_native = true;
+    prefetch = true;
+    mlp = 4;
+    l1 = { l1_default with latency = 3 };
+    l2 = { size_bytes = kib 256; assoc = 8; line_bytes = 64; latency = 15 };
+    (* no L3: the ring of coherent L2s acts as a distributed last level *)
+    llc = { size_bytes = mib 8; assoc = 32; line_bytes = 64; latency = 60 };
+    dram_latency = 300;
+    dram_bw_gbs = 115.0;
+    issue_cost = mic_costs;
+    barrier_cycles = 4000;
+    spawn_cycles = 16000;
+  }
+
+let paper_cpus = [ kentsfield; nehalem; westmere ]
+
+let future ~generation =
+  if generation < 1 then invalid_arg "Machine.future: generation must be >= 1";
+  let g = generation in
+  let scale_i base factor = int_of_float (float_of_int base *. factor) in
+  let pow2 n = 1 lsl n in
+  {
+    westmere with
+    name = Fmt.str "Future CPU (gen +%d)" g;
+    cores = westmere.cores * pow2 g;
+    simd_width = westmere.simd_width * pow2 g;
+    fma_native = true;
+    (* Bandwidth grows ~1.4x per generation while compute grows 4x: the
+       paper's "gap grows if unaddressed" premise. *)
+    dram_bw_gbs = westmere.dram_bw_gbs *. (1.4 ** float_of_int g);
+    llc = { westmere.llc with size_bytes = scale_i westmere.llc.size_bytes (1.5 ** float_of_int g) };
+    gather_native = g >= 2;
+  }
+
+let with_gather t gather_native = { t with gather_native }
+let with_prefetch t prefetch = { t with prefetch }
+let with_cores t cores = { t with cores }
+let with_simd t simd_width = { t with simd_width }
+let with_name t name = { t with name }
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d cores x %d-wide SIMD at %.2f GHz, %.1f GB/s%s%s" t.name
+    t.cores t.simd_width t.freq_ghz t.dram_bw_gbs
+    (if t.gather_native then ", gather" else "")
+    (if t.fma_native then ", fma" else "")

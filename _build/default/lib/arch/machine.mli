@@ -1,0 +1,80 @@
+(** Machine descriptions: the parameter set of the timing model, plus
+    presets calibrated to the published specifications of the four machines
+    the paper measures (Core 2 Quad "Kentsfield", Core i7 "Nehalem",
+    Core i7 X980 "Westmere", Knights Ferry MIC) and hypothetical future
+    scalings. *)
+
+type cache_cfg = {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+  latency : int;  (** load-to-use latency in core cycles *)
+}
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  cores : int;
+  simd_width : int;  (** 32-bit lanes per vector register *)
+  issue_width : int;  (** max instructions issued per cycle *)
+  fma_native : bool;  (** fused multiply-add available to codegen *)
+  gather_native : bool;  (** hardware gather/scatter *)
+  prefetch : bool;  (** hardware stride prefetcher enabled *)
+  mlp : int;  (** outstanding misses overlapped for independent loads *)
+  l1 : cache_cfg;
+  l2 : cache_cfg;
+  llc : cache_cfg;  (** shared across cores *)
+  dram_latency : int;  (** full miss latency in cycles *)
+  dram_bw_gbs : float;  (** sustained DRAM bandwidth, GB/s, chip-wide *)
+  issue_cost : Ninja_vm.Isa.op_class -> float;
+      (** reciprocal throughput in cycles for one instruction of the class;
+          gather/scatter cost additionally depends on [gather_native] and
+          [simd_width] (see {!gather_cost}) *)
+  barrier_cycles : int;  (** cost of one parallel-phase barrier *)
+  spawn_cycles : int;  (** one-time cost of entering threaded execution *)
+}
+
+val gather_cost : t -> float
+(** Issue cost of one vector gather (or scatter): cheap when
+    [gather_native], otherwise priced as a scalar load+insert sequence. *)
+
+val peak_flops_per_cycle : t -> use_simd:bool -> float
+(** Peak single-precision FLOP/cycle chip-wide (for rooflines): one FP pipe
+    per core, doubled by FMA, widened by SIMD when [use_simd]. *)
+
+val bytes_per_cycle : t -> float
+(** Sustained DRAM bandwidth expressed in bytes per core cycle. *)
+
+(** {1 Paper machines} *)
+
+val kentsfield : t
+(** Core 2 Quad-era part: 4 cores, 4-wide SSE, FSB-limited bandwidth. *)
+
+val nehalem : t
+(** Core i7 (Nehalem): 4 cores, 4-wide SSE, integrated memory controller. *)
+
+val westmere : t
+(** Core i7 X980: 6 cores, 4-wide SSE — the paper's primary platform. *)
+
+val knights_ferry : t
+(** Intel MIC (Knights Ferry): 32 in-order cores at low frequency, 16-wide
+    SIMD with native gather and FMA. *)
+
+val paper_cpus : t list
+(** [kentsfield; nehalem; westmere] — the CPU generation sequence. *)
+
+(** {1 Derived machines} *)
+
+val future : generation:int -> t
+(** Hypothetical post-Westmere CPU: each generation doubles cores and SIMD
+    width, with bandwidth growing slower than compute (the paper's premise
+    for the gap growing if unaddressed). [generation] >= 1. *)
+
+val with_gather : t -> bool -> t
+val with_prefetch : t -> bool -> t
+val with_cores : t -> int -> t
+val with_simd : t -> int -> t
+val with_name : t -> string -> t
+
+val pp : t Fmt.t
+(** One-line summary: name, cores, width, frequency, bandwidth. *)

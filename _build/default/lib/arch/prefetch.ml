@@ -1,0 +1,62 @@
+type stream = {
+  mutable last : int; (* last line address seen *)
+  mutable stride : int; (* line stride; 0 = untrained *)
+  mutable confidence : int;
+  mutable tick : int; (* for LRU replacement *)
+}
+
+type t = { table : stream array; mutable clock : int }
+
+let create ~streams =
+  if streams < 1 then invalid_arg "Prefetch.create: streams < 1";
+  {
+    table = Array.init streams (fun _ -> { last = min_int; stride = 0; confidence = 0; tick = 0 });
+    clock = 0;
+  }
+
+(* A stream matches if the access lands within a small window ahead of the
+   stream head — real streamers tolerate slightly out-of-order accesses
+   within a stream (e.g. the lines of one vector load). *)
+let window = 8
+
+let observe t ~line_addr =
+  t.clock <- t.clock + 1;
+  let found = ref None in
+  Array.iter
+    (fun s ->
+      if !found = None && s.last <> min_int && abs (line_addr - s.last) <= window then
+        found := Some s)
+    t.table;
+  match !found with
+  | Some s ->
+      let delta = line_addr - s.last in
+      let covered = s.confidence >= 2 && (delta = s.stride || delta = 0) in
+      if delta = 0 then ()
+      else if delta = s.stride then s.confidence <- min (s.confidence + 1) 8
+      else begin
+        s.stride <- delta;
+        s.confidence <- 1
+      end;
+      s.last <- line_addr;
+      s.tick <- t.clock;
+      covered
+  | None ->
+      (* allocate: LRU entry *)
+      let victim = ref t.table.(0) in
+      Array.iter (fun s -> if s.tick < !victim.tick then victim := s) t.table;
+      let s = !victim in
+      s.last <- line_addr;
+      s.stride <- 0;
+      s.confidence <- 0;
+      s.tick <- t.clock;
+      false
+
+let reset t =
+  t.clock <- 0;
+  Array.iter
+    (fun s ->
+      s.last <- min_int;
+      s.stride <- 0;
+      s.confidence <- 0;
+      s.tick <- 0)
+    t.table

@@ -1,0 +1,21 @@
+(** Per-core hardware stride prefetcher model.
+
+    The detector tracks a small number of access streams at cache-line
+    granularity. Once a stream has shown the same line stride twice, further
+    accesses that continue the stream are reported as [covered]: the timing
+    model then hides their miss latency (the prefetcher fetched them ahead
+    of use) while the cache simulation still accounts for their DRAM
+    traffic. This is the standard behaviour of the L2 streamer on the
+    paper's machines: streaming code becomes bandwidth-bound, not
+    latency-bound. *)
+
+type t
+
+val create : streams:int -> t
+(** [streams] is the table capacity (typically 16). *)
+
+val observe : t -> line_addr:int -> bool
+(** Feed one access; returns [true] if the access was covered by an
+    established stream. Also trains the table. *)
+
+val reset : t -> unit

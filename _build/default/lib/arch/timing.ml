@@ -1,0 +1,151 @@
+open Ninja_vm
+
+type bound = Compute | Bandwidth | Latency
+
+type report = {
+  machine : Machine.t;
+  n_threads : int;
+  cycles : float;
+  seconds : float;
+  issue_cycles : float;
+  stall_cycles : float;
+  dram_time : float;
+  overhead_cycles : float;
+  dram_read_bytes : int;
+  dram_write_bytes : int;
+  counts : Counts.t;
+  instructions : int;
+  level_accesses : (Hierarchy.level * int) list;
+  bound : bound;
+}
+
+(* Port-model issue time for one thread: each class is priced with its
+   reciprocal throughput and binned onto the port that executes it; the
+   thread is also limited by the front-end issue width. *)
+let issue_time (m : Machine.t) counts ~thread =
+  let c cls = float_of_int (Counts.thread_count counts ~thread cls) in
+  let cost cls = m.issue_cost cls in
+  let alu = (c Salu *. cost Salu) +. (c Valu *. cost Valu) +. (c Vmask *. cost Vmask) in
+  let fp =
+    (c Sfp *. cost Sfp) +. (c Vfp *. cost Vfp)
+    +. (c Sdivsqrt *. cost Sdivsqrt)
+    +. (c Vdivsqrt *. cost Vdivsqrt)
+    +. (c Smath *. cost Smath) +. (c Vmath *. cost Vmath)
+    +. (c Vshuf *. cost Vshuf)
+  in
+  let mem =
+    (c Sload *. cost Sload) +. (c Sstore *. cost Sstore)
+    +. (c Vload *. cost Vload) +. (c Vstore *. cost Vstore)
+    +. ((c Vgather +. c Vscatter) *. Machine.gather_cost m)
+  in
+  let br = c Branch *. cost Branch in
+  let slots = float_of_int (Counts.per_thread_total counts ~thread) in
+  let front_end = slots /. float_of_int m.issue_width in
+  List.fold_left Float.max front_end [ alu; fp; mem; br ]
+
+let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare prog mem =
+  let m : Machine.t = machine in
+  if n_threads > m.cores then
+    invalid_arg
+      (Fmt.str "Timing.simulate: %d threads on %d cores (%s)" n_threads m.cores m.name);
+  if runs < 1 then invalid_arg "Timing.simulate: runs < 1";
+  let hier = Hierarchy.create m in
+  let stalls = Array.make n_threads 0. in
+  let mlp = float_of_int m.mlp in
+  let level_penalty (level : Hierarchy.level) =
+    match level with
+    | L1 -> 0.
+    | L2 -> float_of_int m.l2.latency
+    | LLC -> float_of_int m.llc.latency
+    | Dram -> float_of_int m.dram_latency
+  in
+  let sink (e : Event.t) =
+    let core = e.thread mod m.cores in
+    let write = e.kind = Event.Write in
+    let r = Hierarchy.access hier ~core ~addr:e.addr ~bytes:e.bytes ~write ~nt:e.nt in
+    if not r.covered then begin
+      let p = level_penalty r.level in
+      stalls.(e.thread) <- stalls.(e.thread) +. (if e.chain then p else p /. mlp)
+    end
+  in
+  let counts = Counts.create n_threads in
+  let instructions = ref 0 in
+  for run = 0 to runs - 1 do
+    (match prepare with Some f -> f run mem | None -> ());
+    let r = Interp.run ~n_threads ~width:m.simd_width ~sink prog mem in
+    Counts.merge_into ~dst:counts r.counts;
+    instructions := !instructions + r.instructions
+  done;
+  let instructions = !instructions in
+  Hierarchy.drain_writebacks hier;
+  let issue = Array.init n_threads (fun t -> issue_time m counts ~thread:t) in
+  let thread_time t = issue.(t) +. stalls.(t) in
+  let slowest = ref 0 in
+  for t = 1 to n_threads - 1 do
+    if thread_time t > thread_time !slowest then slowest := t
+  done;
+  let chip = thread_time !slowest in
+  let dram_bytes = Hierarchy.dram_read_bytes hier + Hierarchy.dram_write_bytes hier in
+  let dram_time = float_of_int dram_bytes /. Machine.bytes_per_cycle m in
+  let overhead =
+    if n_threads > 1 then
+      float_of_int m.spawn_cycles
+      +. (float_of_int (runs * List.length prog.Isa.phases) *. float_of_int m.barrier_cycles)
+    else 0.
+  in
+  let cycles = Float.max chip dram_time +. overhead in
+  let bound =
+    if dram_time >= chip then Bandwidth
+    else if stalls.(!slowest) > issue.(!slowest) then Latency
+    else Compute
+  in
+  {
+    machine = m;
+    n_threads;
+    cycles;
+    seconds = cycles /. (m.freq_ghz *. 1e9);
+    issue_cycles = issue.(!slowest);
+    stall_cycles = stalls.(!slowest);
+    dram_time;
+    overhead_cycles = overhead;
+    dram_read_bytes = Hierarchy.dram_read_bytes hier;
+    dram_write_bytes = Hierarchy.dram_write_bytes hier;
+    counts;
+    instructions;
+    level_accesses =
+      [ (Hierarchy.L1, Hierarchy.accesses hier L1);
+        (Hierarchy.L2, Hierarchy.accesses hier L2);
+        (Hierarchy.LLC, Hierarchy.accesses hier LLC);
+        (Hierarchy.Dram, Hierarchy.accesses hier Dram) ];
+    bound;
+  }
+
+let flops r =
+  let w = float_of_int r.machine.simd_width in
+  let c cls = float_of_int (Counts.total r.counts cls) in
+  (* Scalar FP classes contribute one op each; vector classes one per lane.
+     FMA is not separable from the class counts, so kernels that use it are
+     counted through the Vfp/Sfp classes (one op per instruction) — a
+     conservative undercount documented in DESIGN.md. *)
+  c Sfp +. c Sdivsqrt +. c Smath
+  +. ((c Vfp +. c Vdivsqrt +. c Vmath) *. w)
+
+let operational_intensity r =
+  let bytes = r.dram_read_bytes + r.dram_write_bytes in
+  if bytes = 0 then invalid_arg "Timing.operational_intensity: no DRAM traffic";
+  flops r /. float_of_int bytes
+
+let speedup ~baseline r = baseline.seconds /. r.seconds
+
+let bound_name = function
+  | Compute -> "compute"
+  | Bandwidth -> "bandwidth"
+  | Latency -> "latency"
+
+let pp_summary ppf r =
+  Fmt.pf ppf
+    "%s, %d threads: %.3g Mcycles (%.3g ms) [issue %.3g, stall %.3g, dram %.3g], %s-bound, %d B DRAM"
+    r.machine.name r.n_threads (r.cycles /. 1e6) (r.seconds *. 1e3)
+    (r.issue_cycles /. 1e6) (r.stall_cycles /. 1e6) (r.dram_time /. 1e6)
+    (bound_name r.bound)
+    (r.dram_read_bytes + r.dram_write_bytes)

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Float Fmt Hashtbl List Ninja_analysis Ninja_arch Ninja_kernels Ninja_report Ninja_util Ninja_vm String

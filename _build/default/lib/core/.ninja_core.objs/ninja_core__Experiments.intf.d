@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Ninja_arch Ninja_kernels Ninja_report

@@ -1,0 +1,375 @@
+module Machine = Ninja_arch.Machine
+module Timing = Ninja_arch.Timing
+module Driver = Ninja_kernels.Driver
+module Registry = Ninja_kernels.Registry
+module Table = Ninja_report.Table
+module Roofline = Ninja_analysis.Roofline
+module Stats = Ninja_util.Stats
+
+type experiment = {
+  id : string;
+  title : string;
+  claim : string;
+  run : unit -> Table.t list;
+}
+
+let gap (naive : Timing.report) (best : Timing.report) = Timing.speedup ~baseline:naive best
+
+(* ------------------------------------------------------------------ *)
+(* Memoized step execution                                             *)
+
+let cache : (string * string * string, Timing.report) Hashtbl.t = Hashtbl.create 64
+
+let find_step (bench : Driver.benchmark) name =
+  let steps = bench.steps ~scale:bench.default_scale in
+  match List.find_opt (fun (s : Driver.step) -> s.step_name = name) steps with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "benchmark %s has no step %S" bench.b_name name)
+
+let run_step_cached ~machine (bench : Driver.benchmark) step_name =
+  let key = (machine.Machine.name, bench.b_name, step_name) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = Driver.run_step ~machine (find_step bench step_name) in
+      Hashtbl.replace cache key r;
+      r
+
+let naive = "naive serial"
+let autovec = "+autovec"
+let parallel = "+parallel"
+let algorithmic = "+algorithmic"
+let ninja = "ninja"
+
+let suite = Registry.all
+let westmere = Machine.westmere
+let mic = Machine.knights_ferry
+
+let geomean_row label values =
+  label :: List.map (fun v -> Table.cell_x v) values
+
+(* ------------------------------------------------------------------ *)
+(* T1: benchmark suite characterization                                 *)
+
+let t1 () =
+  let t =
+    Table.create ~title:"T1. Benchmark suite (measured on Westmere, best variant)"
+      ~columns:
+        [ "benchmark"; "description"; "Mflops"; "DRAM MB"; "flop/B"; "bound" ]
+  in
+  List.iter
+    (fun (b : Driver.benchmark) ->
+      let r = run_step_cached ~machine:westmere b ninja in
+      let bytes = r.dram_read_bytes + r.dram_write_bytes in
+      let intensity =
+        if bytes = 0 then Float.infinity else Timing.flops r /. float_of_int bytes
+      in
+      Table.add_row t
+        [ b.b_name; b.b_desc;
+          Table.cell_f (Timing.flops r /. 1e6);
+          Table.cell_f (float_of_int bytes /. 1e6);
+          Table.cell_f intensity;
+          Timing.bound_name r.bound ])
+    suite;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* F1: the Ninja gap on Westmere                                        *)
+
+let f1 () =
+  let t =
+    Table.create
+      ~title:"F1. Ninja gap on Core i7 X980 (naive serial C vs best-optimized)"
+      ~columns:[ "benchmark"; "naive Mcyc"; "ninja Mcyc"; "gap" ]
+  in
+  let gaps =
+    List.map
+      (fun (b : Driver.benchmark) ->
+        let rn = run_step_cached ~machine:westmere b naive in
+        let rj = run_step_cached ~machine:westmere b ninja in
+        let g = gap rn rj in
+        Table.add_row t
+          [ b.b_name;
+            Table.cell_f (rn.cycles /. 1e6);
+            Table.cell_f (rj.cycles /. 1e6);
+            Table.cell_x g ];
+        g)
+      suite
+  in
+  Table.add_row t
+    [ "GEOMEAN"; ""; ""; Table.cell_x (Stats.geomean gaps) ];
+  Table.add_row t [ "MAX"; ""; ""; Table.cell_x (Stats.maximum gaps) ];
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* F2: unaddressed gap across processor generations                     *)
+
+let f2 () =
+  let machines = Machine.paper_cpus @ [ mic ] in
+  let t =
+    Table.create
+      ~title:"F2. Ninja gap if unaddressed, across architecture generations"
+      ~columns:("benchmark" :: List.map (fun (m : Machine.t) -> m.name) machines)
+  in
+  let per_machine = Array.make (List.length machines) [] in
+  List.iter
+    (fun (b : Driver.benchmark) ->
+      let cells =
+        List.mapi
+          (fun i m ->
+            let g =
+              gap (run_step_cached ~machine:m b naive) (run_step_cached ~machine:m b ninja)
+            in
+            per_machine.(i) <- g :: per_machine.(i);
+            Table.cell_x g)
+          machines
+      in
+      Table.add_row t (b.b_name :: cells))
+    suite;
+  Table.add_row t
+    (geomean_row "GEOMEAN" (Array.to_list (Array.map Stats.geomean per_machine)));
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* F3: compiler technology alone (auto-vec, then + threading)           *)
+
+let f3 () =
+  let t =
+    Table.create
+      ~title:
+        "F3. Compiler steps on unchanged naive code (Westmere; speedup over naive serial)"
+      ~columns:[ "benchmark"; "+autovec"; "+parallel"; "residual gap to ninja" ]
+  in
+  let residuals =
+    List.map
+      (fun (b : Driver.benchmark) ->
+        let rn = run_step_cached ~machine:westmere b naive in
+        let rv = run_step_cached ~machine:westmere b autovec in
+        let rp = run_step_cached ~machine:westmere b parallel in
+        let rj = run_step_cached ~machine:westmere b ninja in
+        let residual = gap rp rj in
+        Table.add_row t
+          [ b.b_name; Table.cell_x (gap rn rv); Table.cell_x (gap rn rp);
+            Table.cell_x residual ];
+        residual)
+      suite
+  in
+  Table.add_row t [ "GEOMEAN"; ""; ""; Table.cell_x (Stats.geomean residuals) ];
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* T2: the algorithmic changes and their (low) effort                   *)
+
+let t2 () =
+  let t =
+    Table.create
+      ~title:"T2. Algorithmic changes applied for the bridged variant"
+      ~columns:[ "benchmark"; "change"; "naive AST nodes"; "opt AST nodes" ]
+  in
+  let node_count (step : Driver.step) =
+    (* effort proxy: static size of the compiled program *)
+    Ninja_vm.Isa.static_size (step.make ~machine:westmere)
+  in
+  List.iter
+    (fun (b : Driver.benchmark) ->
+      let steps = b.steps ~scale:1 in
+      let find n = List.find (fun (s : Driver.step) -> s.step_name = n) steps in
+      Table.add_row t
+        [ b.b_name; b.b_algo_note;
+          string_of_int (node_count (find naive));
+          string_of_int (node_count (find algorithmic)) ])
+    suite;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* F4: the bridged gap (algorithmic changes + compiler vs ninja)        *)
+
+let f4 () =
+  let t =
+    Table.create
+      ~title:"F4. Gap after algorithmic changes + compiler (Westmere)"
+      ~columns:
+        [ "benchmark"; "+algorithmic Mcyc"; "ninja Mcyc"; "remaining gap" ]
+  in
+  let gaps =
+    List.map
+      (fun (b : Driver.benchmark) ->
+        let ra = run_step_cached ~machine:westmere b algorithmic in
+        let rj = run_step_cached ~machine:westmere b ninja in
+        let g = gap ra rj in
+        Table.add_row t
+          [ b.b_name;
+            Table.cell_f (ra.cycles /. 1e6);
+            Table.cell_f (rj.cycles /. 1e6);
+            Table.cell_x g ];
+        g)
+      suite
+  in
+  Table.add_row t [ "GEOMEAN"; ""; ""; Table.cell_x (Stats.geomean gaps) ];
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* F5: the same analysis on Intel MIC (Knights Ferry)                   *)
+
+let f5 () =
+  let t =
+    Table.create
+      ~title:"F5. Knights Ferry (MIC): naive gap and bridged gap"
+      ~columns:[ "benchmark"; "naive gap"; "bridged gap" ]
+  in
+  let ngaps, bgaps =
+    List.fold_left
+      (fun (ng, bg) (b : Driver.benchmark) ->
+        let rn = run_step_cached ~machine:mic b naive in
+        let ra = run_step_cached ~machine:mic b algorithmic in
+        let rj = run_step_cached ~machine:mic b ninja in
+        let g1 = gap rn rj and g2 = gap ra rj in
+        Table.add_row t [ b.b_name; Table.cell_x g1; Table.cell_x g2 ];
+        (g1 :: ng, g2 :: bg))
+      ([], []) suite
+  in
+  Table.add_row t
+    [ "GEOMEAN"; Table.cell_x (Stats.geomean ngaps); Table.cell_x (Stats.geomean bgaps) ];
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* F6: hardware support for programmability (gather, prefetch)          *)
+
+let f6 () =
+  let gather_cpu = Machine.with_name (Machine.with_gather westmere true) "Westmere+gather" in
+  let no_gather_mic = Machine.with_name (Machine.with_gather mic false) "KNF-no-gather" in
+  let t =
+    Table.create
+      ~title:
+        "F6. Hardware gather support: bridged-variant speedup from adding (CPU) or removing (MIC) gather"
+      ~columns:
+        [ "benchmark"; "CPU +algorithmic"; "CPU+gather"; "benefit";
+          "MIC ninja"; "MIC w/o gather"; "loss" ]
+  in
+  List.iter
+    (fun (b : Driver.benchmark) ->
+      let cpu = run_step_cached ~machine:westmere b algorithmic in
+      let cpu_g = run_step_cached ~machine:gather_cpu b algorithmic in
+      let micr = run_step_cached ~machine:mic b ninja in
+      let mic_ng = run_step_cached ~machine:no_gather_mic b ninja in
+      Table.add_row t
+        [ b.b_name;
+          Table.cell_f (cpu.cycles /. 1e6);
+          Table.cell_f (cpu_g.cycles /. 1e6);
+          Table.cell_x (gap cpu cpu_g);
+          Table.cell_f (micr.cycles /. 1e6);
+          Table.cell_f (mic_ng.cycles /. 1e6);
+          Table.cell_x (gap micr mic_ng) ])
+    suite;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* F7: projection over future architectures                             *)
+
+let f7 () =
+  let machines =
+    [ westmere; Machine.future ~generation:1; Machine.future ~generation:2 ]
+  in
+  let t =
+    Table.create
+      ~title:
+        "F7. Gap growth on future architectures (cores x2, SIMD x2 per generation)"
+      ~columns:[ "machine"; "naive gap (geomean)"; "bridged gap (geomean)" ]
+  in
+  List.iter
+    (fun (m : Machine.t) ->
+      let ngaps, bgaps =
+        List.fold_left
+          (fun (ng, bg) (b : Driver.benchmark) ->
+            let rn = run_step_cached ~machine:m b naive in
+            let ra = run_step_cached ~machine:m b algorithmic in
+            let rj = run_step_cached ~machine:m b ninja in
+            (gap rn rj :: ng, gap ra rj :: bg))
+          ([], []) suite
+      in
+      Table.add_row t
+        [ m.name; Table.cell_x (Stats.geomean ngaps); Table.cell_x (Stats.geomean bgaps) ])
+    machines;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* F8: roofline placement of the best variants                          *)
+
+let f8 () =
+  let table_for (m : Machine.t) =
+    let t =
+      Table.create
+        ~title:
+          (Fmt.str "F8. Roofline placement of ninja variants on %s (ridge %.1f flop/B)"
+             m.name (Roofline.ridge_intensity m))
+        ~columns:[ "benchmark"; "flop/B"; "GFLOP/s"; "roof GF/s"; "efficiency" ]
+    in
+    List.iter
+      (fun (b : Driver.benchmark) ->
+        let r = run_step_cached ~machine:m b ninja in
+        let p =
+          if r.dram_read_bytes + r.dram_write_bytes = 0 then
+            Roofline.point_compute ~label:b.b_name r
+          else Roofline.point ~label:b.b_name r
+        in
+        Table.add_row t
+          [ b.b_name;
+            Table.cell_f p.intensity;
+            Table.cell_f p.gflops;
+            Table.cell_f p.roof_gflops;
+            Fmt.str "%.0f%%" (100. *. p.efficiency) ])
+      suite;
+    t
+  in
+  [ table_for westmere; table_for mic ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: machine-feature ablation on the bridged variant                  *)
+
+let a1 () =
+  let variants =
+    [ ("baseline", westmere);
+      ("no prefetcher", Machine.with_name (Machine.with_prefetch westmere false) "W-nopf");
+      ("with gather", Machine.with_name (Machine.with_gather westmere true) "W-gather");
+      ("half bandwidth",
+       Machine.with_name { westmere with dram_bw_gbs = westmere.dram_bw_gbs /. 2. } "W-halfbw");
+      ("double bandwidth",
+       Machine.with_name { westmere with dram_bw_gbs = westmere.dram_bw_gbs *. 2. } "W-2xbw") ]
+  in
+  let t =
+    Table.create
+      ~title:
+        "A1. Ablation: +algorithmic variant runtime (Mcycles) under machine-feature changes"
+      ~columns:("benchmark" :: List.map fst variants)
+  in
+  List.iter
+    (fun (b : Driver.benchmark) ->
+      Table.add_row t
+        (b.b_name
+        :: List.map
+             (fun (_, m) ->
+               Table.cell_f ((run_step_cached ~machine:m b algorithmic).cycles /. 1e6))
+             variants))
+    suite;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ { id = "t1"; title = "Benchmark characterization"; claim = "suite description (paper Table 1)"; run = t1 };
+    { id = "f1"; title = "Ninja gap on Westmere"; claim = "claim 1: avg 24X, up to 53X"; run = f1 };
+    { id = "f2"; title = "Gap across generations"; claim = "claim 2: gap grows if unaddressed"; run = f2 };
+    { id = "f3"; title = "Compiler-only ladder"; claim = "claim 3a: vectorization + threading on naive code"; run = f3 };
+    { id = "t2"; title = "Algorithmic changes"; claim = "claim 3b: the low-effort code changes"; run = t2 };
+    { id = "f4"; title = "Bridged gap"; claim = "claim 3c: avg ~1.3X after changes + compiler"; run = f4 };
+    { id = "f5"; title = "Knights Ferry (MIC)"; claim = "claim 5: same story on manycore"; run = f5 };
+    { id = "f6"; title = "Hardware gather support"; claim = "claim 4: hardware support for programmability"; run = f6 };
+    { id = "f7"; title = "Future scaling"; claim = "claims 2+3: bridged gap stays stable"; run = f7 };
+    { id = "f8"; title = "Roofline placement"; claim = "bound-and-bottleneck analysis"; run = f8 };
+    { id = "a1"; title = "Machine-feature ablation"; claim = "sensitivity analysis (ours)"; run = a1 } ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> e
+  | None -> raise Not_found

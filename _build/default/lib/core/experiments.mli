@@ -1,0 +1,30 @@
+(** The paper's evaluation, regenerated.
+
+    Each experiment returns rendered tables (see DESIGN.md for the mapping
+    from experiment ids to the paper's claims). Results are deterministic;
+    simulated runs are memoized within a process, so running several
+    experiments shares the underlying simulations. *)
+
+type experiment = {
+  id : string;  (** stable id: "t1", "f1" ... "a1" *)
+  title : string;
+  claim : string;  (** which abstract claim it reproduces *)
+  run : unit -> Ninja_report.Table.t list;
+}
+
+val all : experiment list
+(** In presentation order: T1, F1..F8, T2, A1. *)
+
+val find : string -> experiment
+(** Lookup by id (case-insensitive). Raises [Not_found]. *)
+
+val gap : Ninja_arch.Timing.report -> Ninja_arch.Timing.report -> float
+(** [gap naive best] = modeled-seconds ratio (how much faster [best] is). *)
+
+val run_step_cached :
+  machine:Ninja_arch.Machine.t ->
+  Ninja_kernels.Driver.benchmark ->
+  string ->
+  Ninja_arch.Timing.report
+(** Simulate one named ladder step of a benchmark at its default scale,
+    memoized on (machine name, benchmark, step). *)

@@ -1,0 +1,1 @@
+lib/kernels/backprojection.ml: Array Builder Common Driver Float Isa Ninja_arch Ninja_vm Ninja_workloads

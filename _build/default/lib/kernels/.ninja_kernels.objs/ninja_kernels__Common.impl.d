@@ -1,0 +1,1 @@
+lib/kernels/common.ml: Ast Codegen Driver Lexer Ninja_arch Ninja_lang Ninja_vm Parser

@@ -1,0 +1,1 @@
+lib/kernels/common.mli: Driver Ninja_arch Ninja_lang Ninja_vm

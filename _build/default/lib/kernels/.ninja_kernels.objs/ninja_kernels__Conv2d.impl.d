@@ -1,0 +1,1 @@
+lib/kernels/conv2d.ml: Array Buffer Builder Common Driver Fmt Isa Ninja_arch Ninja_vm Ninja_workloads

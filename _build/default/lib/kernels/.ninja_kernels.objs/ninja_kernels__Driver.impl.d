@@ -1,0 +1,1 @@
+lib/kernels/driver.ml: Array Float Fmt Interp Isa List Memory Ninja_arch Ninja_vm String

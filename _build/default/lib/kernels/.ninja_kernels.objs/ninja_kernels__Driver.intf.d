@@ -1,0 +1,1 @@
+lib/kernels/driver.mli: Isa Memory Ninja_arch Ninja_vm

@@ -1,0 +1,1 @@
+lib/kernels/lbm.ml: Array Buffer Builder Common Driver Fmt Fun Isa List Ninja_arch Ninja_util Ninja_vm String

@@ -1,0 +1,1 @@
+lib/kernels/mergesort.ml: Array Builder Common Driver Float Isa Ninja_arch Ninja_lang Ninja_vm Ninja_workloads

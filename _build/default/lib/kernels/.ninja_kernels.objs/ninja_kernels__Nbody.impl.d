@@ -1,0 +1,1 @@
+lib/kernels/nbody.ml: Array Builder Common Driver Float Fmt Isa Ninja_arch Ninja_vm Ninja_workloads Result

@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Backprojection Blackscholes Complex1d Conv2d Driver Lbm List Mergesort Nbody Stencil7 String Treesearch Volume_render

@@ -1,0 +1,1 @@
+lib/kernels/stencil7.ml: Array Builder Common Driver Isa Ninja_arch Ninja_vm Ninja_workloads

@@ -1,0 +1,1 @@
+lib/kernels/treesearch.ml: Array Builder Common Driver Isa Ninja_arch Ninja_lang Ninja_vm Ninja_workloads

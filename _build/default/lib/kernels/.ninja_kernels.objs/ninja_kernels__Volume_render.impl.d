@@ -1,0 +1,1 @@
+lib/kernels/volume_render.ml: Array Builder Common Driver Float Fmt Isa List Ninja_arch Ninja_lang Ninja_vm Ninja_workloads

@@ -1,0 +1,39 @@
+(** Shared construction of the paper's performance ladder:
+
+    + naive serial — naive source, plain scalar code
+    + [+autovec] — naive source, auto-vectorization (and fast-math)
+    + [+parallel] — naive source, vectorization + threading
+    + [+algorithmic] — restructured source, vectorization + threading
+    + ninja — hand-written ISA code
+
+    Step names are stable; experiments address them by name. *)
+
+val step_names : string list
+
+val parse_kernel : string -> Ninja_lang.Ast.kernel
+(** Parse, turning lex/parse errors into [Failure] with context. *)
+
+val compile_with :
+  Ninja_lang.Codegen.flags ->
+  machine:Ninja_arch.Machine.t ->
+  Ninja_lang.Ast.kernel ->
+  Ninja_vm.Isa.program
+(** Compile with the machine's FMA availability folded into the flags. *)
+
+type sources = {
+  naive : string;
+  opt : string;
+  ninja : machine:Ninja_arch.Machine.t -> Ninja_vm.Isa.program;
+}
+
+val ladder :
+  sources:sources ->
+  bind_naive:(unit -> (string * Driver.arg) list) ->
+  bind_opt:(unit -> (string * Driver.arg) list) ->
+  bind_ninja:(unit -> (string * Driver.arg) list) ->
+  check_naive:(Ninja_vm.Memory.t -> (unit, string) result) ->
+  check_opt:(Ninja_vm.Memory.t -> (unit, string) result) ->
+  check_ninja:(Ninja_vm.Memory.t -> (unit, string) result) ->
+  Driver.step list
+(** The five standard steps for a benchmark whose variants are all
+    single-launch kernels. *)

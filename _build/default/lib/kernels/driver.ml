@@ -1,0 +1,165 @@
+open Ninja_vm
+
+type arg =
+  | Farr of float array
+  | Iarr of int array
+  | Fscalar of float
+  | Iscalar of int
+
+(* Sizes of the compiler's hidden buffers; must cover the limits declared in
+   Codegen (max_env_slots, max_reductions * max_threads). *)
+let env_slots = 256
+let red_slots = 16 * 64
+
+let memory_for (prog : Isa.program) args =
+  let bindings =
+    Array.to_list prog.buffers
+    |> List.map (fun (d : Isa.buffer_decl) ->
+           let name = d.buf_name in
+           let missing () = raise (Memory.Bad_binding ("missing argument: " ^ name)) in
+           let value =
+             if name = "__env_i" || name = "__red_i" then
+               Memory.Ibuf (Array.make (if name = "__env_i" then env_slots else red_slots) 0)
+             else if name = "__env_f" || name = "__red_f" then
+               Memory.Fbuf (Array.make (if name = "__env_f" then env_slots else red_slots) 0.)
+             else if String.length name > 4 && String.sub name 0 4 = "__p_" then begin
+               let pname = String.sub name 4 (String.length name - 4) in
+               match List.assoc_opt pname args with
+               | Some (Fscalar x) -> Memory.Fbuf [| x |]
+               | Some (Iscalar n) -> Memory.Ibuf [| n |]
+               | Some _ ->
+                   raise (Memory.Bad_binding ("parameter " ^ pname ^ " must be a scalar"))
+               | None -> missing ()
+             end
+             else
+               match List.assoc_opt name args with
+               | Some (Farr a) -> Memory.Fbuf a
+               | Some (Iarr a) -> Memory.Ibuf a
+               | Some _ ->
+                   raise (Memory.Bad_binding ("parameter " ^ name ^ " must be an array"))
+               | None -> missing ()
+           in
+           (name, value))
+  in
+  Memory.create prog bindings
+
+let output_f mem name =
+  match Memory.find mem name with
+  | _, Memory.Fbuf a -> Array.copy a
+  | _, Memory.Ibuf _ -> invalid_arg (name ^ " is an int buffer")
+
+let output_i mem name =
+  match Memory.find mem name with
+  | _, Memory.Ibuf a -> Array.copy a
+  | _, Memory.Fbuf _ -> invalid_arg (name ^ " is a float buffer")
+
+type step = {
+  step_name : string;
+  parallel : bool;
+  make : machine:Ninja_arch.Machine.t -> Isa.program;
+  bindings : unit -> (string * arg) list;
+  runs : Ninja_arch.Machine.t -> int;
+  prepare : Ninja_arch.Machine.t -> int -> Memory.t -> unit;
+  check : Memory.t -> (unit, string) result;
+}
+
+let simple_step ~name ~parallel ~make ~bindings ~check =
+  {
+    step_name = name;
+    parallel;
+    make;
+    bindings;
+    runs = (fun _ -> 1);
+    prepare = (fun _ _ _ -> ());
+    check;
+  }
+
+(* Update a scalar parameter cell between launches. *)
+let set_scalar_i mem name v =
+  match Memory.find mem ("__p_" ^ name) with
+  | _, Memory.Ibuf a -> a.(0) <- v
+  | _, Memory.Fbuf _ -> invalid_arg (name ^ " is a float parameter")
+
+let run_step ~machine step =
+  let prog = step.make ~machine in
+  let mem = memory_for prog (step.bindings ()) in
+  let n_threads = if step.parallel then machine.Ninja_arch.Machine.cores else 1 in
+  Ninja_arch.Timing.simulate ~machine ~n_threads ~runs:(step.runs machine)
+    ~prepare:(step.prepare machine) prog mem
+
+let validate_step ~machine step =
+  let prog = step.make ~machine in
+  let mem = memory_for prog (step.bindings ()) in
+  let n_threads = if step.parallel then machine.Ninja_arch.Machine.cores else 1 in
+  let width = machine.Ninja_arch.Machine.simd_width in
+  match
+    for run = 0 to step.runs machine - 1 do
+      step.prepare machine run mem;
+      ignore (Interp.run ~n_threads ~width prog mem : Interp.result)
+    done
+  with
+  | () -> step.check mem
+  | exception Memory.Trap msg -> Error ("trap: " ^ msg)
+
+type benchmark = {
+  b_name : string;
+  b_desc : string;
+  b_algo_note : string;
+  steps : scale:int -> step list;
+  default_scale : int;
+}
+
+let close ?(rtol = 1e-4) ?(atol = 1e-6) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let check_floats ?rtol ?atol ~expected actual =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Fmt.str "length mismatch: expected %d, got %d" (Array.length expected)
+         (Array.length actual))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i e ->
+        if !bad = None && not (close ?rtol ?atol e actual.(i)) then bad := Some i)
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some i ->
+        Error (Fmt.str "mismatch at index %d: expected %g, got %g" i expected.(i) actual.(i))
+  end
+
+(* Tolerant variant for kernels whose results are legitimately sensitive to
+   FP evaluation order through [int()] truncation (e.g. computed gather
+   indices): a small fraction of elements may disagree. *)
+let check_floats_mostly ?rtol ?atol ?(max_bad_frac = 0.01) ~expected actual =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Fmt.str "length mismatch: expected %d, got %d" (Array.length expected)
+         (Array.length actual))
+  else begin
+    let bad = ref 0 in
+    Array.iteri
+      (fun i e -> if not (close ?rtol ?atol e actual.(i)) then incr bad)
+      expected;
+    let frac = float_of_int !bad /. float_of_int (max 1 (Array.length expected)) in
+    if frac <= max_bad_frac then Ok ()
+    else Error (Fmt.str "%d of %d elements mismatch" !bad (Array.length expected))
+  end
+
+let check_ints ~expected actual =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Fmt.str "length mismatch: expected %d, got %d" (Array.length expected)
+         (Array.length actual))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i e -> if !bad = None && e <> actual.(i) then bad := Some i)
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some i ->
+        Error (Fmt.str "mismatch at index %d: expected %d, got %d" i expected.(i) actual.(i))
+  end

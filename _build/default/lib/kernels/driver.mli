@@ -1,0 +1,93 @@
+(** Binding programs to data, and the benchmark/variant abstractions.
+
+    The driver implements the calling convention shared by compiler output
+    and hand-built Ninja programs: array parameters bind to same-named
+    buffers, scalar parameters to one-element ["__p_<name>"] cells, and the
+    compiler's hidden spill / reduction buffers are allocated automatically. *)
+
+open Ninja_vm
+
+type arg =
+  | Farr of float array
+  | Iarr of int array
+  | Fscalar of float
+  | Iscalar of int
+
+val memory_for : Isa.program -> (string * arg) list -> Memory.t
+(** Build a {!Memory.t} for [program]: array args bind by name, scalar args
+    fill their parameter cells, hidden buffers ([__env_*], [__red_*]) are
+    allocated. Raises [Memory.Bad_binding] on missing or mistyped args. *)
+
+val output_f : Memory.t -> string -> float array
+(** Fetch a float buffer's contents by name (a copy). *)
+
+val output_i : Memory.t -> string -> int array
+
+(** {1 Benchmark steps}
+
+    A step is one rung of the paper's performance ladder for one benchmark
+    (naive serial → +autovec → +parallel → +algorithmic change → Ninja). *)
+
+type step = {
+  step_name : string;
+  parallel : bool;  (** run with one thread per core, else serially *)
+  make : machine:Ninja_arch.Machine.t -> Isa.program;
+      (** build/compile the program for a machine (FMA availability, etc.) *)
+  bindings : unit -> (string * arg) list;
+      (** fresh argument set (fresh output arrays) for one run *)
+  runs : Ninja_arch.Machine.t -> int;
+      (** kernel launches per measurement (e.g. sort passes); may depend on
+          the machine's vector width *)
+  prepare : Ninja_arch.Machine.t -> int -> Memory.t -> unit;
+      (** pre-launch hook, e.g. to update a scalar cell between passes *)
+  check : Memory.t -> (unit, string) result;
+      (** validate outputs against the OCaml reference implementation *)
+}
+
+val set_scalar_i : Memory.t -> string -> int -> unit
+(** [set_scalar_i mem name v] updates scalar parameter [name]'s cell —
+    for [prepare] hooks that change a parameter between launches. *)
+
+val simple_step :
+  name:string ->
+  parallel:bool ->
+  make:(machine:Ninja_arch.Machine.t -> Isa.program) ->
+  bindings:(unit -> (string * arg) list) ->
+  check:(Memory.t -> (unit, string) result) ->
+  step
+(** A single-launch step with no pre-launch hook. *)
+
+val run_step :
+  machine:Ninja_arch.Machine.t -> step -> Ninja_arch.Timing.report
+(** Simulate one step on [machine] (threads = cores when [parallel]). *)
+
+val validate_step :
+  machine:Ninja_arch.Machine.t -> step -> (unit, string) result
+(** Run the step functionally and apply its output check. *)
+
+type benchmark = {
+  b_name : string;
+  b_desc : string;
+  b_algo_note : string;  (** the algorithmic change applied (experiment T2) *)
+  steps : scale:int -> step list;
+      (** the ladder, in order; [scale] grows the dataset (1 = unit tests,
+          default benchmark scale is per-benchmark) *)
+  default_scale : int;
+}
+
+(** Helpers for float comparisons in checks. *)
+
+val close : ?rtol:float -> ?atol:float -> float -> float -> bool
+
+val check_floats :
+  ?rtol:float -> ?atol:float -> expected:float array -> float array ->
+  (unit, string) result
+
+val check_floats_mostly :
+  ?rtol:float -> ?atol:float -> ?max_bad_frac:float ->
+  expected:float array -> float array -> (unit, string) result
+(** Like {!check_floats}, but tolerates a small fraction of mismatching
+    elements (default 1%) — for kernels whose gather indices are sensitive
+    to FP evaluation order through truncation. *)
+
+val check_ints : expected:int array -> int array -> (unit, string) result

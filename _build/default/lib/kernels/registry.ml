@@ -1,0 +1,23 @@
+(* The benchmark suite, in the order the paper's evaluation discusses it. *)
+
+let all : Driver.benchmark list =
+  [ Nbody.benchmark;
+    Blackscholes.benchmark;
+    Conv2d.benchmark;
+    Stencil7.benchmark;
+    Lbm.benchmark;
+    Complex1d.benchmark;
+    Treesearch.benchmark;
+    Backprojection.benchmark;
+    Volume_render.benchmark;
+    Mergesort.benchmark ]
+
+let find name =
+  match
+    List.find_opt
+      (fun (b : Driver.benchmark) ->
+        String.lowercase_ascii b.b_name = String.lowercase_ascii name)
+      all
+  with
+  | Some b -> b
+  | None -> invalid_arg ("unknown benchmark: " ^ name)

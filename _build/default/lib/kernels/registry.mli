@@ -1,0 +1,6 @@
+(** The benchmark suite, in the order the paper's evaluation discusses it. *)
+
+val all : Driver.benchmark list
+
+val find : string -> Driver.benchmark
+(** Case-insensitive lookup by name. @raise Invalid_argument *)

@@ -1,0 +1,1 @@
+lib/lang/analysis.ml: Ast Fmt List Option Set String

@@ -1,0 +1,1 @@
+lib/lang/check.ml: Ast Fmt List Map String

@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Analysis Array Ast Check Fmt Isa List Ninja_vm

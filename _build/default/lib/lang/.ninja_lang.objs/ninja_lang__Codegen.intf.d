@@ -1,0 +1,1 @@
+lib/lang/codegen.mli: Ast Ninja_vm

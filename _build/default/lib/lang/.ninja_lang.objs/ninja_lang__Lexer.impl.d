@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Array Fmt List String

@@ -1,0 +1,398 @@
+(* Loop analysis for the auto-vectorizer (and the parallelizer's scalar
+   privatization): subscript classification, scalar dependence classes,
+   reduction recognition, and the vectorization legality decision.
+
+   The analysis is deliberately that of a *traditional* compiler:
+   - subscripts must be affine in the loop variable with a constant stride
+     to use wide loads/stores; anything else becomes a gather/scatter;
+   - loop-carried dependences are rejected conservatively unless the
+     programmer asserts independence with [pragma simd] (the paper's
+     low-effort vehicle for bridging the compiler's legality wall);
+   - scalars must be loop-invariant, privatizable, or recognizable
+     reductions. *)
+
+module S = Set.Make (String)
+
+type red_kind = Rsum | Rmin | Rmax
+
+type scalar_class = Invariant | Private | Reduction of red_kind
+
+type subscript =
+  | Sub_invariant (* same address every iteration *)
+  | Sub_affine of int * Ast.expr (* stride * i + base, base loop-invariant *)
+  | Sub_complex (* data-dependent: needs gather/scatter *)
+
+type plan = {
+  (* classification of every scalar assigned in the body *)
+  scalars : (string * scalar_class) list;
+}
+
+exception Not_vectorizable of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Not_vectorizable s)) fmt
+
+let red_kind_name = function Rsum -> "sum" | Rmin -> "min" | Rmax -> "max"
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic helpers                                                   *)
+
+let rec mentions v (e : Ast.expr) =
+  match e with
+  | Int_lit _ | Float_lit _ -> false
+  | Var x -> x = v
+  | Index (_, i) -> mentions v i
+  | Bin (_, a, b) -> mentions v a || mentions v b
+  | Un (_, a) -> mentions v a
+  | Call (_, args) -> List.exists (mentions v) args
+
+let rec mentions_any set (e : Ast.expr) =
+  match e with
+  | Int_lit _ | Float_lit _ -> false
+  | Var x -> S.mem x set
+  | Index (_, i) -> mentions_any set i
+  | Bin (_, a, b) -> mentions_any set a || mentions_any set b
+  | Un (_, a) -> mentions_any set a
+  | Call (_, args) -> List.exists (mentions_any set) args
+
+let rec has_index (e : Ast.expr) =
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> false
+  | Index _ -> true
+  | Bin (_, a, b) -> has_index a || has_index b
+  | Un (_, a) -> has_index a
+  | Call (_, args) -> List.exists has_index args
+
+(* Scalar variables read by an expression (array names excluded, subscript
+   contents included). *)
+let rec scalar_reads (e : Ast.expr) : S.t =
+  match e with
+  | Int_lit _ | Float_lit _ -> S.empty
+  | Var x -> S.singleton x
+  | Index (_, i) -> scalar_reads i
+  | Bin (_, a, b) -> S.union (scalar_reads a) (scalar_reads b)
+  | Un (_, a) -> scalar_reads a
+  | Call (_, args) ->
+      List.fold_left (fun acc a -> S.union acc (scalar_reads a)) S.empty args
+
+(* All scalars assigned anywhere in a block (including loop indices). *)
+let rec assigned_in_block (b : Ast.block) : S.t =
+  List.fold_left (fun acc s -> S.union acc (assigned_in_stmt s)) S.empty b
+
+and assigned_in_stmt (s : Ast.stmt) : S.t =
+  match s with
+  | Decl (v, _, _) -> S.singleton v
+  | Assign (v, _) -> S.singleton v
+  | Store _ -> S.empty
+  | If (_, t, e) -> S.union (assigned_in_block t) (assigned_in_block e)
+  | While (_, b) -> assigned_in_block b
+  | For { index; body; _ } -> S.add index (assigned_in_block body)
+
+(* Count the occurrences of scalar [v] as a read in a block. *)
+let count_reads v (b : Ast.block) =
+  let n = ref 0 in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Int_lit _ | Float_lit _ -> ()
+    | Var x -> if x = v then incr n
+    | Index (_, i) -> expr i
+    | Bin (_, a, b) -> expr a; expr b
+    | Un (_, a) -> expr a
+    | Call (_, args) -> List.iter expr args
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Decl (_, _, init) -> Option.iter expr init
+    | Assign (_, e) -> expr e
+    | Store (_, i, e) -> expr i; expr e
+    | If (c, t, e) -> expr c; List.iter stmt t; List.iter stmt e
+    | While (c, b) -> expr c; List.iter stmt b
+    | For { init; limit; body; _ } -> expr init; expr limit; List.iter stmt body
+  in
+  List.iter stmt b;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Subscript classification                                            *)
+
+(* [classify_subscript ~loop_var ~varying e] decides how [e] moves as
+   [loop_var] advances. [varying] is the set of scalars whose value changes
+   within an iteration (assigned in the body): a base containing one is not
+   loop-invariant and forces the gather path. *)
+let classify_subscript ~loop_var ~varying (e : Ast.expr) : subscript =
+  (* returns (stride, base) with e == stride * loop_var + base *)
+  let rec affine (e : Ast.expr) : (int * Ast.expr) option =
+    if not (mentions loop_var e) then
+      if mentions_any varying e || has_index e then None else Some (0, e)
+    else
+      match e with
+      | Var x when x = loop_var -> Some (1, Int_lit 0)
+      | Bin (Add, a, b) -> (
+          match (affine a, affine b) with
+          | Some (ka, ba), Some (kb, bb) -> Some (ka + kb, Ast.Bin (Add, ba, bb))
+          | _ -> None)
+      | Bin (Sub, a, b) -> (
+          match (affine a, affine b) with
+          | Some (ka, ba), Some (kb, bb) -> Some (ka - kb, Ast.Bin (Sub, ba, bb))
+          | _ -> None)
+      | Bin (Mul, Int_lit k, b) -> (
+          match affine b with
+          | Some (kb, bb) -> Some (k * kb, Ast.Bin (Mul, Int_lit k, bb))
+          | None -> None)
+      | Bin (Mul, a, Int_lit k) -> (
+          match affine a with
+          | Some (ka, ba) -> Some (k * ka, Ast.Bin (Mul, Ast.Int_lit k, ba))
+          | None -> None)
+      | _ -> None
+  in
+  match affine e with
+  | Some (0, _) ->
+      if mentions_any varying e || has_index e then Sub_complex else Sub_invariant
+  | Some (k, base) -> Sub_affine (k, base)
+  | None -> Sub_complex
+
+(* ------------------------------------------------------------------ *)
+(* Scalar classification                                               *)
+
+(* Reduction pattern for [v]: [v = v + e], [v = v - e],
+   [v = fminf(v, e)], [v = fmaxf(v, e)] (commuted forms included for
+   + / min / max), with [v] not occurring in [e]. *)
+let reduction_of_assign v (rhs : Ast.expr) : red_kind option =
+  let ok e = not (mentions v e) in
+  match rhs with
+  | Bin (Add, Var x, e) when x = v && ok e -> Some Rsum
+  | Bin (Add, e, Var x) when x = v && ok e -> Some Rsum
+  | Bin (Sub, Var x, e) when x = v && ok e -> Some Rsum
+  | Call ("fminf", [ Var x; e ]) when x = v && ok e -> Some Rmin
+  | Call ("fminf", [ e; Var x ]) when x = v && ok e -> Some Rmin
+  | Call ("fmaxf", [ Var x; e ]) when x = v && ok e -> Some Rmax
+  | Call ("fmaxf", [ e; Var x ]) when x = v && ok e -> Some Rmax
+  | _ -> None
+
+(* Reads of scalars "exposed" at the top of the body, i.e. possibly executed
+   before any assignment to the same scalar in the same iteration. Walks in
+   program order, tracking the defined-set; [If] contributes definitions
+   only when both branches define. *)
+let exposed_reads (body : Ast.block) : S.t =
+  let exposed = ref S.empty in
+  let note defined reads = exposed := S.union !exposed (S.diff reads defined) in
+  let rec block defined (b : Ast.block) =
+    List.fold_left stmt defined b
+  and stmt defined (s : Ast.stmt) =
+    match s with
+    | Decl (v, _, init) ->
+        Option.iter (fun e -> note defined (scalar_reads e)) init;
+        S.add v defined
+    | Assign (v, e) ->
+        note defined (scalar_reads e);
+        S.add v defined
+    | Store (_, i, e) ->
+        note defined (scalar_reads i);
+        note defined (scalar_reads e);
+        defined
+    | If (c, t, e) ->
+        note defined (scalar_reads c);
+        let dt = block defined t and de = block defined e in
+        S.union defined (S.inter dt de)
+    | While (c, b) ->
+        note defined (scalar_reads c);
+        (* the body may loop: reads inside are exposed to earlier iterations
+           of the while, so evaluate it against its own final defined-set
+           conservatively (run twice) *)
+        let d1 = block defined b in
+        ignore (block defined b : S.t);
+        S.inter d1 (block defined b)
+    | For { index; init; limit; body; _ } ->
+        note defined (scalar_reads init);
+        note defined (scalar_reads limit);
+        let defined = S.add index defined in
+        (* two passes for the same cross-iteration reason as While *)
+        ignore (block defined body : S.t);
+        ignore (block defined body : S.t);
+        defined
+  in
+  ignore (block S.empty body : S.t);
+  !exposed
+
+let classify_scalars (body : Ast.block) : (string * scalar_class) list =
+  let assigned = assigned_in_block body in
+  let exposed = exposed_reads body in
+  S.fold
+    (fun v acc ->
+      if not (S.mem v exposed) then (v, Private) :: acc
+      else begin
+        (* read-before-write: must be a reduction *)
+        let kinds = ref [] in
+        let bad = ref None in
+        let rec scan_stmt (s : Ast.stmt) =
+          match s with
+          | Assign (x, rhs) when x = v -> (
+              match reduction_of_assign v rhs with
+              | Some k -> kinds := k :: !kinds
+              | None -> bad := Some "assignment does not match a reduction pattern")
+          | Decl (x, _, _) when x = v ->
+              bad := Some "declared and read-before-write"
+          | If (_, t, e) -> List.iter scan_stmt t; List.iter scan_stmt e
+          | While (_, b) -> List.iter scan_stmt b
+          | For { index; body; _ } ->
+              if index = v then bad := Some "loop index is live across iterations";
+              List.iter scan_stmt body
+          | Assign _ | Decl _ | Store _ -> ()
+        in
+        List.iter scan_stmt body;
+        (match !bad with
+        | Some reason -> fail "scalar %s carries a dependence: %s" v reason
+        | None -> ());
+        (match !kinds with
+        | [] -> fail "scalar %s is read but never assigned a reduction" v
+        | k :: rest ->
+            if List.exists (fun k' -> k' <> k) rest then
+              fail "scalar %s mixes reduction kinds" v;
+            (* every read of v must be the one inside a reduction assignment *)
+            let reads = count_reads v body in
+            if reads <> List.length !kinds then
+              fail "scalar %s is read outside its reduction updates" v;
+            ())
+        ;
+        (v, Reduction (List.hd !kinds)) :: acc
+      end)
+    assigned []
+
+(* ------------------------------------------------------------------ *)
+(* Vectorization legality                                              *)
+
+(* Mechanical requirements: single basic-block-with-ifs body. If-conversion
+   handles [If] whose branches contain only assignments and stores. *)
+let rec check_mechanics ~in_if (body : Ast.block) =
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Decl _ when in_if -> fail "declaration inside a conditional branch"
+      | Decl _ | Assign _ | Store _ -> ()
+      | If (_, t, e) ->
+          check_mechanics ~in_if:true t;
+          check_mechanics ~in_if:true e
+      | While _ -> fail "while loop in vector-candidate body"
+      | For _ -> fail "nested loop in vector-candidate body")
+    body
+
+type array_access = { array : string; sub : Ast.expr; is_write : bool }
+
+let rec collect_accesses (b : Ast.block) : array_access list =
+  List.concat_map collect_stmt b
+
+and collect_stmt (s : Ast.stmt) : array_access list =
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Int_lit _ | Float_lit _ | Var _ -> []
+    | Index (a, i) -> { array = a; sub = i; is_write = false } :: expr i
+    | Bin (_, x, y) -> expr x @ expr y
+    | Un (_, x) -> expr x
+    | Call (_, args) -> List.concat_map expr args
+  in
+  match s with
+  | Decl (_, _, None) -> []
+  | Decl (_, _, Some e) | Assign (_, e) -> expr e
+  | Store (a, i, e) -> ({ array = a; sub = i; is_write = true } :: expr i) @ expr e
+  | If (c, t, e) -> expr c @ collect_accesses t @ collect_accesses e
+  | While (c, b) -> expr c @ collect_accesses b
+  | For { init; limit; body; _ } -> expr init @ expr limit @ collect_accesses body
+
+(* Symbolic linearization for constant-distance tests: an int expression as
+   [constant + sum of coefficient * opaque-term]. Opaque terms are compared
+   structurally. Returns the constant difference of two expressions when
+   all symbolic terms cancel. *)
+let add_term ts (t, c) =
+  let rec go = function
+    | [] -> if c = 0 then [] else [ (t, c) ]
+    | (t', c') :: rest when t' = t ->
+        if c' + c = 0 then rest else (t', c' + c) :: rest
+    | x :: rest -> x :: go rest
+  in
+  go ts
+
+let merge_lin (c1, ts1) (c2, ts2) = (c1 + c2, List.fold_left add_term ts1 ts2)
+
+let scale_lin k (c, ts) =
+  (k * c, List.filter_map (fun (t, c') -> if k * c' = 0 then None else Some (t, k * c')) ts)
+
+let rec linearize (e : Ast.expr) : int * (Ast.expr * int) list =
+  match e with
+  | Int_lit n -> (n, [])
+  | Bin (Add, a, b) -> merge_lin (linearize a) (linearize b)
+  | Bin (Sub, a, b) -> merge_lin (linearize a) (scale_lin (-1) (linearize b))
+  | Bin (Mul, Int_lit k, b) -> scale_lin k (linearize b)
+  | Bin (Mul, a, Int_lit k) -> scale_lin k (linearize a)
+  | Un (Neg, a) -> scale_lin (-1) (linearize a)
+  | e -> (0, [ (e, 1) ])
+
+let const_difference e1 e2 : int option =
+  match merge_lin (linearize e1) (scale_lin (-1) (linearize e2)) with
+  | c, [] -> Some c
+  | _ -> None
+
+(* Conservative cross-iteration dependence test on arrays, with
+   constant-distance disambiguation: two references with the same stride
+   whose bases differ by a constant not divisible by the stride can never
+   touch the same element. *)
+let check_dependences ~loop_var ~varying (body : Ast.block) =
+  let accesses = collect_accesses body in
+  let classify a = classify_subscript ~loop_var ~varying a.sub in
+  let disjoint_or_same ~stride b1 b2 ~allow_same =
+    match const_difference b1 b2 with
+    | Some 0 -> allow_same
+    | Some c -> c mod abs stride <> 0 (* never the same element *)
+    | None -> false
+  in
+  List.iter
+    (fun w ->
+      if w.is_write then begin
+        (match classify w with
+        | Sub_complex ->
+            fail "store to %s with non-affine subscript (assert with pragma simd)" w.array
+        | Sub_invariant ->
+            fail "store to %s at a loop-invariant address" w.array
+        | Sub_affine (0, _) ->
+            fail "store to %s at a loop-invariant address" w.array
+        | Sub_affine _ -> ());
+        List.iter
+          (fun other ->
+            if other.array = w.array && not (other == w) then
+              match (classify w, classify other) with
+              | Sub_affine (k, b1), Sub_affine (k', b2)
+                when k = k'
+                     && disjoint_or_same ~stride:k b1 b2
+                          ~allow_same:(not other.is_write || other.sub = w.sub) -> ()
+              | _ ->
+                  fail
+                    "possible loop-carried dependence on %s (assert with pragma simd)"
+                    w.array)
+          accesses
+      end)
+    accesses
+
+(* Main entry: decide whether [loop] can be vectorized and produce the
+   codegen plan. [force] corresponds to [pragma simd]: it skips the
+   dependence test but never the mechanical requirements. *)
+let vectorize_plan ~force (loop : Ast.for_loop) : plan =
+  if loop.step <> 1 then fail "only unit-step loops are vectorized";
+  check_mechanics ~in_if:false loop.body;
+  let scalars = classify_scalars loop.body in
+  let varying = assigned_in_block loop.body in
+  (* stores at loop-invariant addresses break even forced vectorization *)
+  if not force then check_dependences ~loop_var:loop.index ~varying loop.body;
+  ignore
+    (List.map
+       (fun (a : array_access) ->
+         if a.is_write then
+           match classify_subscript ~loop_var:loop.index ~varying a.sub with
+           | Sub_invariant | Sub_affine (0, _) ->
+               fail "store to %s at a loop-invariant address" a.array
+           | _ -> ()
+         else ())
+       (collect_accesses loop.body));
+  { scalars }
+
+(* Parallelization shares the scalar analysis: every assigned scalar in the
+   parallel body must be private or a reduction. *)
+let parallel_plan (loop : Ast.for_loop) : plan =
+  { scalars = classify_scalars loop.body }

@@ -1,0 +1,74 @@
+(** Loop analysis for the auto-vectorizer (and the parallelizer's scalar
+    privatization): subscript classification, scalar dependence classes,
+    reduction recognition, constant-distance array dependence testing, and
+    the vectorization legality decision.
+
+    The analysis is deliberately that of a *traditional* compiler:
+    subscripts must be affine in the loop variable to use wide memory
+    operations; loop-carried dependences are rejected conservatively unless
+    the programmer asserts independence with [pragma simd]; scalars must be
+    loop-invariant, privatizable, or recognizable sum/min/max reductions. *)
+
+module S : Set.S with type elt = string
+
+type red_kind = Rsum | Rmin | Rmax
+
+type scalar_class =
+  | Invariant  (** read-only in the loop body *)
+  | Private  (** defined before use on every iteration *)
+  | Reduction of red_kind
+
+type subscript =
+  | Sub_invariant  (** same address every iteration *)
+  | Sub_affine of int * Ast.expr  (** [stride * i + base], base invariant *)
+  | Sub_complex  (** data-dependent: gather/scatter territory *)
+
+type plan = { scalars : (string * scalar_class) list }
+(** Classification of every scalar assigned in the loop body. *)
+
+exception Not_vectorizable of string
+
+val red_kind_name : red_kind -> string
+
+(** {1 Syntactic helpers} *)
+
+val mentions : string -> Ast.expr -> bool
+val mentions_any : S.t -> Ast.expr -> bool
+val has_index : Ast.expr -> bool
+val scalar_reads : Ast.expr -> S.t
+val assigned_in_block : Ast.block -> S.t
+
+(** {1 Classification} *)
+
+val classify_subscript : loop_var:string -> varying:S.t -> Ast.expr -> subscript
+(** How a subscript moves as [loop_var] advances; a base mentioning any
+    scalar in [varying] (assigned in the body) forces the gather path. *)
+
+val reduction_of_assign : string -> Ast.expr -> red_kind option
+(** Recognize [v = v + e] / [v = v - e] / [v = fminf(v, e)] /
+    [v = fmaxf(v, e)] (commuted forms included) with [v] not in [e]. *)
+
+val classify_scalars : Ast.block -> (string * scalar_class) list
+(** Classify every assigned scalar; raises {!Not_vectorizable} for
+    unrecognized loop-carried scalar dependences. *)
+
+val const_difference : Ast.expr -> Ast.expr -> int option
+(** Symbolic difference of two int expressions when all non-constant terms
+    cancel — the engine of the constant-distance dependence test. *)
+
+type array_access = { array : string; sub : Ast.expr; is_write : bool }
+
+val collect_accesses : Ast.block -> array_access list
+
+(** {1 Legality} *)
+
+val vectorize_plan : force:bool -> Ast.for_loop -> plan
+(** Decide vectorizability and produce the codegen plan. [force]
+    corresponds to [pragma simd]: it skips the array dependence test but
+    never the mechanical requirements (no inner loops, no declarations in
+    branches, classifiable scalars).
+    @raise Not_vectorizable with the reason otherwise. *)
+
+val parallel_plan : Ast.for_loop -> plan
+(** Scalar classification for a [pragma parallel] loop (privatization and
+    reduction detection). @raise Not_vectorizable *)

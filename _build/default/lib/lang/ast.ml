@@ -1,0 +1,190 @@
+(* Abstract syntax of "Cee", the small C-like kernel language that the
+   benchmarks' naive and algorithmically-improved variants are written in.
+
+   The language is deliberately restricted to what a traditional compiler
+   reasons about well:
+   - one kernel per compilation unit, with scalar and 1-D array parameters;
+   - structured statements only;
+   - [for] loops in the canonical form
+       [for (i = e0; i < e1; i = i + c)]  with [c] a positive constant;
+   - OpenMP-style annotations: [pragma parallel] requests threading of the
+     next for loop, [pragma simd] asserts it is safe to vectorize. *)
+
+type ty = Tint | Tfloat | Tarr_int | Tarr_float
+
+type binop =
+  | Add | Sub | Mul | Div | Mod (* Mod is integer-only *)
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr (* a[e] *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list (* math intrinsics and casts *)
+
+type pragma = Parallel | Simd
+
+type stmt =
+  | Decl of string * ty * expr option
+  | Assign of string * expr
+  | Store of string * expr * expr (* a[e1] = e2 *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of for_loop
+
+and for_loop = {
+  index : string;
+  init : expr;
+  limit : expr; (* exclusive: i < limit *)
+  step : int; (* positive constant *)
+  pragmas : pragma list;
+  body : block;
+}
+
+and block = stmt list
+
+type kernel = { kname : string; params : (string * ty) list; body : block }
+
+(* The math intrinsics the language knows, with their arities. [rsqrtf] is
+   the explicit fast reciprocal square root ("-ffast-math by hand"). *)
+let intrinsics =
+  [ ("sqrtf", 1); ("rsqrtf", 1); ("expf", 1); ("logf", 1); ("fabsf", 1);
+    ("floorf", 1); ("fminf", 2); ("fmaxf", 2); ("float", 1); ("int", 1) ]
+
+let ty_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tarr_int -> "int[]"
+  | Tarr_float -> "float[]"
+
+let is_array = function Tarr_int | Tarr_float -> true | Tint | Tfloat -> false
+
+let elt_ty = function
+  | Tarr_int -> Tint
+  | Tarr_float -> Tfloat
+  | t -> invalid_arg ("Ast.elt_ty: not an array type: " ^ ty_name t)
+
+(* ------------------------------------------------------------------ *)
+(* Size metrics (programming-effort proxies for experiment T2)         *)
+
+let rec expr_nodes = function
+  | Int_lit _ | Float_lit _ | Var _ -> 1
+  | Index (_, e) -> 1 + expr_nodes e
+  | Bin (_, a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Un (_, a) -> 1 + expr_nodes a
+  | Call (_, args) -> 1 + List.fold_left (fun acc e -> acc + expr_nodes e) 0 args
+
+let rec stmt_nodes = function
+  | Decl (_, _, None) -> 1
+  | Decl (_, _, Some e) -> 1 + expr_nodes e
+  | Assign (_, e) -> 1 + expr_nodes e
+  | Store (_, i, e) -> 1 + expr_nodes i + expr_nodes e
+  | If (c, t, e) -> 1 + expr_nodes c + block_nodes t + block_nodes e
+  | While (c, b) -> 1 + expr_nodes c + block_nodes b
+  | For { init; limit; body; _ } ->
+      1 + expr_nodes init + expr_nodes limit + block_nodes body
+
+and block_nodes b = List.fold_left (fun acc s -> acc + stmt_nodes s) 0 b
+
+let kernel_nodes k = block_nodes k.body
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing back to concrete syntax                             *)
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Int_lit n -> Fmt.int ppf n
+  | Float_lit x ->
+      (* decimal form that our own lexer can read back *)
+      if Float.is_integer x && Float.abs x < 1e15 then Fmt.pf ppf "%.1f" x
+      else Fmt.pf ppf "%.17g" x
+  | Var v -> Fmt.string ppf v
+  | Index (a, e) -> Fmt.pf ppf "%s[%a]" a pp_expr e
+  | Bin (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Un (Neg, a) -> Fmt.pf ppf "(-%a)" pp_expr a
+  | Un (Not, a) -> Fmt.pf ppf "(!%a)" pp_expr a
+  | Call (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_expr) args
+
+let rec pp_stmt indent ppf stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Decl (v, ty, None) -> Fmt.pf ppf "%svar %s : %s;@." pad v (ty_name ty)
+  | Decl (v, ty, Some e) ->
+      Fmt.pf ppf "%svar %s : %s = %a;@." pad v (ty_name ty) pp_expr e
+  | Assign (v, e) -> Fmt.pf ppf "%s%s = %a;@." pad v pp_expr e
+  | Store (a, i, e) -> Fmt.pf ppf "%s%s[%a] = %a;@." pad a pp_expr i pp_expr e
+  | If (c, t, []) ->
+      Fmt.pf ppf "%sif (%a) {@.%a%s}@." pad pp_expr c (pp_block (indent + 2)) t pad
+  | If (c, t, e) ->
+      Fmt.pf ppf "%sif (%a) {@.%a%s} else {@.%a%s}@." pad pp_expr c
+        (pp_block (indent + 2)) t pad (pp_block (indent + 2)) e pad
+  | While (c, b) ->
+      Fmt.pf ppf "%swhile (%a) {@.%a%s}@." pad pp_expr c (pp_block (indent + 2)) b pad
+  | For { index; init; limit; step; pragmas; body } ->
+      List.iter
+        (fun p ->
+          Fmt.pf ppf "%spragma %s@." pad
+            (match p with Parallel -> "parallel" | Simd -> "simd"))
+        pragmas;
+      Fmt.pf ppf "%sfor (%s = %a; %s < %a; %s = %s + %d) {@.%a%s}@." pad index
+        pp_expr init index pp_expr limit index index step
+        (pp_block (indent + 2)) body pad
+
+and pp_block indent ppf b = List.iter (pp_stmt indent ppf) b
+
+let pp_kernel ppf k =
+  Fmt.pf ppf "kernel %s(%a) {@.%a}@." k.kname
+    Fmt.(list ~sep:comma (fun ppf (n, t) -> Fmt.pf ppf "%s : %s" n (ty_name t)))
+    k.params (pp_block 2) k.body
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding (and the fast-math rewrite)                        *)
+
+let rec fold_expr (e : expr) : expr =
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> e
+  | Index (a, i) -> Index (a, fold_expr i)
+  | Un (op, a) -> (
+      match (op, fold_expr a) with
+      | Neg, Int_lit n -> Int_lit (-n)
+      | Neg, Float_lit x -> Float_lit (-.x)
+      | op, a -> Un (op, a))
+  | Call (f, args) -> Call (f, List.map fold_expr args)
+  | Bin (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (op, a, b) with
+      | Add, Int_lit x, Int_lit y -> Int_lit (x + y)
+      | Sub, Int_lit x, Int_lit y -> Int_lit (x - y)
+      | Mul, Int_lit x, Int_lit y -> Int_lit (x * y)
+      | Div, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x / y)
+      | Mod, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x mod y)
+      | Add, Float_lit x, Float_lit y -> Float_lit (x +. y)
+      | Sub, Float_lit x, Float_lit y -> Float_lit (x -. y)
+      | Mul, Float_lit x, Float_lit y -> Float_lit (x *. y)
+      | Div, Float_lit x, Float_lit y -> Float_lit (x /. y)
+      | Add, e, Int_lit 0 | Add, Int_lit 0, e -> e
+      | Sub, e, Int_lit 0 -> e
+      | Mul, e, Int_lit 1 | Mul, Int_lit 1, e -> e
+      | op, a, b -> Bin (op, a, b))
+
+let rec fold_block (b : block) : block = List.map fold_stmt b
+
+and fold_stmt (s : stmt) : stmt =
+  match s with
+  | Decl (v, ty, init) -> Decl (v, ty, Option.map fold_expr init)
+  | Assign (v, e) -> Assign (v, fold_expr e)
+  | Store (a, i, e) -> Store (a, fold_expr i, fold_expr e)
+  | If (c, t, e) -> If (fold_expr c, fold_block t, fold_block e)
+  | While (c, b) -> While (fold_expr c, fold_block b)
+  | For f -> For { f with init = fold_expr f.init; limit = fold_expr f.limit; body = fold_block f.body }
+

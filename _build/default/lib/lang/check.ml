@@ -1,0 +1,136 @@
+(* Type checking for Cee. The language is strict about numeric types: there
+   are no implicit int/float conversions (use the [float]/[int] casts), so
+   every expression has exactly one type, which the vectorizer and code
+   generator recompute with [type_of_expr]. Conditions are C-style ints. *)
+
+exception Type_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+module Env = Map.Make (String)
+
+type env = Ast.ty Env.t
+
+let intrinsic_sig name : Ast.ty list * Ast.ty =
+  match name with
+  | "sqrtf" | "rsqrtf" | "expf" | "logf" | "fabsf" | "floorf" ->
+      ([ Ast.Tfloat ], Ast.Tfloat)
+  | "fminf" | "fmaxf" -> ([ Ast.Tfloat; Ast.Tfloat ], Ast.Tfloat)
+  | "float" -> ([ Ast.Tint ], Ast.Tfloat)
+  | "int" -> ([ Ast.Tfloat ], Ast.Tint)
+  | _ -> err "unknown function %s" name
+
+let rec type_of_expr (env : env) (e : Ast.expr) : Ast.ty =
+  match e with
+  | Int_lit _ -> Tint
+  | Float_lit _ -> Tfloat
+  | Var v -> (
+      match Env.find_opt v env with
+      | Some ty ->
+          if Ast.is_array ty then err "array %s used as a scalar" v else ty
+      | None -> err "unbound variable %s" v)
+  | Index (a, i) -> (
+      (match type_of_expr env i with
+      | Tint -> ()
+      | t -> err "subscript of %s has type %s, expected int" a (Ast.ty_name t));
+      match Env.find_opt a env with
+      | Some ty when Ast.is_array ty -> Ast.elt_ty ty
+      | Some ty -> err "%s has type %s and cannot be indexed" a (Ast.ty_name ty)
+      | None -> err "unbound array %s" a)
+  | Bin (op, a, b) -> (
+      let ta = type_of_expr env a and tb = type_of_expr env b in
+      if ta <> tb then
+        err "operands of %s have different types (%s vs %s)" (Ast.binop_name op)
+          (Ast.ty_name ta) (Ast.ty_name tb);
+      match op with
+      | Add | Sub | Mul | Div -> ta
+      | Mod -> if ta = Tint then Tint else err "%% requires int operands"
+      | Lt | Le | Gt | Ge | Eq | Ne -> Tint
+      | And | Or ->
+          if ta = Tint then Tint else err "&&/|| require int (condition) operands")
+  | Un (Neg, a) -> type_of_expr env a
+  | Un (Not, a) ->
+      if type_of_expr env a = Tint then Tint else err "! requires an int operand"
+  | Call (f, args) ->
+      let arg_tys, ret = intrinsic_sig f in
+      if List.length args <> List.length arg_tys then
+        err "%s expects %d argument(s)" f (List.length arg_tys);
+      List.iteri
+        (fun i (want, arg) ->
+          let got = type_of_expr env arg in
+          if got <> want then
+            err "argument %d of %s has type %s, expected %s" (i + 1) f
+              (Ast.ty_name got) (Ast.ty_name want))
+        (List.combine arg_tys args);
+      ret
+
+let rec check_block env (b : Ast.block) =
+  match b with
+  | [] -> ()
+  | stmt :: rest ->
+      let env' = check_stmt env stmt in
+      check_block env' rest
+
+and check_stmt env (stmt : Ast.stmt) : env =
+  match stmt with
+  | Decl (v, ty, init) ->
+      if Ast.is_array ty then err "local arrays are not supported (%s)" v;
+      (match init with
+      | None -> ()
+      | Some e ->
+          let t = type_of_expr env e in
+          if t <> ty then
+            err "initializer of %s has type %s, expected %s" v (Ast.ty_name t)
+              (Ast.ty_name ty));
+      Env.add v ty env
+  | Assign (v, e) -> (
+      match Env.find_opt v env with
+      | None -> err "assignment to unbound variable %s" v
+      | Some ty when Ast.is_array ty -> err "cannot assign to array %s" v
+      | Some ty ->
+          let t = type_of_expr env e in
+          if t <> ty then
+            err "assignment to %s : %s from expression of type %s" v
+              (Ast.ty_name ty) (Ast.ty_name t);
+          env)
+  | Store (a, i, e) -> (
+      match Env.find_opt a env with
+      | Some ty when Ast.is_array ty ->
+          (match type_of_expr env i with
+          | Tint -> ()
+          | t -> err "subscript of %s has type %s, expected int" a (Ast.ty_name t));
+          let want = Ast.elt_ty ty in
+          let got = type_of_expr env e in
+          if got <> want then
+            err "store to %s of type %s, expected %s" a (Ast.ty_name got)
+              (Ast.ty_name want);
+          env
+      | Some ty -> err "%s has type %s and cannot be indexed" a (Ast.ty_name ty)
+      | None -> err "unbound array %s" a)
+  | If (c, t, e) ->
+      if type_of_expr env c <> Tint then err "if condition must be int";
+      check_block env t;
+      check_block env e;
+      env
+  | While (c, b) ->
+      if type_of_expr env c <> Tint then err "while condition must be int";
+      check_block env b;
+      env
+  | For { index; init; limit; body; _ } ->
+      (match Env.find_opt index env with
+      | Some Tint -> ()
+      | Some t -> err "loop variable %s has type %s, expected int" index (Ast.ty_name t)
+      | None -> err "loop variable %s must be declared before the loop" index);
+      if type_of_expr env init <> Tint then err "loop bound of %s must be int" index;
+      if type_of_expr env limit <> Tint then err "loop limit of %s must be int" index;
+      check_block env body;
+      env
+
+let initial_env (k : Ast.kernel) =
+  List.fold_left
+    (fun env (name, ty) ->
+      if Env.mem name env then err "duplicate parameter %s" name;
+      Env.add name ty env)
+    Env.empty k.params
+
+let check_kernel (k : Ast.kernel) = check_block (initial_env k) k.body

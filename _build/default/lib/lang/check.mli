@@ -1,0 +1,21 @@
+(** Type checking for Cee. The language has no implicit int/float
+    conversions (use the [float]/[int] casts), so every expression has
+    exactly one type — recomputed later by the vectorizer and code
+    generator through {!type_of_expr}. Conditions are C-style ints. *)
+
+exception Type_error of string
+
+module Env : Map.S with type key = string
+
+type env = Ast.ty Env.t
+
+val type_of_expr : env -> Ast.expr -> Ast.ty
+(** @raise Type_error on ill-typed expressions or unbound names. *)
+
+val check_block : env -> Ast.block -> unit
+
+val initial_env : Ast.kernel -> env
+(** Parameter bindings (rejects duplicates). *)
+
+val check_kernel : Ast.kernel -> unit
+(** Check a whole kernel. @raise Type_error *)

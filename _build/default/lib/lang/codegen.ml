@@ -1,0 +1,1530 @@
+(* Code generation from Cee to the vector ISA.
+
+   The generator models a traditional optimizing compiler:
+   - scalar code: one virtual register per variable, constant folding,
+     optional FMA contraction and fast-math rsqrt rewriting;
+   - auto-vectorization of innermost for loops (strip-mined main loop +
+     scalar remainder), with if-conversion to masks, unit-stride /
+     strided / gather memory classification, and sum/min/max reductions;
+   - parallelization of top-level [pragma parallel] loops into SPMD [Par]
+     phases with static chunking, privatization, and reduction combining.
+
+   Cross-phase scalar state lives in hidden spill buffers ([__env_i] /
+   [__env_f]); per-thread reduction partials in [__red_i] / [__red_f]; and
+   scalar kernel parameters are passed in one-element [__p_<name>] buffers.
+   The kernel driver (lib/kernels) binds these automatically. *)
+
+open Ninja_vm
+
+exception Compile_error of string
+
+let cerr fmt = Fmt.kstr (fun s -> raise (Compile_error s)) fmt
+
+type flags = {
+  vectorize : bool; (* auto-vectorizer + pragma simd honored *)
+  parallelize : bool; (* pragma parallel honored *)
+  fast_math : bool; (* 1/sqrtf(x) -> rsqrtf, as icc -fp-model fast *)
+  fma : bool; (* contract a*b+c on FMA machines *)
+}
+
+let o2 = { vectorize = false; parallelize = false; fast_math = false; fma = false }
+let o2_vec = { o2 with vectorize = true; fast_math = true }
+let o2_vec_par = { o2_vec with parallelize = true }
+
+let flags_name f =
+  match (f.vectorize, f.parallelize) with
+  | false, false -> "O2"
+  | true, false -> "O2+vec"
+  | false, true -> "O2+par"
+  | true, true -> "O2+vec+par"
+
+type vec_outcome = Vectorized | Scalar of string
+
+type result = {
+  program : Isa.program;
+  (* vectorization report: one entry per candidate loop, innermost first *)
+  vec_report : (string * vec_outcome) list;
+}
+
+(* Limits for the hidden buffers (checked at compile time, bound by the
+   kernel driver). *)
+let max_env_slots = 256
+let max_threads = 64
+let max_reductions = 16
+
+(* Constant folding lives in {!Ast.fold_expr} so that the dependence
+   analysis can reuse it. *)
+let fold_block = Ast.fold_block
+
+(* ------------------------------------------------------------------ *)
+(* Compilation context                                                 *)
+
+type binding =
+  | Bint of Isa.si_reg
+  | Bfloat of Isa.sf_reg
+  | Barray of Isa.buf * Ast.ty
+
+type ctx = {
+  flags : flags;
+  mutable si_next : int;
+  mutable sf_next : int;
+  mutable vf_next : int;
+  mutable vi_next : int;
+  mutable vm_next : int;
+  mutable code : Isa.stmt list; (* current block, reversed *)
+  mutable buffers : Isa.buffer_decl list; (* reversed *)
+  mutable report : (string * vec_outcome) list; (* reversed *)
+  (* top-level scalars that must survive phase transitions:
+     (binding, env slot within its type's spill buffer) *)
+  mutable spill : (binding * int) list;
+  (* pointer-chasing detection: scalars whose value (data- or
+     control-)depends on a load; loads whose address mentions one are
+     emitted with [chain = true] so the timing model charges their miss
+     latency without memory-level-parallelism discount *)
+  mutable tainted : Analysis.S.t;
+  mutable control_taint : bool;
+  mutable env_i_slots : int;
+  mutable env_f_slots : int;
+  mutable red_slots : int; (* reduction groups allocated so far *)
+  env_i : Isa.buf;
+  env_f : Isa.buf;
+  red_i : Isa.buf;
+  red_f : Isa.buf;
+}
+
+let fresh_si ctx = let r = ctx.si_next in ctx.si_next <- r + 1; Isa.Si r
+let fresh_sf ctx = let r = ctx.sf_next in ctx.sf_next <- r + 1; Isa.Sf r
+let fresh_vf ctx = let r = ctx.vf_next in ctx.vf_next <- r + 1; Isa.Vf r
+let fresh_vi ctx = let r = ctx.vi_next in ctx.vi_next <- r + 1; Isa.Vi r
+let fresh_vm ctx = let r = ctx.vm_next in ctx.vm_next <- r + 1; Isa.Vm r
+
+let instr ctx i = ctx.code <- Isa.I i :: ctx.code
+let stmt ctx s = ctx.code <- s :: ctx.code
+
+(* Build a sub-block with the same context. *)
+let in_block ctx f =
+  let saved = ctx.code in
+  ctx.code <- [];
+  f ();
+  let b = List.rev ctx.code in
+  ctx.code <- saved;
+  b
+
+let iconst ctx n =
+  let r = fresh_si ctx in
+  instr ctx (Iconst (r, n));
+  r
+
+let fconst ctx x =
+  let r = fresh_sf ctx in
+  instr ctx (Fconst (r, x));
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Environments                                                        *)
+
+type env = (string * binding) list
+
+let lookup env v =
+  match List.assoc_opt v env with
+  | Some b -> b
+  | None -> cerr "unbound variable %s (checker should have caught this)" v
+
+let lookup_int env v =
+  match lookup env v with
+  | Bint r -> r
+  | _ -> cerr "%s is not an int variable" v
+
+let lookup_array env a =
+  match lookup env a with
+  | Barray (b, ty) -> (b, ty)
+  | _ -> cerr "%s is not an array" a
+
+let ty_env env : Check.env =
+  List.fold_left
+    (fun m (name, b) ->
+      let ty : Ast.ty =
+        match b with
+        | Bint _ -> Tint
+        | Bfloat _ -> Tfloat
+        | Barray (_, ty) -> ty
+      in
+      (* first binding (most recent) wins *)
+      if Check.Env.mem name m then m else Check.Env.add name ty m)
+    Check.Env.empty env
+
+let type_of ctx env e =
+  ignore ctx;
+  Check.type_of_expr (ty_env env) e
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expression compilation                                       *)
+
+let subscript_chains (sub : Ast.expr) = Analysis.has_index sub
+
+(* chain flag for scalar loads: the subscript embeds another load, or
+   mentions a load-tainted scalar (see [ctx.tainted]) *)
+let scalar_chain ctx (sub : Ast.expr) =
+  Analysis.has_index sub || Analysis.mentions_any ctx.tainted sub
+
+let taints ctx (e : Ast.expr) =
+  ctx.control_taint || Analysis.has_index e || Analysis.mentions_any ctx.tainted e
+
+let note_assign_taint ctx v (e : Ast.expr) =
+  if taints ctx e then ctx.tainted <- Analysis.S.add v ctx.tainted
+  else ctx.tainted <- Analysis.S.remove v ctx.tainted
+
+let rec expr_i ctx env (e : Ast.expr) : Isa.si_reg =
+  match e with
+  | Int_lit n -> iconst ctx n
+  | Var v -> lookup_int env v
+  | Index (a, sub) ->
+      let buf, _ = lookup_array env a in
+      let idx = expr_i ctx env sub in
+      let dst = fresh_si ctx in
+      instr ctx (Loadi { dst; buf; idx; chain = scalar_chain ctx sub });
+      dst
+  | Un (Neg, a) ->
+      let ra = expr_i ctx env a in
+      let zero = iconst ctx 0 in
+      let dst = fresh_si ctx in
+      instr ctx (Ibin (Isub, dst, zero, ra));
+      dst
+  | Un (Not, a) ->
+      let ra = expr_i ctx env a in
+      let zero = iconst ctx 0 in
+      let dst = fresh_si ctx in
+      instr ctx (Icmp (Ceq, dst, ra, zero));
+      dst
+  | Call ("int", [ a ]) ->
+      let ra = expr_f ctx env a in
+      let dst = fresh_si ctx in
+      instr ctx (Ioff (dst, ra));
+      dst
+  | Call (f, _) -> cerr "call to %s does not produce an int" f
+  | Float_lit _ -> cerr "float literal in int context"
+  | Bin (op, a, b) -> (
+      let cmp_like (c : Isa.cmp) =
+        match type_of ctx env a with
+        | Tfloat ->
+            let ra = expr_f ctx env a and rb = expr_f ctx env b in
+            let dst = fresh_si ctx in
+            instr ctx (Fcmp (c, dst, ra, rb));
+            dst
+        | _ ->
+            let ra = expr_i ctx env a and rb = expr_i ctx env b in
+            let dst = fresh_si ctx in
+            instr ctx (Icmp (c, dst, ra, rb));
+            dst
+      in
+      let arith (op : Isa.ibin) =
+        let ra = expr_i ctx env a and rb = expr_i ctx env b in
+        let dst = fresh_si ctx in
+        instr ctx (Ibin (op, dst, ra, rb));
+        dst
+      in
+      let logical (op : Isa.ibin) =
+        (* normalize both sides to 0/1 and combine bitwise *)
+        let norm e =
+          let r = expr_i ctx env e in
+          let zero = iconst ctx 0 in
+          let d = fresh_si ctx in
+          instr ctx (Icmp (Cne, d, r, zero));
+          d
+        in
+        let ra = norm a in
+        let rb = norm b in
+        let dst = fresh_si ctx in
+        instr ctx (Ibin (op, dst, ra, rb));
+        dst
+      in
+      match op with
+      | Add -> arith Iadd
+      | Sub -> arith Isub
+      | Mul -> arith Imul
+      | Div -> arith Idiv
+      | Mod -> arith Imod
+      | Lt -> cmp_like Clt
+      | Le -> cmp_like Cle
+      | Gt -> cmp_like Cgt
+      | Ge -> cmp_like Cge
+      | Eq -> cmp_like Ceq
+      | Ne -> cmp_like Cne
+      | And -> logical Iand
+      | Or -> logical Ior)
+
+and expr_f ctx env (e : Ast.expr) : Isa.sf_reg =
+  match e with
+  | Float_lit x -> fconst ctx x
+  | Var v -> (
+      match lookup env v with
+      | Bfloat r -> r
+      | _ -> cerr "%s is not a float variable" v)
+  | Index (a, sub) ->
+      let buf, _ = lookup_array env a in
+      let idx = expr_i ctx env sub in
+      let dst = fresh_sf ctx in
+      instr ctx (Loadf { dst; buf; idx; chain = scalar_chain ctx sub });
+      dst
+  | Un (Neg, a) ->
+      let ra = expr_f ctx env a in
+      let dst = fresh_sf ctx in
+      instr ctx (Funop (Fneg, dst, ra));
+      dst
+  | Un (Not, _) -> cerr "! in float context"
+  | Int_lit _ -> cerr "int literal in float context (use float())"
+  (* fast-math: 1.0 / sqrtf(x) becomes the rsqrt approximation *)
+  | Bin (Div, Float_lit 1.0, Call ("sqrtf", [ x ])) when ctx.flags.fast_math ->
+      let rx = expr_f ctx env x in
+      let dst = fresh_sf ctx in
+      instr ctx (Funop (Frsqrt, dst, rx));
+      dst
+  (* FMA contraction *)
+  | Bin (Add, Bin (Mul, a, b), c) when ctx.flags.fma ->
+      let ra = expr_f ctx env a and rb = expr_f ctx env b and rc = expr_f ctx env c in
+      let dst = fresh_sf ctx in
+      instr ctx (Fma (dst, ra, rb, rc));
+      dst
+  | Bin (Add, c, Bin (Mul, a, b)) when ctx.flags.fma ->
+      let ra = expr_f ctx env a and rb = expr_f ctx env b and rc = expr_f ctx env c in
+      let dst = fresh_sf ctx in
+      instr ctx (Fma (dst, ra, rb, rc));
+      dst
+  | Bin (op, a, b) ->
+      let fb : Isa.fbin =
+        match op with
+        | Add -> Fadd | Sub -> Fsub | Mul -> Fmul | Div -> Fdiv
+        | _ -> cerr "operator %s in float context" (Ast.binop_name op)
+      in
+      let ra = expr_f ctx env a and rb = expr_f ctx env b in
+      let dst = fresh_sf ctx in
+      instr ctx (Fbin (fb, dst, ra, rb));
+      dst
+  | Call ("float", [ a ]) ->
+      let ra = expr_i ctx env a in
+      let dst = fresh_sf ctx in
+      instr ctx (Fofi (dst, ra));
+      dst
+  | Call ("fminf", [ a; b ]) ->
+      let ra = expr_f ctx env a and rb = expr_f ctx env b in
+      let dst = fresh_sf ctx in
+      instr ctx (Fbin (Fmin, dst, ra, rb));
+      dst
+  | Call ("fmaxf", [ a; b ]) ->
+      let ra = expr_f ctx env a and rb = expr_f ctx env b in
+      let dst = fresh_sf ctx in
+      instr ctx (Fbin (Fmax, dst, ra, rb));
+      dst
+  | Call (f, [ a ]) ->
+      let un : Isa.funop =
+        match f with
+        | "sqrtf" -> Fsqrt
+        | "rsqrtf" -> Frsqrt
+        | "expf" -> Fexp
+        | "logf" -> Flog
+        | "fabsf" -> Fabs
+        | "floorf" -> Ffloor
+        | _ -> cerr "unknown float function %s" f
+      in
+      let ra = expr_f ctx env a in
+      let dst = fresh_sf ctx in
+      instr ctx (Funop (un, dst, ra));
+      dst
+  | Call (f, _) -> cerr "bad arity for %s" f
+
+(* ------------------------------------------------------------------ *)
+(* Vector expression compilation                                       *)
+
+(* Vector compilation environment for one vectorized loop body. *)
+type vctx = {
+  c : ctx;
+  env : env; (* scalar bindings visible around the loop *)
+  loop_var : string;
+  i_scalar : Isa.si_reg; (* current base iteration (lane 0) *)
+  vi_lanes : Isa.vi_reg; (* broadcast(i) + iota, refreshed per iteration *)
+  varying : Analysis.S.t; (* scalars assigned in the body *)
+  mutable vbind : (string * vbinding) list; (* lane-valued bindings *)
+  (* loop-invariant code motion: constant and invariant-scalar broadcasts
+     are emitted once in the loop preheader and cached here *)
+  mutable pre : Isa.instr list; (* preheader, reversed *)
+  mutable lit_f : (float * Isa.vf_reg) list;
+  mutable lit_i : (int * Isa.vi_reg) list;
+  mutable inv_f : (string * Isa.vf_reg) list;
+  mutable inv_i : (string * Isa.vi_reg) list;
+  stored_arrays : Analysis.S.t; (* arrays written in the body (alias barrier) *)
+  mutable inv_load_f : ((string * Ast.expr) * Isa.vf_reg) list;
+  mutable inv_load_i : ((string * Ast.expr) * Isa.vi_reg) list;
+  mutable inv_base : (Ast.expr * Isa.si_reg) list; (* hoisted subscript bases *)
+}
+
+and vbinding = Vint of Isa.vi_reg | Vfloat of Isa.vf_reg
+
+let vlookup vc v = List.assoc_opt v vc.vbind
+
+let pre_emit vc i = vc.pre <- i :: vc.pre
+
+(* broadcast of a float literal, hoisted to the preheader *)
+let vlit_f vc x =
+  match List.assoc_opt x vc.lit_f with
+  | Some r -> r
+  | None ->
+      let ctx = vc.c in
+      let s = fresh_sf ctx in
+      pre_emit vc (Fconst (s, x));
+      let r = fresh_vf ctx in
+      pre_emit vc (Vbroadcastf (r, s));
+      vc.lit_f <- (x, r) :: vc.lit_f;
+      r
+
+let vlit_i vc n =
+  match List.assoc_opt n vc.lit_i with
+  | Some r -> r
+  | None ->
+      let ctx = vc.c in
+      let s = fresh_si ctx in
+      pre_emit vc (Iconst (s, n));
+      let r = fresh_vi ctx in
+      pre_emit vc (Vbroadcasti (r, s));
+      vc.lit_i <- (n, r) :: vc.lit_i;
+      r
+
+(* broadcast of a loop-invariant scalar variable, hoisted to the preheader *)
+let vinv_f vc v reg =
+  match List.assoc_opt v vc.inv_f with
+  | Some r -> r
+  | None ->
+      let r = fresh_vf vc.c in
+      pre_emit vc (Vbroadcastf (r, reg));
+      vc.inv_f <- (v, r) :: vc.inv_f;
+      r
+
+let vinv_i vc v reg =
+  match List.assoc_opt v vc.inv_i with
+  | Some r -> r
+  | None ->
+      let r = fresh_vi vc.c in
+      pre_emit vc (Vbroadcasti (r, reg));
+      vc.inv_i <- (v, r) :: vc.inv_i;
+      r
+
+(* Classify a subscript relative to the vectorized loop. *)
+let vsubscript vc sub = Analysis.classify_subscript ~loop_var:vc.loop_var ~varying:vc.varying sub
+
+let rec vexpr_i vc (e : Ast.expr) : Isa.vi_reg =
+  let ctx = vc.c in
+  match e with
+  | Var v when v = vc.loop_var -> vc.vi_lanes
+  | Var v -> (
+      match vlookup vc v with
+      | Some (Vint r) -> r
+      | Some (Vfloat _) -> cerr "%s is not an int variable" v
+      | None ->
+          (* loop-invariant scalar: broadcast hoisted to the preheader *)
+          vinv_i vc v (lookup_int vc.env v))
+  | Int_lit n -> vlit_i vc n
+  | Float_lit _ -> cerr "float literal in int context"
+  | Un (Neg, a) ->
+      let ra = vexpr_i vc a in
+      let zero = vlit_i vc 0 in
+      let dst = fresh_vi ctx in
+      instr ctx (Vibin (Isub, dst, zero, ra));
+      dst
+  | Un (Not, a) ->
+      let m = vexpr_m vc a in
+      let notm = fresh_vm ctx in
+      instr ctx (Mnot (notm, m));
+      mask_to_int vc notm
+  | Call ("int", [ a ]) ->
+      let ra = vexpr_f vc a in
+      let dst = fresh_vi ctx in
+      instr ctx (Vioff (dst, ra));
+      dst
+  | Call (f, _) -> cerr "call to %s does not produce an int" f
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) ->
+      let m = vexpr_m vc e in
+      mask_to_int vc m
+  | Bin (op, a, b) ->
+      let ib : Isa.ibin =
+        match op with
+        | Add -> Iadd | Sub -> Isub | Mul -> Imul | Div -> Idiv | Mod -> Imod
+        | _ -> assert false
+      in
+      let ra = vexpr_i vc a and rb = vexpr_i vc b in
+      let dst = fresh_vi ctx in
+      instr ctx (Vibin (ib, dst, ra, rb));
+      dst
+  | Index (a, sub) -> vload_int vc ~array:a ~sub ~mask:None
+
+and mask_to_int vc m =
+  let ctx = vc.c in
+  let ones = vlit_i vc 1 in
+  let zeros = vlit_i vc 0 in
+  let dst = fresh_vi ctx in
+  instr ctx (Vselecti (dst, m, ones, zeros));
+  dst
+
+(* Expression typing inside a vector body: body-local (lane-valued)
+   bindings shadow the surrounding scalar environment. *)
+and vtype_of vc (e : Ast.expr) : Ast.ty =
+  let base = ty_env vc.env in
+  let tenv =
+    List.fold_left
+      (fun m (name, b) ->
+        let ty : Ast.ty = match b with Vint _ -> Tint | Vfloat _ -> Tfloat in
+        Check.Env.add name ty m)
+      base vc.vbind
+  in
+  let tenv = Check.Env.add vc.loop_var Ast.Tint tenv in
+  Check.type_of_expr tenv e
+
+and vexpr_m vc (e : Ast.expr) : Isa.vm_reg =
+  let ctx = vc.c in
+  match e with
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne) as op, a, b) -> (
+      let c : Isa.cmp =
+        match op with
+        | Lt -> Clt | Le -> Cle | Gt -> Cgt | Ge -> Cge | Eq -> Ceq | Ne -> Cne
+        | _ -> assert false
+      in
+      match vtype_of vc a with
+      | Tfloat ->
+          let ra = vexpr_f vc a and rb = vexpr_f vc b in
+          let dst = fresh_vm ctx in
+          instr ctx (Vfcmp (c, dst, ra, rb));
+          dst
+      | _ ->
+          let ra = vexpr_i vc a and rb = vexpr_i vc b in
+          let dst = fresh_vm ctx in
+          instr ctx (Vicmp (c, dst, ra, rb));
+          dst)
+  | Bin (And, a, b) ->
+      let ma = vexpr_m vc a and mb = vexpr_m vc b in
+      let dst = fresh_vm ctx in
+      instr ctx (Mand (dst, ma, mb));
+      dst
+  | Bin (Or, a, b) ->
+      let ma = vexpr_m vc a and mb = vexpr_m vc b in
+      let dst = fresh_vm ctx in
+      instr ctx (Mor (dst, ma, mb));
+      dst
+  | Un (Not, a) ->
+      let ma = vexpr_m vc a in
+      let dst = fresh_vm ctx in
+      instr ctx (Mnot (dst, ma));
+      dst
+  | e ->
+      (* arbitrary int expression as condition: <> 0 *)
+      let ra = vexpr_i vc e in
+      let zeros = vlit_i vc 0 in
+      let dst = fresh_vm ctx in
+      instr ctx (Vicmp (Cne, dst, ra, zeros));
+      dst
+
+and vector_indices vc ~stride ~base_idx =
+  (* per-lane element indices: base_idx + iota * stride *)
+  let ctx = vc.c in
+  let iota = fresh_vi ctx in
+  instr ctx (Viota iota);
+  let sreg = iconst ctx stride in
+  let vs = fresh_vi ctx in
+  instr ctx (Vbroadcasti (vs, sreg));
+  let scaled = fresh_vi ctx in
+  instr ctx (Vibin (Imul, scaled, iota, vs));
+  let vbase = fresh_vi ctx in
+  instr ctx (Vbroadcasti (vbase, base_idx));
+  let idx = fresh_vi ctx in
+  instr ctx (Vibin (Iadd, idx, vbase, scaled));
+  idx
+
+(* Scalar index of lane 0 for an affine subscript [stride * i + base]. The
+   base is loop-invariant by construction, so its computation is hoisted to
+   the preheader (strength reduction of addressing). *)
+and affine_lane0 vc ~stride ~base =
+  let ctx = vc.c in
+  let base_r =
+    match List.assoc_opt base vc.inv_base with
+    | Some r -> r
+    | None ->
+        let saved = ctx.code in
+        ctx.code <- [];
+        let r = expr_i ctx vc.env base in
+        let pre_code = ctx.code in
+        ctx.code <- saved;
+        List.iter
+          (fun st -> match st with Isa.I i -> pre_emit vc i | _ -> assert false)
+          (List.rev pre_code);
+        vc.inv_base <- (base, r) :: vc.inv_base;
+        r
+  in
+  if stride = 1 then begin
+    let dst = fresh_si ctx in
+    instr ctx (Ibin (Iadd, dst, vc.i_scalar, base_r));
+    dst
+  end
+  else begin
+    let k = iconst ctx stride in
+    let scaled = fresh_si ctx in
+    instr ctx (Ibin (Imul, scaled, vc.i_scalar, k));
+    let dst = fresh_si ctx in
+    instr ctx (Ibin (Iadd, dst, scaled, base_r));
+    dst
+  end
+
+and vload_float vc ~array ~sub ~mask : Isa.vf_reg =
+  let ctx = vc.c in
+  let buf, _ = lookup_array vc.env array in
+  let dst = fresh_vf ctx in
+  (match vsubscript vc sub with
+  | Sub_invariant when not (Analysis.S.mem array vc.stored_arrays) -> (
+      (* loop-invariant load from a read-only array: hoist to the preheader
+         (load once, broadcast once) *)
+      match List.assoc_opt (array, sub) vc.inv_load_f with
+      | Some r -> instr ctx (Vmovf (dst, r))
+      | None ->
+          let saved = ctx.code in
+          ctx.code <- [];
+          let idx = expr_i ctx vc.env sub in
+          let pre_code = ctx.code in
+          ctx.code <- saved;
+          List.iter (fun st -> match st with Isa.I i -> pre_emit vc i | _ -> assert false)
+            (List.rev pre_code);
+          let s = fresh_sf ctx in
+          pre_emit vc (Loadf { dst = s; buf; idx; chain = subscript_chains sub });
+          let r = fresh_vf ctx in
+          pre_emit vc (Vbroadcastf (r, s));
+          vc.inv_load_f <- ((array, sub), r) :: vc.inv_load_f;
+          instr ctx (Vmovf (dst, r)))
+  | Sub_invariant ->
+      let idx = expr_i ctx vc.env sub in
+      let s = fresh_sf ctx in
+      instr ctx (Loadf { dst = s; buf; idx; chain = subscript_chains sub });
+      instr ctx (Vbroadcastf (dst, s))
+  | Sub_affine (1, base) ->
+      let idx = affine_lane0 vc ~stride:1 ~base in
+      instr ctx (Vloadf { dst; buf; idx; mask })
+  | Sub_affine (k, base) when mask = None ->
+      let idx = affine_lane0 vc ~stride:k ~base in
+      let stride = iconst ctx k in
+      instr ctx (Vloadf_strided { dst; buf; idx; stride })
+  | Sub_affine (k, base) ->
+      (* masked strided access: fall back to a gather *)
+      let base_idx = affine_lane0 vc ~stride:k ~base in
+      let idx = vector_indices vc ~stride:k ~base_idx in
+      instr ctx (Vgatherf { dst; buf; idx; mask; chain = false })
+  | Sub_complex ->
+      let idx = vexpr_i vc sub in
+      (* per-lane addresses are independent: lanes supply the MLP *)
+      instr ctx (Vgatherf { dst; buf; idx; mask; chain = false }));
+  dst
+
+and vload_int vc ~array ~sub ~mask : Isa.vi_reg =
+  let ctx = vc.c in
+  let buf, _ = lookup_array vc.env array in
+  let dst = fresh_vi ctx in
+  (match vsubscript vc sub with
+  | Sub_invariant when not (Analysis.S.mem array vc.stored_arrays) -> (
+      match List.assoc_opt (array, sub) vc.inv_load_i with
+      | Some r -> instr ctx (Vmovi (dst, r))
+      | None ->
+          let saved = ctx.code in
+          ctx.code <- [];
+          let idx = expr_i ctx vc.env sub in
+          let pre_code = ctx.code in
+          ctx.code <- saved;
+          List.iter (fun st -> match st with Isa.I i -> pre_emit vc i | _ -> assert false)
+            (List.rev pre_code);
+          let s = fresh_si ctx in
+          pre_emit vc (Loadi { dst = s; buf; idx; chain = subscript_chains sub });
+          let r = fresh_vi ctx in
+          pre_emit vc (Vbroadcasti (r, s));
+          vc.inv_load_i <- ((array, sub), r) :: vc.inv_load_i;
+          instr ctx (Vmovi (dst, r)))
+  | Sub_invariant ->
+      let idx = expr_i ctx vc.env sub in
+      let s = fresh_si ctx in
+      instr ctx (Loadi { dst = s; buf; idx; chain = subscript_chains sub });
+      instr ctx (Vbroadcasti (dst, s))
+  | Sub_affine (1, base) ->
+      let idx = affine_lane0 vc ~stride:1 ~base in
+      instr ctx (Vloadi { dst; buf; idx; mask })
+  | Sub_affine (k, base) ->
+      let base_idx = affine_lane0 vc ~stride:k ~base in
+      let idx = vector_indices vc ~stride:k ~base_idx in
+      instr ctx (Vgatheri { dst; buf; idx; mask; chain = false })
+  | Sub_complex ->
+      let idx = vexpr_i vc sub in
+      instr ctx (Vgatheri { dst; buf; idx; mask; chain = false }));
+  dst
+
+and vexpr_f vc (e : Ast.expr) : Isa.vf_reg =
+  let ctx = vc.c in
+  match e with
+  | Var v -> (
+      match vlookup vc v with
+      | Some (Vfloat r) -> r
+      | Some (Vint _) -> cerr "%s is not a float variable" v
+      | None ->
+          let r =
+            match lookup vc.env v with
+            | Bfloat r -> r
+            | _ -> cerr "%s is not a float variable" v
+          in
+          vinv_f vc v r)
+  | Float_lit x -> vlit_f vc x
+  | Int_lit _ -> cerr "int literal in float context (use float())"
+  | Un (Neg, a) ->
+      let ra = vexpr_f vc a in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfunop (Fneg, dst, ra));
+      dst
+  | Un (Not, _) -> cerr "! in float context"
+  | Bin (Div, Float_lit 1.0, Call ("sqrtf", [ x ])) when vc.c.flags.fast_math ->
+      let rx = vexpr_f vc x in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfunop (Frsqrt, dst, rx));
+      dst
+  | Bin (Add, Bin (Mul, a, b), c) when vc.c.flags.fma ->
+      let ra = vexpr_f vc a and rb = vexpr_f vc b and rc = vexpr_f vc c in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfma (dst, ra, rb, rc));
+      dst
+  | Bin (Add, c, Bin (Mul, a, b)) when vc.c.flags.fma ->
+      let ra = vexpr_f vc a and rb = vexpr_f vc b and rc = vexpr_f vc c in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfma (dst, ra, rb, rc));
+      dst
+  | Bin (op, a, b) ->
+      let fb : Isa.fbin =
+        match op with
+        | Add -> Fadd | Sub -> Fsub | Mul -> Fmul | Div -> Fdiv
+        | _ -> cerr "operator %s in float context" (Ast.binop_name op)
+      in
+      let ra = vexpr_f vc a and rb = vexpr_f vc b in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfbin (fb, dst, ra, rb));
+      dst
+  | Call ("float", [ a ]) ->
+      let ra = vexpr_i vc a in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfofi (dst, ra));
+      dst
+  | Call ("fminf", [ a; b ]) ->
+      let ra = vexpr_f vc a and rb = vexpr_f vc b in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfbin (Fmin, dst, ra, rb));
+      dst
+  | Call ("fmaxf", [ a; b ]) ->
+      let ra = vexpr_f vc a and rb = vexpr_f vc b in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfbin (Fmax, dst, ra, rb));
+      dst
+  | Call (f, [ a ]) ->
+      let un : Isa.funop =
+        match f with
+        | "sqrtf" -> Fsqrt
+        | "rsqrtf" -> Frsqrt
+        | "expf" -> Fexp
+        | "logf" -> Flog
+        | "fabsf" -> Fabs
+        | "floorf" -> Ffloor
+        | _ -> cerr "unknown float function %s" f
+      in
+      let ra = vexpr_f vc a in
+      let dst = fresh_vf ctx in
+      instr ctx (Vfunop (un, dst, ra));
+      dst
+  | Call (f, _) -> cerr "bad arity for %s" f
+  | Index (a, sub) -> vload_float vc ~array:a ~sub ~mask:None
+
+(* ------------------------------------------------------------------ *)
+(* Vector statement compilation (with if-conversion)                   *)
+
+let isa_red : Analysis.red_kind -> Isa.red = function
+  | Rsum -> Rsum
+  | Rmin -> Rmin
+  | Rmax -> Rmax
+
+(* neutral elements for reduction accumulators *)
+let neutral_f : Analysis.red_kind -> float = function
+  | Rsum -> 0.
+  | Rmin -> infinity
+  | Rmax -> neg_infinity
+
+let neutral_i : Analysis.red_kind -> int = function
+  | Rsum -> 0
+  | Rmin -> max_int
+  | Rmax -> min_int
+
+(* Split a recognized reduction assignment [v = v (+) e] into the operator
+   and the contributed expression. Must stay in sync with
+   {!Analysis.reduction_of_assign}. *)
+let reduction_rhs v (rhs : Ast.expr) : [ `Add | `Sub | `Min | `Max ] * Ast.expr =
+  match rhs with
+  | Bin (Add, Var x, e) when x = v -> (`Add, e)
+  | Bin (Add, e, Var x) when x = v -> (`Add, e)
+  | Bin (Sub, Var x, e) when x = v -> (`Sub, e)
+  | Call ("fminf", [ Var x; e ]) when x = v -> (`Min, e)
+  | Call ("fminf", [ e; Var x ]) when x = v -> (`Min, e)
+  | Call ("fmaxf", [ Var x; e ]) when x = v -> (`Max, e)
+  | Call ("fmaxf", [ e; Var x ]) when x = v -> (`Max, e)
+  | _ -> cerr "assignment to %s is not a reduction update" v
+
+type vloop_state = {
+  vc : vctx;
+  mutable cur_mask : Isa.vm_reg option;
+  (* reduction accumulators: var -> (kind, acc binding) *)
+  reductions : (string * (Analysis.red_kind * vbinding)) list;
+}
+
+let combine_mask vs m =
+  match vs.cur_mask with
+  | None -> m
+  | Some outer ->
+      let ctx = vs.vc.c in
+      let dst = fresh_vm ctx in
+      instr ctx (Mand (dst, outer, m));
+      dst
+
+(* Register coalescing: a move into a variable can be elided by binding the
+   variable directly to the right-hand side's register — but only when that
+   register is private to this expression (not a cached broadcast, another
+   variable's register, or the lane-index vector). *)
+let shared_vf vc (r : Isa.vf_reg) =
+  List.exists (fun (_, b) -> match b with Vfloat x -> x = r | Vint _ -> false) vc.vbind
+  || List.exists (fun (_, x) -> x = r) vc.lit_f
+  || List.exists (fun (_, x) -> x = r) vc.inv_f
+  || List.exists (fun (_, x) -> x = r) vc.inv_load_f
+
+let shared_vi vc (r : Isa.vi_reg) =
+  vc.vi_lanes = r
+  || List.exists (fun (_, b) -> match b with Vint x -> x = r | Vfloat _ -> false) vc.vbind
+  || List.exists (fun (_, x) -> x = r) vc.lit_i
+  || List.exists (fun (_, x) -> x = r) vc.inv_i
+  || List.exists (fun (_, x) -> x = r) vc.inv_load_i
+
+let rec compile_vstmt vs (s : Ast.stmt) =
+  let vc = vs.vc in
+  let ctx = vc.c in
+  match s with
+  | Decl (v, ty, init) ->
+      let b =
+        match ty with
+        | Tfloat -> (
+            match init with
+            | Some e ->
+                let ve = vexpr_f vc e in
+                if shared_vf vc ve then begin
+                  let r = fresh_vf ctx in
+                  instr ctx (Vmovf (r, ve));
+                  Vfloat r
+                end
+                else Vfloat ve
+            | None -> Vfloat (fresh_vf ctx))
+        | Tint -> (
+            match init with
+            | Some e ->
+                let ve = vexpr_i vc e in
+                if shared_vi vc ve then begin
+                  let r = fresh_vi ctx in
+                  instr ctx (Vmovi (r, ve));
+                  Vint r
+                end
+                else Vint ve
+            | None -> Vint (fresh_vi ctx))
+        | _ -> cerr "array declaration in vector body"
+      in
+      vc.vbind <- (v, b) :: vc.vbind
+  | Assign (v, rhs) -> (
+      match List.assoc_opt v vs.reductions with
+      | Some (_kind, acc) -> compile_vreduction vs v acc rhs
+      | None -> compile_vassign vs v rhs)
+  | Store (a, sub, rhs) -> compile_vstore vs ~array:a ~sub ~rhs
+  | If (c, t, e) ->
+      let mc = vexpr_m vc c in
+      let m_then = combine_mask vs mc in
+      let saved = vs.cur_mask in
+      vs.cur_mask <- Some m_then;
+      List.iter (compile_vstmt vs) t;
+      (if e <> [] then begin
+         let notc = fresh_vm ctx in
+         instr ctx (Mnot (notc, mc));
+         let m_else = match saved with
+           | None -> notc
+           | Some outer ->
+               let dst = fresh_vm ctx in
+               instr ctx (Mand (dst, outer, notc));
+               dst
+         in
+         vs.cur_mask <- Some m_else;
+         List.iter (compile_vstmt vs) e
+       end);
+      vs.cur_mask <- saved
+  | While _ | For _ -> cerr "loop inside vectorized body (analysis bug)"
+
+and compile_vassign vs v rhs =
+  let vc = vs.vc in
+  let ctx = vc.c in
+  let ty =
+    match vlookup vc v with
+    | Some (Vfloat _) -> Ast.Tfloat
+    | Some (Vint _) -> Ast.Tint
+    | None -> type_of ctx vc.env (Ast.Var v)
+  in
+  match ty with
+  | Tfloat ->
+      let ve = vexpr_f vc rhs in
+      (match (vs.cur_mask, vlookup vc v) with
+      | None, _ when not (shared_vf vc ve) ->
+          (* rebind: the move coalesces away *)
+          vc.vbind <- (v, Vfloat ve) :: List.remove_assoc v vc.vbind
+      | None, Some (Vfloat target) -> instr ctx (Vmovf (target, ve))
+      | None, (Some (Vint _) | None) ->
+          let r = fresh_vf ctx in
+          instr ctx (Vmovf (r, ve));
+          vc.vbind <- (v, Vfloat r) :: List.remove_assoc v vc.vbind
+      | Some m, Some (Vfloat target) -> instr ctx (Vselectf (target, m, ve, target))
+      | Some m, (Some (Vint _) | None) ->
+          let r = fresh_vf ctx in
+          instr ctx (Vselectf (r, m, ve, r));
+          vc.vbind <- (v, Vfloat r) :: List.remove_assoc v vc.vbind)
+  | Tint ->
+      let ve = vexpr_i vc rhs in
+      (match (vs.cur_mask, vlookup vc v) with
+      | None, _ when not (shared_vi vc ve) ->
+          vc.vbind <- (v, Vint ve) :: List.remove_assoc v vc.vbind
+      | None, Some (Vint target) -> instr ctx (Vmovi (target, ve))
+      | None, (Some (Vfloat _) | None) ->
+          let r = fresh_vi ctx in
+          instr ctx (Vmovi (r, ve));
+          vc.vbind <- (v, Vint r) :: List.remove_assoc v vc.vbind
+      | Some m, Some (Vint target) -> instr ctx (Vselecti (target, m, ve, target))
+      | Some m, (Some (Vfloat _) | None) ->
+          let r = fresh_vi ctx in
+          instr ctx (Vselecti (r, m, ve, r));
+          vc.vbind <- (v, Vint r) :: List.remove_assoc v vc.vbind)
+  | _ -> cerr "assignment to array %s" v
+
+and compile_vreduction vs v acc rhs =
+  let vc = vs.vc in
+  let ctx = vc.c in
+  let op, e = reduction_rhs v rhs in
+  match acc with
+  | Vfloat accr ->
+      let ve = vexpr_f vc e in
+      let combined = fresh_vf ctx in
+      (match op with
+      | `Add -> instr ctx (Vfbin (Fadd, combined, accr, ve))
+      | `Sub -> instr ctx (Vfbin (Fsub, combined, accr, ve))
+      | `Min -> instr ctx (Vfbin (Fmin, combined, accr, ve))
+      | `Max -> instr ctx (Vfbin (Fmax, combined, accr, ve)));
+      (match vs.cur_mask with
+      | None -> instr ctx (Vmovf (accr, combined))
+      | Some m -> instr ctx (Vselectf (accr, m, combined, accr)))
+  | Vint accr ->
+      let ve = vexpr_i vc e in
+      let combined = fresh_vi ctx in
+      (match op with
+      | `Add -> instr ctx (Vibin (Iadd, combined, accr, ve))
+      | `Sub -> instr ctx (Vibin (Isub, combined, accr, ve))
+      | `Min -> instr ctx (Vibin (Imin, combined, accr, ve))
+      | `Max -> instr ctx (Vibin (Imax, combined, accr, ve)));
+      (match vs.cur_mask with
+      | None -> instr ctx (Vmovi (accr, combined))
+      | Some m -> instr ctx (Vselecti (accr, m, combined, accr)))
+
+and compile_vstore vs ~array ~sub ~rhs =
+  let vc = vs.vc in
+  let ctx = vc.c in
+  let buf, aty = lookup_array vc.env array in
+  let mask = vs.cur_mask in
+  match Ast.elt_ty aty with
+  | Tfloat -> (
+      let ve = vexpr_f vc rhs in
+      match vsubscript vc sub with
+      | Sub_affine (1, base) ->
+          let idx = affine_lane0 vc ~stride:1 ~base in
+          instr ctx (Vstoref { buf; idx; src = ve; mask })
+      | Sub_affine (k, base) when mask = None ->
+          let idx = affine_lane0 vc ~stride:k ~base in
+          let stride = iconst ctx k in
+          instr ctx (Vstoref_strided { buf; idx; stride; src = ve })
+      | Sub_affine (k, base) ->
+          let base_idx = affine_lane0 vc ~stride:k ~base in
+          let idx = vector_indices vc ~stride:k ~base_idx in
+          instr ctx (Vscatterf { buf; idx; src = ve; mask })
+      | Sub_invariant | Sub_complex ->
+          let idx = vexpr_i vc sub in
+          instr ctx (Vscatterf { buf; idx; src = ve; mask }))
+  | Tint -> (
+      let ve = vexpr_i vc rhs in
+      match vsubscript vc sub with
+      | Sub_affine (1, base) ->
+          let idx = affine_lane0 vc ~stride:1 ~base in
+          instr ctx (Vstorei { buf; idx; src = ve; mask })
+      | Sub_affine (k, base) ->
+          let base_idx = affine_lane0 vc ~stride:k ~base in
+          let idx = vector_indices vc ~stride:k ~base_idx in
+          instr ctx (Vscatteri { buf; idx; src = ve; mask })
+      | Sub_invariant | Sub_complex ->
+          let idx = vexpr_i vc sub in
+          instr ctx (Vscatteri { buf; idx; src = ve; mask }))
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Scalar statement compilation and the vectorized-loop driver         *)
+
+(* Human-readable loop label for the vectorization report. *)
+let loop_label (loop : Ast.for_loop) =
+  Fmt.str "for(%s=%a;%s<%a)" loop.index Ast.pp_expr loop.init loop.index
+    Ast.pp_expr loop.limit
+
+(* Abstract taint-only walk of a block (no code emitted): used as a
+   pre-pass before compiling loop bodies so that loop-carried pointer
+   chasing (node = f(load); ...; load a[node] on the next iteration) is
+   visible to the chain analysis. *)
+let rec taint_prepass ctx (b : Ast.block) =
+  List.iter
+    (fun (st : Ast.stmt) ->
+      match st with
+      | Decl (v, _, Some e) | Assign (v, e) -> note_assign_taint ctx v e
+      | Decl (_, _, None) | Store _ -> ()
+      | If (c, t, e) ->
+          let saved = ctx.control_taint in
+          ctx.control_taint <- saved || taints ctx c;
+          taint_prepass ctx t;
+          taint_prepass ctx e;
+          ctx.control_taint <- saved
+      | While (c, body) ->
+          let saved = ctx.control_taint in
+          ctx.control_taint <- saved || taints ctx c;
+          taint_prepass ctx body;
+          taint_prepass ctx body;
+          ctx.control_taint <- saved
+      | For { body; _ } ->
+          taint_prepass ctx body;
+          taint_prepass ctx body)
+    b
+
+let rec compile_block ctx env (b : Ast.block) : unit =
+  ignore (List.fold_left (fun env s -> compile_stmt ctx env s) env b)
+
+and compile_stmt ctx env (s : Ast.stmt) : env =
+  match s with
+  | Decl (v, ty, init) -> (
+      (match init with
+      | Some e -> note_assign_taint ctx v e
+      | None -> ());
+      match ty with
+      | Tint ->
+          let r = fresh_si ctx in
+          (match init with
+          | Some e ->
+              let re = expr_i ctx env e in
+              instr ctx (Imov (r, re))
+          | None -> ());
+          (v, Bint r) :: env
+      | Tfloat ->
+          let r = fresh_sf ctx in
+          (match init with
+          | Some e ->
+              let re = expr_f ctx env e in
+              instr ctx (Fmov (r, re))
+          | None -> ());
+          (v, Bfloat r) :: env
+      | _ -> cerr "local arrays are not supported")
+  | Assign (v, e) -> (
+      note_assign_taint ctx v e;
+      (match lookup env v with
+      | Bint r ->
+          let re = expr_i ctx env e in
+          instr ctx (Imov (r, re))
+      | Bfloat r ->
+          let re = expr_f ctx env e in
+          instr ctx (Fmov (r, re))
+      | Barray _ -> cerr "cannot assign to array %s" v);
+      env)
+  | Store (a, sub, e) ->
+      let buf, aty = lookup_array env a in
+      let idx = expr_i ctx env sub in
+      (match Ast.elt_ty aty with
+      | Tfloat ->
+          let src = expr_f ctx env e in
+          instr ctx (Storef { buf; idx; src })
+      | Tint ->
+          let src = expr_i ctx env e in
+          instr ctx (Storei { buf; idx; src })
+      | _ -> assert false);
+      env
+  | If (c, t, e) ->
+      let rc = expr_i ctx env c in
+      let saved = ctx.control_taint in
+      ctx.control_taint <- saved || taints ctx c;
+      let then_ = in_block ctx (fun () -> compile_block ctx env t) in
+      let else_ = in_block ctx (fun () -> compile_block ctx env e) in
+      ctx.control_taint <- saved;
+      stmt ctx (Isa.If { cond = rc; then_; else_ });
+      env
+  | While (c, b) ->
+      let cond = fresh_si ctx in
+      let cond_block =
+        in_block ctx (fun () ->
+            let rc = expr_i ctx env c in
+            instr ctx (Imov (cond, rc)))
+      in
+      let saved = ctx.control_taint in
+      ctx.control_taint <- saved || taints ctx c;
+      let body = in_block ctx (fun () -> compile_block ctx env b) in
+      ctx.control_taint <- saved;
+      stmt ctx (Isa.While { cond_block; cond; body });
+      env
+  | For loop ->
+      if List.mem Ast.Parallel loop.pragmas && ctx.flags.parallelize then
+        cerr "pragma parallel is only supported on top-level loops";
+      compile_for ctx env loop;
+      env
+
+(* A for loop inside a phase: try the vectorizer first, fall back to the
+   scalar loop (recording why), recursing into the body either way. *)
+and compile_for ctx env (loop : Ast.for_loop) : unit =
+  let label = loop_label loop in
+  if ctx.flags.vectorize then begin
+    let force = List.mem Ast.Simd loop.pragmas in
+    (* cost model: refuse short constant-trip loops unless forced *)
+    let short_trip =
+      match (loop.init, loop.limit) with
+      | Ast.Int_lit lo, Ast.Int_lit hi -> hi - lo < 8
+      | _ -> false
+    in
+    if short_trip && not force then begin
+      ctx.report <- (label, Scalar "trip count too small to profit") :: ctx.report;
+      compile_scalar_for ctx env loop
+    end
+    else
+    match Analysis.vectorize_plan ~force loop with
+    | plan ->
+        ctx.report <- (label, Vectorized) :: ctx.report;
+        compile_vector_loop ctx env loop plan
+    | exception Analysis.Not_vectorizable reason ->
+        if force then
+          cerr "pragma simd on loop %s cannot be honored: %s" label reason;
+        ctx.report <- (label, Scalar reason) :: ctx.report;
+        compile_scalar_for ctx env loop
+  end
+  else compile_scalar_for ctx env loop
+
+and compile_scalar_for ctx env (loop : Ast.for_loop) : unit =
+  let idx = lookup_int env loop.index in
+  let lo = expr_i ctx env loop.init in
+  let hi = expr_i ctx env loop.limit in
+  let step = iconst ctx loop.step in
+  (* two abstract passes reach the taint fixpoint for loop-carried chains *)
+  taint_prepass ctx loop.body;
+  taint_prepass ctx loop.body;
+  let body = in_block ctx (fun () -> compile_block ctx env loop.body) in
+  stmt ctx (Isa.For { idx; lo; hi; step; body })
+
+(* Strip-mined vector loop + scalar remainder. *)
+and compile_vector_loop ctx env (loop : Ast.for_loop) (plan : Analysis.plan) : unit =
+  let i_reg = lookup_int env loop.index in
+  let lo = expr_i ctx env loop.init in
+  let hi = expr_i ctx env loop.limit in
+  let w = Isa.vector_width_reg in
+  (* main_hi = lo + max(hi - lo, 0) / w * w *)
+  let len = fresh_si ctx in
+  instr ctx (Ibin (Isub, len, hi, lo));
+  let zero = iconst ctx 0 in
+  let len_pos = fresh_si ctx in
+  instr ctx (Ibin (Imax, len_pos, len, zero));
+  let q = fresh_si ctx in
+  instr ctx (Ibin (Idiv, q, len_pos, w));
+  let main_len = fresh_si ctx in
+  instr ctx (Ibin (Imul, main_len, q, w));
+  let main_hi = fresh_si ctx in
+  instr ctx (Ibin (Iadd, main_hi, lo, main_len));
+  (* reduction accumulators *)
+  let reductions =
+    List.filter_map
+      (fun (v, cls) ->
+        match (cls : Analysis.scalar_class) with
+        | Reduction kind -> (
+            match lookup env v with
+            | Bfloat _ ->
+                let acc = fresh_vf ctx in
+                let n = fconst ctx (neutral_f kind) in
+                instr ctx (Vbroadcastf (acc, n));
+                Some (v, (kind, Vfloat acc))
+            | Bint _ ->
+                let acc = fresh_vi ctx in
+                let n = iconst ctx (neutral_i kind) in
+                instr ctx (Vbroadcasti (acc, n));
+                Some (v, (kind, Vint acc))
+            | Barray _ -> cerr "array %s cannot be a reduction" v)
+        | Invariant | Private -> None)
+      plan.scalars
+  in
+  (* vector main loop; constant/invariant broadcasts collected during body
+     compilation land in the preheader (loop-invariant code motion) *)
+  let lanes = fresh_vi ctx in
+  let vc =
+    {
+      c = ctx;
+      env;
+      loop_var = loop.index;
+      i_scalar = i_reg;
+      vi_lanes = lanes;
+      varying = Analysis.assigned_in_block loop.body;
+      vbind = [];
+      pre = [];
+      lit_f = [];
+      lit_i = [];
+      inv_f = [];
+      inv_i = [];
+      stored_arrays =
+        List.fold_left
+          (fun acc (a : Analysis.array_access) ->
+            if a.is_write then Analysis.S.add a.array acc else acc)
+          Analysis.S.empty
+          (Analysis.collect_accesses loop.body);
+      inv_load_f = [];
+      inv_load_i = [];
+      inv_base = [];
+    }
+  in
+  let body =
+    in_block ctx (fun () ->
+        (* lane indices for this iteration: i + iota *)
+        let iota = fresh_vi ctx in
+        instr ctx (Viota iota);
+        let vbase = fresh_vi ctx in
+        instr ctx (Vbroadcasti (vbase, i_reg));
+        instr ctx (Vibin (Iadd, lanes, vbase, iota));
+        let vs = { vc; cur_mask = None; reductions } in
+        List.iter (compile_vstmt vs) loop.body)
+  in
+  List.iter (instr ctx) (List.rev vc.pre);
+  stmt ctx (Isa.For { idx = i_reg; lo; hi = main_hi; step = w; body });
+  (* fold vector accumulators into the scalar reduction variables *)
+  List.iter
+    (fun (v, (kind, acc)) ->
+      match (acc, lookup env v) with
+      | Vfloat accr, Bfloat vr ->
+          let partial = fresh_sf ctx in
+          instr ctx (Vreducef (isa_red kind, partial, accr));
+          let combined = fresh_sf ctx in
+          let op : Isa.fbin =
+            match kind with Rsum -> Fadd | Rmin -> Fmin | Rmax -> Fmax
+          in
+          instr ctx (Fbin (op, combined, vr, partial));
+          instr ctx (Fmov (vr, combined))
+      | Vint accr, Bint vr ->
+          let partial = fresh_si ctx in
+          instr ctx (Vreducei (isa_red kind, partial, accr));
+          let combined = fresh_si ctx in
+          let op : Isa.ibin =
+            match kind with Rsum -> Iadd | Rmin -> Imin | Rmax -> Imax
+          in
+          instr ctx (Ibin (op, combined, vr, partial));
+          instr ctx (Imov (vr, combined))
+      | _ -> cerr "reduction variable %s changed type" v)
+    reductions;
+  (* scalar remainder loop *)
+  let one = iconst ctx 1 in
+  let rem_body = in_block ctx (fun () -> compile_block ctx env loop.body) in
+  stmt ctx (Isa.For { idx = i_reg; lo = main_hi; hi; step = one; body = rem_body })
+
+(* ------------------------------------------------------------------ *)
+(* Top level: phases, parallel loops, kernel entry                     *)
+
+let flush_seq ctx phases =
+  if ctx.code <> [] then begin
+    phases := Isa.Seq (List.rev ctx.code) :: !phases;
+    ctx.code <- []
+  end
+
+(* Spill/reload of top-level scalars around [Par] phases (registers are
+   thread-private; buffers are the only cross-thread channel). *)
+let spill_all ctx =
+  List.iter
+    (fun (b, slot) ->
+      let idx = iconst ctx slot in
+      match b with
+      | Bint r -> instr ctx (Storei { buf = ctx.env_i; idx; src = r })
+      | Bfloat r -> instr ctx (Storef { buf = ctx.env_f; idx; src = r })
+      | Barray _ -> assert false)
+    ctx.spill
+
+let reload_all ctx =
+  List.iter
+    (fun (b, slot) ->
+      let idx = iconst ctx slot in
+      match b with
+      | Bint dst -> instr ctx (Loadi { dst; buf = ctx.env_i; idx; chain = false })
+      | Bfloat dst -> instr ctx (Loadf { dst; buf = ctx.env_f; idx; chain = false })
+      | Barray _ -> assert false)
+    ctx.spill
+
+let compile_parallel_loop ctx env phases (loop : Ast.for_loop) : unit =
+  let plan =
+    try Analysis.parallel_plan loop
+    with Analysis.Not_vectorizable reason ->
+      cerr "pragma parallel on loop %s cannot be honored: %s" (loop_label loop) reason
+  in
+  (* close the current sequential phase, spilling live scalars *)
+  spill_all ctx;
+  flush_seq ctx phases;
+  (* ---- parallel phase ---- *)
+  reload_all ctx;
+  let lo = expr_i ctx env loop.init in
+  let hi = expr_i ctx env loop.limit in
+  let len = fresh_si ctx in
+  instr ctx (Ibin (Isub, len, hi, lo));
+  let zero = iconst ctx 0 in
+  let len_pos = fresh_si ctx in
+  instr ctx (Ibin (Imax, len_pos, len, zero));
+  let nt = Isa.num_threads_reg and tid = Isa.thread_id_reg in
+  let nt_m1 = fresh_si ctx in
+  let one = iconst ctx 1 in
+  instr ctx (Ibin (Isub, nt_m1, nt, one));
+  let len_round = fresh_si ctx in
+  instr ctx (Ibin (Iadd, len_round, len_pos, nt_m1));
+  let chunk = fresh_si ctx in
+  instr ctx (Ibin (Idiv, chunk, len_round, nt));
+  let off = fresh_si ctx in
+  instr ctx (Ibin (Imul, off, tid, chunk));
+  let my_lo_raw = fresh_si ctx in
+  instr ctx (Ibin (Iadd, my_lo_raw, lo, off));
+  let my_lo = fresh_si ctx in
+  instr ctx (Ibin (Imin, my_lo, my_lo_raw, hi));
+  let my_hi_raw = fresh_si ctx in
+  instr ctx (Ibin (Iadd, my_hi_raw, my_lo, chunk));
+  let my_hi = fresh_si ctx in
+  instr ctx (Ibin (Imin, my_hi, my_hi_raw, hi));
+  (* private accumulators for reductions, starting at the neutral element *)
+  let reductions =
+    List.filter_map
+      (fun (v, cls) ->
+        match (cls : Analysis.scalar_class) with
+        | Reduction kind ->
+            let slot_base = ctx.red_slots * max_threads in
+            if ctx.red_slots >= max_reductions then
+              cerr "too many parallel reductions (max %d)" max_reductions;
+            ctx.red_slots <- ctx.red_slots + 1;
+            let local : binding =
+              match lookup env v with
+              | Bfloat _ ->
+                  let r = fresh_sf ctx in
+                  instr ctx (Fconst (r, neutral_f kind));
+                  Bfloat r
+              | Bint _ ->
+                  let r = fresh_si ctx in
+                  instr ctx (Iconst (r, neutral_i kind));
+                  Bint r
+              | Barray _ -> cerr "array %s cannot be a reduction" v
+            in
+            Some (v, kind, local, slot_base)
+        | Invariant | Private -> None)
+      plan.scalars
+  in
+  let env' =
+    List.fold_left (fun env (v, _, local, _) -> (v, local) :: env) env reductions
+  in
+  let env' = ("__my_lo", Bint my_lo) :: ("__my_hi", Bint my_hi) :: env' in
+  let chunk_loop =
+    {
+      loop with
+      init = Ast.Var "__my_lo";
+      limit = Ast.Var "__my_hi";
+      pragmas = List.filter (fun p -> p <> Ast.Parallel) loop.pragmas;
+    }
+  in
+  compile_for ctx env' chunk_loop;
+  (* publish reduction partials *)
+  List.iter
+    (fun (_, _, local, slot_base) ->
+      let base = iconst ctx slot_base in
+      let idx = fresh_si ctx in
+      instr ctx (Ibin (Iadd, idx, base, tid));
+      match local with
+      | Bfloat r -> instr ctx (Storef { buf = ctx.red_f; idx; src = r })
+      | Bint r -> instr ctx (Storei { buf = ctx.red_i; idx; src = r })
+      | Barray _ -> assert false)
+    reductions;
+  phases := Isa.Par (List.rev ctx.code) :: !phases;
+  ctx.code <- [];
+  (* ---- combine phase (sequential) ---- *)
+  List.iter
+    (fun (v, kind, _, slot_base) ->
+      let t = fresh_si ctx in
+      let lo = iconst ctx 0 in
+      let one = iconst ctx 1 in
+      let body =
+        in_block ctx (fun () ->
+            let base = iconst ctx slot_base in
+            let idx = fresh_si ctx in
+            instr ctx (Ibin (Iadd, idx, base, t));
+            match lookup env v with
+            | Bfloat vr ->
+                let p = fresh_sf ctx in
+                instr ctx (Loadf { dst = p; buf = ctx.red_f; idx; chain = false });
+                let op : Isa.fbin =
+                  match (kind : Analysis.red_kind) with
+                  | Rsum -> Fadd
+                  | Rmin -> Fmin
+                  | Rmax -> Fmax
+                in
+                instr ctx (Fbin (op, vr, vr, p))
+            | Bint vr ->
+                let p = fresh_si ctx in
+                instr ctx (Loadi { dst = p; buf = ctx.red_i; idx; chain = false });
+                let op : Isa.ibin =
+                  match (kind : Analysis.red_kind) with
+                  | Rsum -> Iadd
+                  | Rmin -> Imin
+                  | Rmax -> Imax
+                in
+                instr ctx (Ibin (op, vr, vr, p))
+            | Barray _ -> assert false)
+      in
+      stmt ctx (Isa.For { idx = t; lo; hi = Isa.num_threads_reg; step = one; body }))
+    reductions
+
+let compile ~(flags : flags) (kernel : Ast.kernel) : result =
+  (match Check.check_kernel kernel with
+  | () -> ()
+  | exception Check.Type_error msg -> cerr "type error in %s: %s" kernel.kname msg);
+  let body = fold_block kernel.body in
+  (* buffer table: array params, scalar-parameter cells, spill + reduction *)
+  let array_params = List.filter (fun (_, ty) -> Ast.is_array ty) kernel.params in
+  let scalar_params = List.filter (fun (_, ty) -> not (Ast.is_array ty)) kernel.params in
+  let elt_of : Ast.ty -> Isa.elt_ty = function
+    | Tarr_float | Tfloat -> F32
+    | Tarr_int | Tint -> I32
+  in
+  let buffer_decls =
+    List.map (fun (n, ty) -> { Isa.buf_name = n; elt = elt_of ty }) array_params
+    @ List.map (fun (n, ty) -> { Isa.buf_name = "__p_" ^ n; elt = elt_of ty }) scalar_params
+    @ [ { Isa.buf_name = "__env_i"; elt = I32 };
+        { Isa.buf_name = "__env_f"; elt = F32 };
+        { Isa.buf_name = "__red_i"; elt = I32 };
+        { Isa.buf_name = "__red_f"; elt = F32 } ]
+  in
+  let buf_index name =
+    let rec go i = function
+      | [] -> assert false
+      | (d : Isa.buffer_decl) :: rest -> if d.buf_name = name then Isa.Buf i else go (i + 1) rest
+    in
+    go 0 buffer_decls
+  in
+  let ctx =
+    {
+      flags;
+      si_next = Isa.reserved_si_regs;
+      sf_next = 0;
+      vf_next = 0;
+      vi_next = 0;
+      vm_next = 0;
+      code = [];
+      buffers = buffer_decls;
+      report = [];
+      spill = [];
+      tainted = Analysis.S.empty;
+      control_taint = false;
+      env_i_slots = 0;
+      env_f_slots = 0;
+      red_slots = 0;
+      env_i = buf_index "__env_i";
+      env_f = buf_index "__env_f";
+      red_i = buf_index "__red_i";
+      red_f = buf_index "__red_f";
+    }
+  in
+  let alloc_slot ctx (b : binding) =
+    match b with
+    | Bint _ ->
+        let s = ctx.env_i_slots in
+        ctx.env_i_slots <- s + 1;
+        if s >= max_env_slots then cerr "too many top-level int scalars";
+        s
+    | Bfloat _ ->
+        let s = ctx.env_f_slots in
+        ctx.env_f_slots <- s + 1;
+        if s >= max_env_slots then cerr "too many top-level float scalars";
+        s
+    | Barray _ -> assert false
+  in
+  (* parameter bindings + prologue loads of scalar parameters *)
+  let env = ref [] in
+  List.iter
+    (fun (n, ty) -> env := (n, Barray (buf_index n, ty)) :: !env)
+    array_params;
+  List.iter
+    (fun (n, ty) ->
+      let cell = buf_index ("__p_" ^ n) in
+      let idx = iconst ctx 0 in
+      let b : binding =
+        match (ty : Ast.ty) with
+        | Tint ->
+            let r = fresh_si ctx in
+            instr ctx (Loadi { dst = r; buf = cell; idx; chain = false });
+            Bint r
+        | Tfloat ->
+            let r = fresh_sf ctx in
+            instr ctx (Loadf { dst = r; buf = cell; idx; chain = false });
+            Bfloat r
+        | _ -> assert false
+      in
+      let slot = alloc_slot ctx b in
+      ctx.spill <- (b, slot) :: ctx.spill;
+      env := (n, b) :: !env)
+    scalar_params;
+  (* top-level statement walk with phase splitting *)
+  let phases = ref [] in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Decl (v, ty, init) ->
+          let b : binding =
+            match (ty : Ast.ty) with
+            | Tint -> Bint (fresh_si ctx)
+            | Tfloat -> Bfloat (fresh_sf ctx)
+            | _ -> cerr "local arrays are not supported"
+          in
+          (match (init, b) with
+          | Some e, Bint r ->
+              let re = expr_i ctx !env e in
+              instr ctx (Imov (r, re))
+          | Some e, Bfloat r ->
+              let re = expr_f ctx !env e in
+              instr ctx (Fmov (r, re))
+          | None, _ -> ()
+          | _ -> assert false);
+          let slot = alloc_slot ctx b in
+          ctx.spill <- (b, slot) :: ctx.spill;
+          env := (v, b) :: !env
+      | For loop when List.mem Ast.Parallel loop.pragmas && flags.parallelize ->
+          compile_parallel_loop ctx !env phases loop
+      | For loop when List.mem Ast.Parallel loop.pragmas ->
+          (* threading disabled: strip the pragma and run sequentially *)
+          env :=
+            compile_stmt ctx !env
+              (For { loop with pragmas = List.filter (fun p -> p <> Ast.Parallel) loop.pragmas })
+      | s -> env := compile_stmt ctx !env s)
+    body;
+  flush_seq ctx phases;
+  let program =
+    {
+      Isa.prog_name = Fmt.str "%s [%s]" kernel.kname (flags_name flags);
+      buffers = Array.of_list buffer_decls;
+      phases = List.rev !phases;
+      regs =
+        {
+          si = ctx.si_next;
+          sf = ctx.sf_next;
+          vf = ctx.vf_next;
+          vi = ctx.vi_next;
+          vm = ctx.vm_next;
+        };
+    }
+  in
+  Isa.validate program;
+  { program; vec_report = List.rev ctx.report }

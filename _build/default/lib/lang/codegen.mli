@@ -1,0 +1,53 @@
+(** Code generation from Cee to the vector ISA, modeling a traditional
+    optimizing compiler:
+
+    - scalar code with constant folding, optional FMA contraction and the
+      fast-math [1/sqrtf(x)] → rsqrt rewrite;
+    - auto-vectorization of innermost for loops (strip-mined main loop plus
+      scalar remainder) with if-conversion to masks, unit-stride / strided /
+      gather memory classification, sum/min/max reductions, loop-invariant
+      code motion of constants, invariant loads and subscript bases, and a
+      short-trip-count profitability check;
+    - parallelization of top-level [pragma parallel] loops into SPMD [Par]
+      phases with static chunking, privatization and reduction combining;
+    - a pointer-chasing taint analysis marking dependent ([chain]) loads.
+
+    Calling convention (shared with {!Ninja_vm.Builder} programs): scalar
+    parameters live in one-element ["__p_<name>"] buffers; hidden spill and
+    reduction buffers ([__env_i]/[__env_f]/[__red_i]/[__red_f]) carry
+    scalar state across phase boundaries. The kernel driver binds them
+    automatically. *)
+
+exception Compile_error of string
+
+type flags = {
+  vectorize : bool;  (** auto-vectorizer on; [pragma simd] honored *)
+  parallelize : bool;  (** [pragma parallel] honored *)
+  fast_math : bool;  (** [1.0 / sqrtf x] becomes the rsqrt approximation *)
+  fma : bool;  (** contract [a*b + c] (set from the target machine) *)
+}
+
+val o2 : flags
+(** Plain scalar compilation — the "naive serial" baseline. *)
+
+val o2_vec : flags
+(** Auto-vectorization plus fast-math (icc-style). *)
+
+val o2_vec_par : flags
+(** Vectorization and threading — the full traditional-compiler setting. *)
+
+val flags_name : flags -> string
+
+type vec_outcome = Vectorized | Scalar of string (** reason *)
+
+type result = {
+  program : Ninja_vm.Isa.program;
+  vec_report : (string * vec_outcome) list;
+      (** one entry per candidate loop, in encounter order — the
+          "vectorization report" a traditional compiler prints *)
+}
+
+val compile : flags:flags -> Ast.kernel -> result
+(** Typecheck, fold, and compile a kernel.
+    @raise Compile_error on unsupported shapes (e.g. a non-top-level
+    [pragma parallel] loop) or an unhonorable [pragma simd]. *)

@@ -1,0 +1,135 @@
+(* Hand-written lexer for Cee. Produces a token array with line numbers for
+   error reporting. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string (* kernel var if else while for pragma parallel simd int float *)
+  | LPAREN | RPAREN | LBRACKET | RBRACKET | LBRACE | RBRACE
+  | SEMI | COLON | COMMA
+  | ASSIGN (* = *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | ANDAND | OROR | BANG
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Error of string
+
+let error ~line fmt = Fmt.kstr (fun s -> raise (Error (Fmt.str "line %d: %s" line s))) fmt
+
+let keywords =
+  [ "kernel"; "var"; "if"; "else"; "while"; "for"; "pragma"; "parallel";
+    "simd"; "int"; "float" ]
+
+let token_name = function
+  | INT n -> string_of_int n
+  | FLOAT x -> string_of_float x
+  | IDENT s -> s
+  | KW s -> s
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACKET -> "[" | RBRACKET -> "]"
+  | LBRACE -> "{" | RBRACE -> "}" | SEMI -> ";" | COLON -> ":" | COMMA -> ","
+  | ASSIGN -> "=" | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+  | PERCENT -> "%" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | EQ -> "==" | NE -> "!=" | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if c = '/' && peek 1 = '*' then begin
+      pos := !pos + 2;
+      let rec skip () =
+        if !pos + 1 >= n then error ~line:!line "unterminated comment"
+        else if src.[!pos] = '*' && peek 1 = '/' then pos := !pos + 2
+        else begin
+          if src.[!pos] = '\n' then incr line;
+          incr pos;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_digit c || (c = '.' && is_digit (peek 1)) then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      let is_float =
+        !pos < n && (src.[!pos] = '.' || src.[!pos] = 'e' || src.[!pos] = 'E')
+      in
+      if is_float then begin
+        if !pos < n && src.[!pos] = '.' then begin
+          incr pos;
+          while !pos < n && is_digit src.[!pos] do incr pos done
+        end;
+        if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+          incr pos;
+          if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+          while !pos < n && is_digit src.[!pos] do incr pos done
+        end;
+        let text = String.sub src start (!pos - start) in
+        match float_of_string_opt text with
+        | Some x -> push (FLOAT x)
+        | None -> error ~line:!line "bad float literal %S" text
+      end
+      else
+        let text = String.sub src start (!pos - start) in
+        match int_of_string_opt text with
+        | Some v -> push (INT v)
+        | None -> error ~line:!line "bad int literal %S" text
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do incr pos done;
+      let text = String.sub src start (!pos - start) in
+      if List.mem text keywords then push (KW text) else push (IDENT text)
+    end
+    else begin
+      let two tok = push tok; pos := !pos + 2 in
+      let one tok = push tok; incr pos in
+      match (c, peek 1) with
+      | '<', '=' -> two LE
+      | '>', '=' -> two GE
+      | '=', '=' -> two EQ
+      | '!', '=' -> two NE
+      | '&', '&' -> two ANDAND
+      | '|', '|' -> two OROR
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | ',', _ -> one COMMA
+      | '=', _ -> one ASSIGN
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '!', _ -> one BANG
+      | _ -> error ~line:!line "unexpected character %C" c
+    end
+  done;
+  push EOF;
+  Array.of_list (List.rev !toks)

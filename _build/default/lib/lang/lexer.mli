@@ -1,0 +1,26 @@
+(** Hand-written lexer for Cee. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | LPAREN | RPAREN | LBRACKET | RBRACKET | LBRACE | RBRACE
+  | SEMI | COLON | COMMA
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | ANDAND | OROR | BANG
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Error of string
+(** Lexical error with line number. *)
+
+val tokenize : string -> located array
+(** Tokenize a whole compilation unit; the result always ends with [EOF].
+    Handles [//] and [/* ... */] comments. *)
+
+val token_name : token -> string
+(** For error messages. *)

@@ -1,0 +1,286 @@
+(* Recursive-descent parser for Cee. See {!Ast} for the grammar the parser
+   enforces; the canonical for-loop shape is checked here so that every
+   later pass may rely on it. *)
+
+exception Error of string
+
+let error ~line fmt =
+  Fmt.kstr (fun s -> raise (Error (Fmt.str "line %d: %s" line s))) fmt
+
+type state = { toks : Lexer.located array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let line st = (cur st).line
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if (cur st).tok = tok then advance st
+  else
+    error ~line:(line st) "expected %s but found %s" (Lexer.token_name tok)
+      (Lexer.token_name (cur st).tok)
+
+let expect_ident st =
+  match (cur st).tok with
+  | IDENT s -> advance st; s
+  | t -> error ~line:(line st) "expected identifier, found %s" (Lexer.token_name t)
+
+let parse_type st : Ast.ty =
+  let base =
+    match (cur st).tok with
+    | KW "int" -> advance st; `Int
+    | KW "float" -> advance st; `Float
+    | t -> error ~line:(line st) "expected a type, found %s" (Lexer.token_name t)
+  in
+  if (cur st).tok = LBRACKET then begin
+    advance st;
+    expect st RBRACKET;
+    match base with `Int -> Tarr_int | `Float -> Tarr_float
+  end
+  else match base with `Int -> Tint | `Float -> Tfloat
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while (cur st).tok = OROR do
+    advance st;
+    lhs := Ast.Bin (Or, !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while (cur st).tok = ANDAND do
+    advance st;
+    lhs := Ast.Bin (And, !lhs, parse_cmp st)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op : Ast.binop option =
+    match (cur st).tok with
+    | LT -> Some Lt | LE -> Some Le | GT -> Some Gt | GE -> Some Ge
+    | EQ -> Some Eq | NE -> Some Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Bin (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match (cur st).tok with
+    | PLUS -> advance st; lhs := Ast.Bin (Add, !lhs, parse_mul st)
+    | MINUS -> advance st; lhs := Ast.Bin (Sub, !lhs, parse_mul st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match (cur st).tok with
+    | STAR -> advance st; lhs := Ast.Bin (Mul, !lhs, parse_unary st)
+    | SLASH -> advance st; lhs := Ast.Bin (Div, !lhs, parse_unary st)
+    | PERCENT -> advance st; lhs := Ast.Bin (Mod, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match (cur st).tok with
+  | MINUS -> (
+      advance st;
+      match parse_unary st with
+      | Ast.Int_lit n -> Ast.Int_lit (-n)
+      | Ast.Float_lit x -> Ast.Float_lit (-.x)
+      | e -> Ast.Un (Neg, e))
+  | BANG -> advance st; Ast.Un (Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_args st =
+  expect st LPAREN;
+  if (cur st).tok = RPAREN then begin advance st; [] end
+  else begin
+    let args = ref [ parse_expr st ] in
+    while (cur st).tok = COMMA do
+      advance st;
+      args := parse_expr st :: !args
+    done;
+    expect st RPAREN;
+    List.rev !args
+  end
+
+and parse_primary st =
+  match (cur st).tok with
+  | INT n -> advance st; Ast.Int_lit n
+  | FLOAT x -> advance st; Ast.Float_lit x
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | KW ("float" | "int") ->
+      (* cast syntax: float(e), int(e) *)
+      let name = match (cur st).tok with KW s -> s | _ -> assert false in
+      advance st;
+      let args = parse_args st in
+      if List.length args <> 1 then error ~line:(line st) "%s() takes one argument" name;
+      Ast.Call (name, args)
+  | IDENT name -> (
+      advance st;
+      match (cur st).tok with
+      | LPAREN ->
+          let args = parse_args st in
+          (match List.assoc_opt name Ast.intrinsics with
+          | None -> error ~line:(line st) "unknown function %s" name
+          | Some arity when List.length args <> arity ->
+              error ~line:(line st) "%s expects %d argument(s)" name arity
+          | Some _ -> Ast.Call (name, args))
+      | LBRACKET ->
+          advance st;
+          let e = parse_expr st in
+          expect st RBRACKET;
+          Ast.Index (name, e)
+      | _ -> Ast.Var name)
+  | t -> error ~line:(line st) "expected an expression, found %s" (Lexer.token_name t)
+
+let rec parse_block st : Ast.block =
+  expect st LBRACE;
+  let stmts = ref [] in
+  while (cur st).tok <> RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  advance st;
+  List.rev !stmts
+
+and parse_stmt st : Ast.stmt =
+  match (cur st).tok with
+  | KW "var" ->
+      advance st;
+      let name = expect_ident st in
+      expect st COLON;
+      let ty = parse_type st in
+      let init =
+        if (cur st).tok = ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st SEMI;
+      Decl (name, ty, init)
+  | KW "if" ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      let t = parse_block st in
+      let e =
+        if (cur st).tok = KW "else" then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      If (c, t, e)
+  | KW "while" ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      let b = parse_block st in
+      While (c, b)
+  | KW "pragma" | KW "for" -> parse_for st []
+  | IDENT name -> (
+      advance st;
+      match (cur st).tok with
+      | ASSIGN ->
+          advance st;
+          let e = parse_expr st in
+          expect st SEMI;
+          Assign (name, e)
+      | LBRACKET ->
+          advance st;
+          let i = parse_expr st in
+          expect st RBRACKET;
+          expect st ASSIGN;
+          let e = parse_expr st in
+          expect st SEMI;
+          Store (name, i, e)
+      | t ->
+          error ~line:(line st) "expected = or [ after %s, found %s" name
+            (Lexer.token_name t))
+  | t -> error ~line:(line st) "expected a statement, found %s" (Lexer.token_name t)
+
+and parse_for st pragmas : Ast.stmt =
+  match (cur st).tok with
+  | KW "pragma" ->
+      advance st;
+      let p : Ast.pragma =
+        match (cur st).tok with
+        | KW "parallel" -> advance st; Parallel
+        | KW "simd" -> advance st; Simd
+        | t -> error ~line:(line st) "unknown pragma %s" (Lexer.token_name t)
+      in
+      parse_for st (p :: pragmas)
+  | KW "for" ->
+      let l = line st in
+      advance st;
+      expect st LPAREN;
+      let index = expect_ident st in
+      expect st ASSIGN;
+      let init = parse_expr st in
+      expect st SEMI;
+      let index2 = expect_ident st in
+      if index2 <> index then error ~line:l "for condition must test loop variable %s" index;
+      expect st LT;
+      let limit = parse_expr st in
+      expect st SEMI;
+      let index3 = expect_ident st in
+      if index3 <> index then error ~line:l "for update must assign loop variable %s" index;
+      expect st ASSIGN;
+      let index4 = expect_ident st in
+      if index4 <> index then
+        error ~line:l "for update must have the form %s = %s + <const>" index index;
+      expect st PLUS;
+      let step =
+        match (cur st).tok with
+        | INT n when n > 0 -> advance st; n
+        | _ -> error ~line:l "for step must be a positive integer constant"
+      in
+      expect st RPAREN;
+      let body = parse_block st in
+      For { index; init; limit; step; pragmas = List.rev pragmas; body }
+  | t -> error ~line:(line st) "expected for after pragma, found %s" (Lexer.token_name t)
+
+let parse_kernel src : Ast.kernel =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  expect st (KW "kernel");
+  let kname = expect_ident st in
+  expect st LPAREN;
+  let params = ref [] in
+  if (cur st).tok <> RPAREN then begin
+    let parse_param () =
+      let name = expect_ident st in
+      expect st COLON;
+      let ty = parse_type st in
+      params := (name, ty) :: !params
+    in
+    parse_param ();
+    while (cur st).tok = COMMA do
+      advance st;
+      parse_param ()
+    done
+  end;
+  expect st RPAREN;
+  let body = parse_block st in
+  if (cur st).tok <> EOF then
+    error ~line:(line st) "trailing input after kernel body";
+  { kname; params = List.rev !params; body }

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for Cee. Enforces the canonical for-loop shape
+    [for (i = e0; i < e1; i = i + c)] (positive constant [c]) that every
+    later pass relies on; unary minus on literals folds at parse time so
+    pretty-printing round-trips. *)
+
+exception Error of string
+(** Syntax error with line number. *)
+
+val parse_kernel : string -> Ast.kernel
+(** Parse one [kernel name(params) { ... }] compilation unit.
+    @raise Error on syntax errors
+    @raise Lexer.Error on lexical errors *)

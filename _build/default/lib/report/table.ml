@@ -1,0 +1,47 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Fmt.str "Table.add_row (%s): %d cells for %d columns" t.title
+         (List.length row) (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let widths t =
+  let all = t.columns :: List.rev t.rows in
+  List.fold_left
+    (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+    (List.map (fun _ -> 0) t.columns)
+    all
+
+let render ppf t =
+  let ws = widths t in
+  let pad i w cell =
+    if i = 0 then Fmt.str "%-*s" w cell else Fmt.str "%*s" w cell
+  in
+  let line row =
+    String.concat "  " (List.mapi (fun i (w, c) -> pad i w c) (List.combine ws row))
+  in
+  Fmt.pf ppf "%s@." t.title;
+  let header = line t.columns in
+  Fmt.pf ppf "%s@." header;
+  Fmt.pf ppf "%s@." (String.make (String.length header) '-');
+  List.iter (fun row -> Fmt.pf ppf "%s@." (line row)) (List.rev t.rows)
+
+let csv_cell c =
+  if String.contains c ',' || String.contains c '"' then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let row_line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (row_line t.columns :: List.map row_line (List.rev t.rows)) ^ "\n"
+
+let cell_f ?(decimals = 2) x = Fmt.str "%.*f" decimals x
+let cell_x x = Fmt.str "%.2fx" x

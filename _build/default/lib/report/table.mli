@@ -1,0 +1,21 @@
+(** ASCII table rendering for experiment output, plus CSV emission. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a header row. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val render : t Fmt.t
+(** Aligned ASCII rendering (first column left-aligned, rest right). *)
+
+val to_csv : t -> string
+(** Comma-separated representation (cells containing commas are quoted). *)
+
+(** Cell formatting helpers. *)
+
+val cell_f : ?decimals:int -> float -> string
+val cell_x : float -> string
+(** A speedup/gap value rendered as ["12.3x"]. *)

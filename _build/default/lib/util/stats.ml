@@ -1,0 +1,32 @@
+let require_nonempty = function
+  | [] -> invalid_arg "Stats: empty list"
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty xs in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  let xs = require_nonempty xs in
+  let log_sum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geomean: non-positive value"
+        else acc +. log x)
+      0. xs
+  in
+  exp (log_sum /. float_of_int (List.length xs))
+
+let minimum xs = List.fold_left min Float.max_float (require_nonempty xs)
+let maximum xs = List.fold_left max Float.min_float (require_nonempty xs)
+
+let percentile p xs =
+  if p < 0. || p > 1. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort Float.compare (require_nonempty xs) in
+  let n = List.length sorted in
+  let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+  List.nth sorted rank
+
+let ratio a b =
+  if b = 0. then invalid_arg "Stats.ratio: zero divisor";
+  a /. b

@@ -1,0 +1,18 @@
+(** Small statistics helpers used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Requires a non-empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; the paper reports gap averages as geometric means.
+    Requires a non-empty list of positive values. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on sorted data. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] = [a /. b], raising [Invalid_argument] on a zero divisor —
+    gaps must never silently become [inf]. *)

@@ -1,0 +1,1 @@
+lib/vm/builder.ml: Array Isa List

@@ -1,0 +1,1 @@
+lib/vm/counts.ml: Array Fmt Isa List

@@ -1,0 +1,1 @@
+lib/vm/counts.mli: Fmt Isa

@@ -1,0 +1,1 @@
+lib/vm/event.mli: Fmt

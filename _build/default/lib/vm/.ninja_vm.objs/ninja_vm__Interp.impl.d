@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Counts Event Float Fmt Fun Hashtbl Isa List Memory Option

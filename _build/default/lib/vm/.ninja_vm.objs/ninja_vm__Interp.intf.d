@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Counts Event Isa Memory

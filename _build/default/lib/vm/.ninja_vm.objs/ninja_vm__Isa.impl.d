@@ -1,0 +1,1 @@
+lib/vm/isa.ml: Array Fmt List Option

@@ -1,0 +1,197 @@
+(* A small eDSL for writing programs directly against the ISA — the "Ninja
+   programmer" path (hand intrinsics / assembly in the paper). It follows
+   the same calling conventions as compiler-generated code so that the same
+   kernel driver can run both:
+   - scalar parameters live in one-element buffers named ["__p_<name>"];
+   - array parameters are buffers named after the parameter.
+
+   Typical shape:
+   {[
+     let b = Builder.create ~name:"nbody [ninja]" in
+     let x = Builder.buffer_f b "x" in
+     ...
+     Builder.par_phase b (fun () -> ... Builder.emit b (...) ...);
+     Builder.finish b
+   ]} *)
+
+type t = {
+  name : string;
+  mutable buffers : Isa.buffer_decl list; (* reversed *)
+  mutable phases : Isa.phase list; (* reversed *)
+  mutable code : Isa.stmt list; (* current phase, reversed *)
+  mutable in_phase : bool;
+  mutable si_next : int;
+  mutable sf_next : int;
+  mutable vf_next : int;
+  mutable vi_next : int;
+  mutable vm_next : int;
+}
+
+let create ~name =
+  {
+    name;
+    buffers = [];
+    phases = [];
+    code = [];
+    in_phase = false;
+    si_next = Isa.reserved_si_regs;
+    sf_next = 0;
+    vf_next = 0;
+    vi_next = 0;
+    vm_next = 0;
+  }
+
+let declare_buffer b name (elt : Isa.elt_ty) =
+  if List.exists (fun (d : Isa.buffer_decl) -> d.buf_name = name) b.buffers then
+    invalid_arg ("Builder: duplicate buffer " ^ name);
+  b.buffers <- { Isa.buf_name = name; elt } :: b.buffers;
+  Isa.Buf (List.length b.buffers - 1)
+
+let buffer_f b name = declare_buffer b name F32
+let buffer_i b name = declare_buffer b name I32
+let param_cell_f b name = declare_buffer b ("__p_" ^ name) F32
+let param_cell_i b name = declare_buffer b ("__p_" ^ name) I32
+
+let si b = let r = b.si_next in b.si_next <- r + 1; Isa.Si r
+let sf b = let r = b.sf_next in b.sf_next <- r + 1; Isa.Sf r
+let vf b = let r = b.vf_next in b.vf_next <- r + 1; Isa.Vf r
+let vi b = let r = b.vi_next in b.vi_next <- r + 1; Isa.Vi r
+let vm b = let r = b.vm_next in b.vm_next <- r + 1; Isa.Vm r
+
+let emit b i =
+  if not b.in_phase then invalid_arg "Builder.emit: outside a phase";
+  b.code <- Isa.I i :: b.code
+
+(* Convenience emitters *)
+let iconst b n = let r = si b in emit b (Iconst (r, n)); r
+let fconst b x = let r = sf b in emit b (Fconst (r, x)); r
+
+let load_param_i b cell =
+  let idx = iconst b 0 in
+  let r = si b in
+  emit b (Loadi { dst = r; buf = cell; idx; chain = false });
+  r
+
+let load_param_f b cell =
+  let idx = iconst b 0 in
+  let r = sf b in
+  emit b (Loadf { dst = r; buf = cell; idx; chain = false });
+  r
+
+let ibin b op x y = let r = si b in emit b (Ibin (op, r, x, y)); r
+let fbin b op x y = let r = sf b in emit b (Fbin (op, r, x, y)); r
+let vfbin b op x y = let r = vf b in emit b (Vfbin (op, r, x, y)); r
+let vibin b op x y = let r = vi b in emit b (Vibin (op, r, x, y)); r
+let vfma b x y z = let r = vf b in emit b (Vfma (r, x, y, z)); r
+
+(* [x*y + z] using FMA when the target machine has it, mul+add otherwise —
+   Ninja code is machine-specific by definition. *)
+let vmuladd b ~fma x y z =
+  if fma then vfma b x y z
+  else
+    let p = vf b in
+    emit b (Vfbin (Fmul, p, x, y));
+    let r = vf b in
+    emit b (Vfbin (Fadd, r, p, z));
+    r
+let vfunop b op x = let r = vf b in emit b (Vfunop (op, r, x)); r
+let vbroadcastf b x = let r = vf b in emit b (Vbroadcastf (r, x)); r
+let vbroadcasti b x = let r = vi b in emit b (Vbroadcasti (r, x)); r
+
+let in_sub_block b f =
+  let saved = b.code in
+  b.code <- [];
+  f ();
+  let blk = List.rev b.code in
+  b.code <- saved;
+  blk
+
+let for_ b ~lo ~hi ~step f =
+  if not b.in_phase then invalid_arg "Builder.for_: outside a phase";
+  let idx = si b in
+  let body = in_sub_block b (fun () -> f idx) in
+  b.code <- Isa.For { idx; lo; hi; step; body } :: b.code
+
+let while_ b ~cond f =
+  if not b.in_phase then invalid_arg "Builder.while_: outside a phase";
+  let cond_reg = si b in
+  let cond_block =
+    in_sub_block b (fun () ->
+        let r = cond () in
+        emit b (Imov (cond_reg, r)))
+  in
+  let body = in_sub_block b f in
+  b.code <- Isa.While { cond_block; cond = cond_reg; body } :: b.code
+
+let if_ b ~cond ?(else_ = fun () -> ()) then_ =
+  if not b.in_phase then invalid_arg "Builder.if_: outside a phase";
+  let t = in_sub_block b then_ in
+  let e = in_sub_block b else_ in
+  b.code <- Isa.If { cond; then_ = t; else_ = e } :: b.code
+
+let phase b kind f =
+  if b.in_phase then invalid_arg "Builder.phase: nested phases";
+  b.in_phase <- true;
+  b.code <- [];
+  f ();
+  let blk = List.rev b.code in
+  b.phases <- (match kind with `Par -> Isa.Par blk | `Seq -> Isa.Seq blk) :: b.phases;
+  b.code <- [];
+  b.in_phase <- false
+
+let par_phase b f = phase b `Par f
+let seq_phase b f = phase b `Seq f
+
+(* Static chunking of [0, n) across threads, the same scheme the
+   parallelizer emits: returns (my_lo, my_hi) registers. *)
+let thread_range b ~n =
+  let nt = Isa.num_threads_reg and tid = Isa.thread_id_reg in
+  let one = iconst b 1 in
+  let nt_m1 = ibin b Isub nt one in
+  let rounded = ibin b Iadd n nt_m1 in
+  let chunk = ibin b Idiv rounded nt in
+  let off = ibin b Imul tid chunk in
+  let my_lo = ibin b Imin off n in
+  let my_hi_raw = ibin b Iadd my_lo chunk in
+  let my_hi = ibin b Imin my_hi_raw n in
+  (my_lo, my_hi)
+
+(* Like [thread_range], but rounds the chunk up to a multiple of the vector
+   width so that no thread needs a scalar tail when [n] itself is a multiple
+   of the width — the alignment trick every hand-tuned kernel uses. *)
+let thread_range_aligned b ~n =
+  let w = Isa.vector_width_reg in
+  let nt = Isa.num_threads_reg and tid = Isa.thread_id_reg in
+  let one = iconst b 1 in
+  let nt_m1 = ibin b Isub nt one in
+  let rounded = ibin b Iadd n nt_m1 in
+  let chunk = ibin b Idiv rounded nt in
+  let w_m1 = ibin b Isub w one in
+  let chunk_r = ibin b Iadd chunk w_m1 in
+  let chunk_q = ibin b Idiv chunk_r w in
+  let chunk_al = ibin b Imul chunk_q w in
+  let off = ibin b Imul tid chunk_al in
+  let my_lo = ibin b Imin off n in
+  let my_hi_raw = ibin b Iadd my_lo chunk_al in
+  let my_hi = ibin b Imin my_hi_raw n in
+  (my_lo, my_hi)
+
+let finish b : Isa.program =
+  if b.in_phase then invalid_arg "Builder.finish: unterminated phase";
+  let program =
+    {
+      Isa.prog_name = b.name;
+      buffers = Array.of_list (List.rev b.buffers);
+      phases = List.rev b.phases;
+      regs =
+        {
+          si = b.si_next;
+          sf = b.sf_next;
+          vf = b.vf_next;
+          vi = b.vi_next;
+          vm = b.vm_next;
+        };
+    }
+  in
+  Isa.validate program;
+  program

@@ -1,0 +1,101 @@
+(** An eDSL for writing programs directly against the ISA — the "Ninja
+    programmer" path (hand intrinsics / assembly in the paper's terms).
+
+    Follows the same calling convention as compiler-generated code (array
+    parameters bind to same-named buffers, scalar parameters to one-element
+    ["__p_<name>"] cells), so the kernel driver runs both.
+
+    {[
+      let b = Builder.create ~name:"saxpy [ninja]" in
+      let x = Builder.buffer_f b "x" in
+      let n_cell = Builder.param_cell_i b "n" in
+      Builder.par_phase b (fun () ->
+          let n = Builder.load_param_i b n_cell in
+          let lo, hi = Builder.thread_range_aligned b ~n in
+          Builder.for_ b ~lo ~hi ~step:Isa.vector_width_reg (fun i -> ...));
+      Builder.finish b
+    ]} *)
+
+type t
+
+val create : name:string -> t
+
+(** {1 Buffers and parameters} *)
+
+val buffer_f : t -> string -> Isa.buf
+val buffer_i : t -> string -> Isa.buf
+
+val param_cell_f : t -> string -> Isa.buf
+(** Declare the one-element cell backing scalar parameter [name]. *)
+
+val param_cell_i : t -> string -> Isa.buf
+
+val load_param_f : t -> Isa.buf -> Isa.sf_reg
+(** Emit a load of a scalar parameter (call inside the phase using it —
+    registers are thread-private). *)
+
+val load_param_i : t -> Isa.buf -> Isa.si_reg
+
+(** {1 Registers} *)
+
+val si : t -> Isa.si_reg
+val sf : t -> Isa.sf_reg
+val vf : t -> Isa.vf_reg
+val vi : t -> Isa.vi_reg
+val vm : t -> Isa.vm_reg
+
+(** {1 Emission} *)
+
+val emit : t -> Isa.instr -> unit
+(** Append an instruction to the current phase.
+    @raise Invalid_argument outside a phase. *)
+
+val iconst : t -> int -> Isa.si_reg
+val fconst : t -> float -> Isa.sf_reg
+val ibin : t -> Isa.ibin -> Isa.si_reg -> Isa.si_reg -> Isa.si_reg
+val fbin : t -> Isa.fbin -> Isa.sf_reg -> Isa.sf_reg -> Isa.sf_reg
+val vfbin : t -> Isa.fbin -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg
+val vibin : t -> Isa.ibin -> Isa.vi_reg -> Isa.vi_reg -> Isa.vi_reg
+val vfma : t -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg
+
+val vmuladd :
+  t -> fma:bool -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg
+(** [x*y + z] with a fused instruction when the target has FMA, mul+add
+    otherwise — Ninja code is machine-specific by definition. *)
+
+val vfunop : t -> Isa.funop -> Isa.vf_reg -> Isa.vf_reg
+val vbroadcastf : t -> Isa.sf_reg -> Isa.vf_reg
+val vbroadcasti : t -> Isa.si_reg -> Isa.vi_reg
+
+(** {1 Control flow} *)
+
+val for_ :
+  t -> lo:Isa.si_reg -> hi:Isa.si_reg -> step:Isa.si_reg ->
+  (Isa.si_reg -> unit) -> unit
+(** Counted loop; the callback receives the induction register and emits
+    the body. *)
+
+val while_ : t -> cond:(unit -> Isa.si_reg) -> (unit -> unit) -> unit
+(** [while_ b ~cond body]: [cond] emits the condition block and returns the
+    register tested against zero. *)
+
+val if_ : t -> cond:Isa.si_reg -> ?else_:(unit -> unit) -> (unit -> unit) -> unit
+
+(** {1 Phases and threading} *)
+
+val par_phase : t -> (unit -> unit) -> unit
+(** A block every thread executes (barrier at the end). *)
+
+val seq_phase : t -> (unit -> unit) -> unit
+(** A block only thread 0 executes. *)
+
+val thread_range : t -> n:Isa.si_reg -> Isa.si_reg * Isa.si_reg
+(** Static chunking of [0, n) across threads (the parallelizer's scheme):
+    this thread's [lo, hi). *)
+
+val thread_range_aligned : t -> n:Isa.si_reg -> Isa.si_reg * Isa.si_reg
+(** Like {!thread_range} with the chunk rounded up to a vector-width
+    multiple, so no scalar tails are needed when [n] is width-aligned. *)
+
+val finish : t -> Isa.program
+(** Validate and return the program. *)

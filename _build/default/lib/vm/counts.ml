@@ -1,0 +1,37 @@
+(* Per-thread dynamic instruction counts, by operation class. The timing
+   model prices these with per-machine issue costs; the analysis library
+   derives arithmetic-operation totals from them. *)
+
+type t = { n_threads : int; table : int array array (* [thread].[class] *) }
+
+let create n_threads =
+  { n_threads; table = Array.init n_threads (fun _ -> Array.make Isa.op_class_count 0) }
+
+let add t ~thread cls n =
+  let row = t.table.(thread) in
+  let i = Isa.op_class_index cls in
+  row.(i) <- row.(i) + n
+
+let thread_count t ~thread cls = t.table.(thread).(Isa.op_class_index cls)
+
+let total t cls =
+  let i = Isa.op_class_index cls in
+  Array.fold_left (fun acc row -> acc + row.(i)) 0 t.table
+
+let grand_total t =
+  Array.fold_left (fun acc row -> acc + Array.fold_left ( + ) 0 row) 0 t.table
+
+let per_thread_total t ~thread = Array.fold_left ( + ) 0 t.table.(thread)
+
+let merge_into ~dst src =
+  if dst.n_threads <> src.n_threads then invalid_arg "Counts.merge_into: thread counts differ";
+  Array.iteri
+    (fun t row -> Array.iteri (fun c n -> dst.table.(t).(c) <- dst.table.(t).(c) + n) row)
+    src.table
+
+let pp ppf t =
+  List.iter
+    (fun cls ->
+      let n = total t cls in
+      if n > 0 then Fmt.pf ppf "%-9s %d@." (Isa.op_class_name cls) n)
+    Isa.all_op_classes

@@ -1,0 +1,26 @@
+(** Per-thread dynamic instruction counts by {!Isa.op_class}. The timing
+    model prices these with per-machine issue costs; the analysis library
+    derives floating-point operation totals from them. *)
+
+type t
+
+val create : int -> t
+(** [create n_threads] with all counts zero. *)
+
+val add : t -> thread:int -> Isa.op_class -> int -> unit
+
+val thread_count : t -> thread:int -> Isa.op_class -> int
+(** Count of one class on one thread. *)
+
+val total : t -> Isa.op_class -> int
+(** Count of one class summed over threads. *)
+
+val grand_total : t -> int
+val per_thread_total : t -> thread:int -> int
+
+val merge_into : dst:t -> t -> unit
+(** Accumulate [src] into [dst] (equal thread counts required) — used when
+    a measurement spans several kernel launches. *)
+
+val pp : t Fmt.t
+(** One line per non-zero class. *)

@@ -1,0 +1,19 @@
+(** Memory-access events emitted by the interpreter and consumed by the
+    timing model's cache hierarchy. *)
+
+type kind = Read | Write
+
+type t = {
+  thread : int;
+  addr : int;  (** modeled byte address (see {!Memory.address}) *)
+  bytes : int;  (** may span several cache lines for vector accesses *)
+  kind : kind;
+  chain : bool;
+      (** the address depended on a previous load (pointer chasing): miss
+          latency cannot be hidden by memory-level parallelism *)
+  nt : bool;  (** non-temporal store: bypasses the cache hierarchy *)
+}
+
+type sink = t -> unit
+
+val pp : t Fmt.t

@@ -1,0 +1,450 @@
+(* Functional interpreter for the vector ISA.
+
+   The interpreter serves two purposes:
+   - correctness: kernels (and the compiler that produced them) are checked
+     against OCaml reference implementations on real data;
+   - instrumentation: it produces the per-class instruction counts and the
+     memory-address event stream that the timing model prices.
+
+   [Par] phases are executed thread-after-thread; this equals parallel
+   execution for race-free programs, and [~check_races:true] verifies that
+   property (any location written by one thread and touched by another
+   within the same phase is reported). *)
+
+exception Trap = Memory.Trap
+
+type result = { counts : Counts.t; instructions : int }
+
+type thread_state = {
+  si : int array;
+  sf : float array;
+  vf : float array array;
+  vi : int array array;
+  vm : bool array array;
+}
+
+let make_state (regs : Isa.reg_counts) ~width =
+  {
+    si = Array.make (max regs.si 1) 0;
+    sf = Array.make (max regs.sf 1) 0.;
+    vf = Array.init (max regs.vf 1) (fun _ -> Array.make width 0.);
+    vi = Array.init (max regs.vi 1) (fun _ -> Array.make width 0);
+    vm = Array.init (max regs.vm 1) (fun _ -> Array.make width false);
+  }
+
+let eval_ibin op a b =
+  match (op : Isa.ibin) with
+  | Iadd -> a + b
+  | Isub -> a - b
+  | Imul -> a * b
+  | Idiv -> if b = 0 then Memory.trap "integer division by zero" else a / b
+  | Imod -> if b = 0 then Memory.trap "integer modulo by zero" else a mod b
+  | Iand -> a land b
+  | Ior -> a lor b
+  | Ixor -> a lxor b
+  | Ishl -> a lsl b
+  | Ishr -> a asr b
+  | Imin -> min a b
+  | Imax -> max a b
+
+let eval_fbin op a b =
+  match (op : Isa.fbin) with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+  | Fmin -> Float.min a b
+  | Fmax -> Float.max a b
+
+let eval_funop op a =
+  match (op : Isa.funop) with
+  | Fneg -> -.a
+  | Fabs -> Float.abs a
+  | Fsqrt -> Float.sqrt a
+  | Frsqrt -> 1. /. Float.sqrt a
+  | Fexp -> Float.exp a
+  | Flog -> Float.log a
+  | Ffloor -> Float.floor a
+
+let eval_icmp op a b =
+  match (op : Isa.cmp) with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+let eval_fcmp op a b =
+  match (op : Isa.cmp) with
+  | Ceq -> Float.equal a b
+  | Cne -> not (Float.equal a b)
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+type race_tracker = {
+  writes : (int, int) Hashtbl.t; (* addr -> writing thread *)
+  reads : (int, int) Hashtbl.t; (* addr -> a reading thread (-1: several) *)
+  mutable races : string list;
+}
+
+let race_tracker () = { writes = Hashtbl.create 4096; reads = Hashtbl.create 4096; races = [] }
+
+let note_race rt fmt = Fmt.kstr (fun s -> if List.length rt.races < 16 then rt.races <- s :: rt.races) fmt
+
+let track_access rt ~thread ~addr ~(kind : Event.kind) =
+  match kind with
+  | Write -> (
+      (match Hashtbl.find_opt rt.reads addr with
+      | Some t when t <> thread -> note_race rt "write by t%d races read by t%d at 0x%x" thread t addr
+      | _ -> ());
+      match Hashtbl.find_opt rt.writes addr with
+      | Some t when t <> thread -> note_race rt "write by t%d races write by t%d at 0x%x" thread t addr
+      | Some _ -> ()
+      | None -> Hashtbl.replace rt.writes addr thread)
+  | Read -> (
+      (match Hashtbl.find_opt rt.writes addr with
+      | Some t when t <> thread -> note_race rt "read by t%d races write by t%d at 0x%x" thread t addr
+      | _ -> ());
+      match Hashtbl.find_opt rt.reads addr with
+      | Some t when t <> thread -> Hashtbl.replace rt.reads addr (-1)
+      | Some _ -> ()
+      | None -> Hashtbl.replace rt.reads addr thread)
+
+exception Race of string list
+
+let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
+    (prog : Isa.program) (mem : Memory.t) =
+  Isa.validate prog;
+  if n_threads < 1 then invalid_arg "Interp.run: n_threads < 1";
+  if width < 1 then invalid_arg "Interp.run: width < 1";
+  let counts = Counts.create n_threads in
+  let instructions = ref 0 in
+  let remaining_fuel = ref (Option.value fuel ~default:max_int) in
+  let states = Array.init n_threads (fun _ -> make_state prog.regs ~width) in
+  let scratch = Array.make width 0. in
+  let tracker = if check_races then Some (race_tracker ()) else None in
+
+  (* Per-thread execution context, rebuilt cheaply per phase. *)
+  let run_block ~thread st block =
+    let count cls n =
+      Counts.add counts ~thread cls n;
+      instructions := !instructions + n;
+      remaining_fuel := !remaining_fuel - n;
+      if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name
+    in
+    let emit ?(nt = false) ~buf ~idx ~bytes ~kind ~chain () =
+      (match tracker with
+      | Some rt ->
+          let base = Memory.address mem buf idx in
+          let n = bytes / 4 in
+          for k = 0 to n - 1 do
+            track_access rt ~thread ~addr:(base + (k * 4)) ~kind
+          done
+      | None -> ());
+      match sink with
+      | Some f ->
+          f { Event.thread; addr = Memory.address mem buf idx; bytes; kind; chain; nt }
+      | None -> ()
+    in
+    let geti (Isa.Si r) = st.si.(r) in
+    let seti (Isa.Si r) v = st.si.(r) <- v in
+    let getf (Isa.Sf r) = st.sf.(r) in
+    let setf (Isa.Sf r) v = st.sf.(r) <- v in
+    let getvf (Isa.Vf r) = st.vf.(r) in
+    let getvi (Isa.Vi r) = st.vi.(r) in
+    let getvm (Isa.Vm r) = st.vm.(r) in
+    let lane_active mask l =
+      match mask with None -> true | Some m -> (getvm m).(l)
+    in
+    let exec_instr instr =
+      count (Isa.classify instr) 1;
+      match (instr : Isa.instr) with
+      | Iconst (d, n) -> seti d n
+      | Fconst (d, x) -> setf d x
+      | Imov (d, a) -> seti d (geti a)
+      | Fmov (d, a) -> setf d (getf a)
+      | Ibin (op, d, a, b) -> seti d (eval_ibin op (geti a) (geti b))
+      | Fbin (op, d, a, b) -> setf d (eval_fbin op (getf a) (getf b))
+      | Fma (d, a, b, c) -> setf d ((getf a *. getf b) +. getf c)
+      | Funop (op, d, a) -> setf d (eval_funop op (getf a))
+      | Icmp (op, d, a, b) -> seti d (if eval_icmp op (geti a) (geti b) then 1 else 0)
+      | Fcmp (op, d, a, b) -> seti d (if eval_fcmp op (getf a) (getf b) then 1 else 0)
+      | Iselect (d, c, a, b) -> seti d (if geti c <> 0 then geti a else geti b)
+      | Fselect (d, c, a, b) -> setf d (if geti c <> 0 then getf a else getf b)
+      | Fofi (d, a) -> setf d (float_of_int (geti a))
+      | Ioff (d, a) -> seti d (int_of_float (getf a))
+      | Loadf { dst; buf; idx; chain } ->
+          let i = geti idx in
+          setf dst (Memory.get_f mem buf i);
+          emit ~buf ~idx:i ~bytes:4 ~kind:Read ~chain ()
+      | Loadi { dst; buf; idx; chain } ->
+          let i = geti idx in
+          seti dst (Memory.get_i mem buf i);
+          emit ~buf ~idx:i ~bytes:4 ~kind:Read ~chain ()
+      | Storef { buf; idx; src } ->
+          let i = geti idx in
+          Memory.set_f mem buf i (getf src);
+          emit ~buf ~idx:i ~bytes:4 ~kind:Write ~chain:false ()
+      | Storei { buf; idx; src } ->
+          let i = geti idx in
+          Memory.set_i mem buf i (geti src);
+          emit ~buf ~idx:i ~bytes:4 ~kind:Write ~chain:false ()
+      | Vmovf (d, a) -> Array.blit (getvf a) 0 (getvf d) 0 width
+      | Vmovi (d, a) -> Array.blit (getvi a) 0 (getvi d) 0 width
+      | Vbroadcastf (d, a) -> Array.fill (getvf d) 0 width (getf a)
+      | Vbroadcasti (d, a) -> Array.fill (getvi d) 0 width (geti a)
+      | Viota d ->
+          let v = getvi d in
+          for l = 0 to width - 1 do v.(l) <- l done
+      | Vfbin (op, d, a, b) ->
+          let d = getvf d and a = getvf a and b = getvf b in
+          for l = 0 to width - 1 do d.(l) <- eval_fbin op a.(l) b.(l) done
+      | Vfma (d, a, b, c) ->
+          let d = getvf d and a = getvf a and b = getvf b and c = getvf c in
+          for l = 0 to width - 1 do d.(l) <- (a.(l) *. b.(l)) +. c.(l) done
+      | Vfunop (op, d, a) ->
+          let d = getvf d and a = getvf a in
+          for l = 0 to width - 1 do d.(l) <- eval_funop op a.(l) done
+      | Vibin (op, d, a, b) ->
+          let d = getvi d and a = getvi a and b = getvi b in
+          for l = 0 to width - 1 do d.(l) <- eval_ibin op a.(l) b.(l) done
+      | Vfcmp (op, d, a, b) ->
+          let d = getvm d and a = getvf a and b = getvf b in
+          for l = 0 to width - 1 do d.(l) <- eval_fcmp op a.(l) b.(l) done
+      | Vicmp (op, d, a, b) ->
+          let d = getvm d and a = getvi a and b = getvi b in
+          for l = 0 to width - 1 do d.(l) <- eval_icmp op a.(l) b.(l) done
+      | Vselectf (d, m, a, b) ->
+          let d = getvf d and m = getvm m and a = getvf a and b = getvf b in
+          for l = 0 to width - 1 do d.(l) <- (if m.(l) then a.(l) else b.(l)) done
+      | Vselecti (d, m, a, b) ->
+          let d = getvi d and m = getvm m and a = getvi a and b = getvi b in
+          for l = 0 to width - 1 do d.(l) <- (if m.(l) then a.(l) else b.(l)) done
+      | Vfofi (d, a) ->
+          let d = getvf d and a = getvi a in
+          for l = 0 to width - 1 do d.(l) <- float_of_int a.(l) done
+      | Vioff (d, a) ->
+          let d = getvi d and a = getvf a in
+          for l = 0 to width - 1 do d.(l) <- int_of_float a.(l) done
+      | Vpermutef (d, a, pat) ->
+          let d = getvf d and a = getvf a in
+          let n = Array.length pat in
+          for l = 0 to width - 1 do
+            let s = pat.(l mod n) in
+            if s < 0 || s >= width then Memory.trap "vperm lane %d out of range" s;
+            scratch.(l) <- a.(s)
+          done;
+          Array.blit scratch 0 d 0 width
+      | Vextractf (d, a, lane) ->
+          let l = geti lane in
+          if l < 0 || l >= width then Memory.trap "vextract lane %d out of range" l;
+          setf d (getvf a).(l)
+      | Vinsertf (d, lane, a) ->
+          let l = geti lane in
+          if l < 0 || l >= width then Memory.trap "vinsert lane %d out of range" l;
+          (getvf d).(l) <- getf a
+      | Vreducef (r, d, a) ->
+          let a = getvf a in
+          let acc = ref a.(0) in
+          for l = 1 to width - 1 do
+            acc :=
+              (match r with
+              | Rsum -> !acc +. a.(l)
+              | Rmin -> Float.min !acc a.(l)
+              | Rmax -> Float.max !acc a.(l))
+          done;
+          setf d !acc
+      | Vreducei (r, d, a) ->
+          let a = getvi a in
+          let acc = ref a.(0) in
+          for l = 1 to width - 1 do
+            acc :=
+              (match r with
+              | Rsum -> !acc + a.(l)
+              | Rmin -> min !acc a.(l)
+              | Rmax -> max !acc a.(l))
+          done;
+          seti d !acc
+      | Mconst (d, v) -> Array.fill (getvm d) 0 width v
+      | Mpattern (d, pat) ->
+          let d = getvm d in
+          let n = Array.length pat in
+          for l = 0 to width - 1 do d.(l) <- pat.(l mod n) done
+      | Mfirst (d, n) ->
+          let d = getvm d and n = geti n in
+          for l = 0 to width - 1 do d.(l) <- l < n done
+      | Mnot (d, a) ->
+          let d = getvm d and a = getvm a in
+          for l = 0 to width - 1 do d.(l) <- not a.(l) done
+      | Mand (d, a, b) ->
+          let d = getvm d and a = getvm a and b = getvm b in
+          for l = 0 to width - 1 do d.(l) <- a.(l) && b.(l) done
+      | Mor (d, a, b) ->
+          let d = getvm d and a = getvm a and b = getvm b in
+          for l = 0 to width - 1 do d.(l) <- a.(l) || b.(l) done
+      | Many (d, a) -> seti d (if Array.exists Fun.id (getvm a) then 1 else 0)
+      | Mall (d, a) -> seti d (if Array.for_all Fun.id (getvm a) then 1 else 0)
+      | Mcount (d, a) ->
+          seti d (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (getvm a))
+      | Vloadf { dst; buf; idx; mask } ->
+          let base = geti idx in
+          let d = getvf dst in
+          let any = ref false in
+          for l = 0 to width - 1 do
+            if lane_active mask l then begin
+              d.(l) <- Memory.get_f mem buf (base + l);
+              any := true
+            end
+          done;
+          if !any then emit ~buf ~idx:base ~bytes:(width * 4) ~kind:Read ~chain:false ()
+      | Vloadi { dst; buf; idx; mask } ->
+          let base = geti idx in
+          let d = getvi dst in
+          let any = ref false in
+          for l = 0 to width - 1 do
+            if lane_active mask l then begin
+              d.(l) <- Memory.get_i mem buf (base + l);
+              any := true
+            end
+          done;
+          if !any then emit ~buf ~idx:base ~bytes:(width * 4) ~kind:Read ~chain:false ()
+      | Vloadf_strided { dst; buf; idx; stride } ->
+          let base = geti idx and s = geti stride in
+          let d = getvf dst in
+          for l = 0 to width - 1 do
+            let i = base + (l * s) in
+            d.(l) <- Memory.get_f mem buf i;
+            emit ~buf ~idx:i ~bytes:4 ~kind:Read ~chain:false ()
+          done
+      | Vgatherf { dst; buf; idx; mask; chain } ->
+          let d = getvf dst and ix = getvi idx in
+          for l = 0 to width - 1 do
+            if lane_active mask l then begin
+              d.(l) <- Memory.get_f mem buf ix.(l);
+              emit ~buf ~idx:ix.(l) ~bytes:4 ~kind:Read ~chain ()
+            end
+          done
+      | Vgatheri { dst; buf; idx; mask; chain } ->
+          let d = getvi dst and ix = getvi idx in
+          for l = 0 to width - 1 do
+            if lane_active mask l then begin
+              d.(l) <- Memory.get_i mem buf ix.(l);
+              emit ~buf ~idx:ix.(l) ~bytes:4 ~kind:Read ~chain ()
+            end
+          done
+      | Vstoref { buf; idx; src; mask } ->
+          let base = geti idx in
+          let s = getvf src in
+          let any = ref false in
+          for l = 0 to width - 1 do
+            if lane_active mask l then begin
+              Memory.set_f mem buf (base + l) s.(l);
+              any := true
+            end
+          done;
+          if !any then emit ~buf ~idx:base ~bytes:(width * 4) ~kind:Write ~chain:false ()
+      | Vstorei { buf; idx; src; mask } ->
+          let base = geti idx in
+          let s = getvi src in
+          let any = ref false in
+          for l = 0 to width - 1 do
+            if lane_active mask l then begin
+              Memory.set_i mem buf (base + l) s.(l);
+              any := true
+            end
+          done;
+          if !any then emit ~buf ~idx:base ~bytes:(width * 4) ~kind:Write ~chain:false ()
+      | Vstoref_nt { buf; idx; src } ->
+          let base = geti idx in
+          let s = getvf src in
+          for l = 0 to width - 1 do
+            Memory.set_f mem buf (base + l) s.(l)
+          done;
+          emit ~nt:true ~buf ~idx:base ~bytes:(width * 4) ~kind:Write ~chain:false ()
+      | Vstoref_strided { buf; idx; stride; src } ->
+          let base = geti idx and st' = geti stride in
+          let s = getvf src in
+          for l = 0 to width - 1 do
+            let i = base + (l * st') in
+            Memory.set_f mem buf i s.(l);
+            emit ~buf ~idx:i ~bytes:4 ~kind:Write ~chain:false ()
+          done
+      | Vscatterf { buf; idx; src; mask } ->
+          let ix = getvi idx and s = getvf src in
+          for l = 0 to width - 1 do
+            if lane_active mask l then begin
+              Memory.set_f mem buf ix.(l) s.(l);
+              emit ~buf ~idx:ix.(l) ~bytes:4 ~kind:Write ~chain:false ()
+            end
+          done
+      | Vscatteri { buf; idx; src; mask } ->
+          let ix = getvi idx and s = getvi src in
+          for l = 0 to width - 1 do
+            if lane_active mask l then begin
+              Memory.set_i mem buf ix.(l) s.(l);
+              emit ~buf ~idx:ix.(l) ~bytes:4 ~kind:Write ~chain:false ()
+            end
+          done
+    in
+    let rec exec_block b = List.iter exec_stmt b
+    and exec_stmt = function
+      | Isa.I i -> exec_instr i
+      | Isa.For { idx; lo; hi; step; body } ->
+          let lo = geti lo and hi = geti hi and step = geti step in
+          if step <= 0 then Memory.trap "for loop with non-positive step %d" step;
+          let i = ref lo in
+          while !i < hi do
+            seti idx !i;
+            (* loop bookkeeping: induction update + compare, and the branch *)
+            count Salu 1;
+            count Branch 1;
+            exec_block body;
+            i := !i + step
+          done
+      | Isa.While { cond_block; cond; body } ->
+          let continue = ref true in
+          while !continue do
+            exec_block cond_block;
+            count Branch 1;
+            if geti cond <> 0 then exec_block body else continue := false
+          done
+      | Isa.If { cond; then_; else_ } ->
+          count Branch 1;
+          if geti cond <> 0 then exec_block then_ else exec_block else_
+    in
+    exec_block block
+  in
+
+  let init_thread tid =
+    let st = states.(tid) in
+    let (Isa.Si t) = Isa.thread_id_reg in
+    let (Isa.Si n) = Isa.num_threads_reg in
+    let (Isa.Si w) = Isa.vector_width_reg in
+    st.si.(t) <- tid;
+    st.si.(n) <- n_threads;
+    st.si.(w) <- width
+  in
+  List.iter
+    (fun phase ->
+      (match tracker with
+      | Some rt ->
+          Hashtbl.reset rt.writes;
+          Hashtbl.reset rt.reads
+      | None -> ());
+      (match phase with
+      | Isa.Par block ->
+          for tid = 0 to n_threads - 1 do
+            init_thread tid;
+            run_block ~thread:tid states.(tid) block
+          done
+      | Isa.Seq block ->
+          init_thread 0;
+          run_block ~thread:0 states.(0) block);
+      match tracker with
+      | Some rt when rt.races <> [] -> raise (Race (List.rev rt.races))
+      | _ -> ())
+    prog.phases;
+  { counts; instructions = !instructions }

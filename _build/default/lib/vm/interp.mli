@@ -1,0 +1,42 @@
+(** Functional interpreter for the vector ISA.
+
+    Executes a program against a {!Memory.t} with a configurable thread
+    count and vector width, producing per-class instruction counts and
+    (optionally) a memory-access event stream for the timing model.
+
+    [Par] phases execute thread-after-thread, which equals true parallel
+    execution for race-free programs; [~check_races:true] verifies that
+    property at element granularity and raises {!Race} otherwise. *)
+
+exception Trap of string
+(** Runtime fault: out-of-bounds access, division by zero, bad lane index,
+    non-positive loop step, or fuel exhaustion. (Alias of
+    [Memory.Trap].) *)
+
+exception Race of string list
+(** Raised at a phase barrier when [check_races] found conflicting accesses
+    (up to 16 descriptions). *)
+
+type result = {
+  counts : Counts.t;  (** dynamic instruction counts, per thread and class *)
+  instructions : int;  (** total dynamic instructions *)
+}
+
+val run :
+  ?n_threads:int ->
+  ?width:int ->
+  ?sink:Event.sink ->
+  ?fuel:int ->
+  ?check_races:bool ->
+  Isa.program ->
+  Memory.t ->
+  result
+(** [run program memory] validates and executes the program.
+
+    @param n_threads SPMD thread count for [Par] phases (default 1).
+    @param width vector lane count (default 4).
+    @param sink receives every memory access event as it happens.
+    @param fuel optional dynamic-instruction budget; exceeding it traps
+      (useful to bound buggy [While] loops in tests).
+    @param check_races track per-phase read/write sets and raise {!Race}
+      on cross-thread conflicts (costly; meant for tests). *)

@@ -1,0 +1,531 @@
+(* The virtual vector ISA targeted by the Cee compiler and by hand-written
+   "Ninja" kernels.
+
+   Design notes:
+   - Registers are virtual (unbounded count, declared per program) and typed
+     by register file: scalar int [Si], scalar float [Sf], vector float [Vf],
+     vector int [Vi] (lane indices for gather/scatter), and mask [Vm].
+     The wrappers exist so the compiler cannot mix register files.
+   - Control flow is structured ([For]/[While]/[If]) rather than
+     label-and-branch: the timing model charges branch overhead per
+     iteration, and a structured form keeps both the interpreter and the
+     compiler honest and testable.
+   - Programs are SPMD: a [Par] phase runs the block once per thread
+     (registers are thread-private, buffers shared) with an implicit barrier
+     at phase end; a [Seq] phase runs on thread 0 only.
+   - By convention register [Si 0] holds the thread id and [Si 1] the thread
+     count; the interpreter initializes both.
+   - Vector width is a property of the machine, not the program: vector
+     instructions operate on however many lanes the executing machine has.
+     Width-generic code uses [Si 2], initialized to the machine's width. *)
+
+type si_reg = Si of int [@@unboxed]
+type sf_reg = Sf of int [@@unboxed]
+type vf_reg = Vf of int [@@unboxed]
+type vi_reg = Vi of int [@@unboxed]
+type vm_reg = Vm of int [@@unboxed]
+type buf = Buf of int [@@unboxed]
+
+(* Well-known registers (see convention above). *)
+let thread_id_reg = Si 0
+let num_threads_reg = Si 1
+let vector_width_reg = Si 2
+let reserved_si_regs = 3
+
+type elt_ty = F32 | I32
+
+type ibin =
+  | Iadd | Isub | Imul | Idiv | Imod
+  | Iand | Ior | Ixor | Ishl | Ishr
+  | Imin | Imax
+
+type fbin = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+type funop = Fneg | Fabs | Fsqrt | Frsqrt | Fexp | Flog | Ffloor
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type red = Rsum | Rmin | Rmax
+
+type instr =
+  (* Scalar compute *)
+  | Iconst of si_reg * int
+  | Fconst of sf_reg * float
+  | Imov of si_reg * si_reg
+  | Fmov of sf_reg * sf_reg
+  | Ibin of ibin * si_reg * si_reg * si_reg
+  | Fbin of fbin * sf_reg * sf_reg * sf_reg
+  | Fma of sf_reg * sf_reg * sf_reg * sf_reg (* dst = a *. b +. c *)
+  | Funop of funop * sf_reg * sf_reg
+  | Icmp of cmp * si_reg * si_reg * si_reg
+  | Fcmp of cmp * si_reg * sf_reg * sf_reg
+  | Iselect of si_reg * si_reg * si_reg * si_reg (* dst = if cond<>0 then a else b *)
+  | Fselect of sf_reg * si_reg * sf_reg * sf_reg
+  | Fofi of sf_reg * si_reg
+  | Ioff of si_reg * sf_reg (* truncate toward zero *)
+  (* Scalar memory; [chain] marks address-dependent (pointer-chasing) loads
+     whose miss latency cannot be overlapped. *)
+  | Loadf of { dst : sf_reg; buf : buf; idx : si_reg; chain : bool }
+  | Loadi of { dst : si_reg; buf : buf; idx : si_reg; chain : bool }
+  | Storef of { buf : buf; idx : si_reg; src : sf_reg }
+  | Storei of { buf : buf; idx : si_reg; src : si_reg }
+  (* Vector compute *)
+  | Vmovf of vf_reg * vf_reg
+  | Vmovi of vi_reg * vi_reg
+  | Vbroadcastf of vf_reg * sf_reg
+  | Vbroadcasti of vi_reg * si_reg
+  | Viota of vi_reg (* lane ids 0..width-1 *)
+  | Vfbin of fbin * vf_reg * vf_reg * vf_reg
+  | Vfma of vf_reg * vf_reg * vf_reg * vf_reg
+  | Vfunop of funop * vf_reg * vf_reg
+  | Vibin of ibin * vi_reg * vi_reg * vi_reg
+  | Vfcmp of cmp * vm_reg * vf_reg * vf_reg
+  | Vicmp of cmp * vm_reg * vi_reg * vi_reg
+  | Vselectf of vf_reg * vm_reg * vf_reg * vf_reg
+  | Vselecti of vi_reg * vm_reg * vi_reg * vi_reg
+  | Vfofi of vf_reg * vi_reg
+  | Vioff of vi_reg * vf_reg
+  | Vpermutef of vf_reg * vf_reg * int array (* dst.(l) = src.(pat.(l mod |pat|)) *)
+  | Vextractf of sf_reg * vf_reg * si_reg (* dynamic lane *)
+  | Vinsertf of vf_reg * si_reg * sf_reg
+  | Vreducef of red * sf_reg * vf_reg
+  | Vreducei of red * si_reg * vi_reg
+  (* Masks *)
+  | Mconst of vm_reg * bool
+  | Mpattern of vm_reg * bool array (* lane l gets pat.(l mod |pat|) *)
+  | Mfirst of vm_reg * si_reg (* lanes [0, n) set *)
+  | Mnot of vm_reg * vm_reg
+  | Mand of vm_reg * vm_reg * vm_reg
+  | Mor of vm_reg * vm_reg * vm_reg
+  | Many of si_reg * vm_reg
+  | Mall of si_reg * vm_reg
+  | Mcount of si_reg * vm_reg
+  (* Vector memory. Unit-stride forms take a scalar element index; strided
+     forms add a scalar stride (in elements) between lanes; gather/scatter
+     take per-lane indices. Masked lanes are untouched. *)
+  | Vloadf of { dst : vf_reg; buf : buf; idx : si_reg; mask : vm_reg option }
+  | Vloadi of { dst : vi_reg; buf : buf; idx : si_reg; mask : vm_reg option }
+  | Vloadf_strided of { dst : vf_reg; buf : buf; idx : si_reg; stride : si_reg }
+  | Vgatherf of { dst : vf_reg; buf : buf; idx : vi_reg; mask : vm_reg option; chain : bool }
+  | Vgatheri of { dst : vi_reg; buf : buf; idx : vi_reg; mask : vm_reg option; chain : bool }
+  | Vstoref of { buf : buf; idx : si_reg; src : vf_reg; mask : vm_reg option }
+  | Vstoref_nt of { buf : buf; idx : si_reg; src : vf_reg }
+    (* Non-temporal (streaming) store: bypasses the cache hierarchy, so no
+       write-allocate read traffic. Ninja streaming kernels use it. *)
+  | Vstorei of { buf : buf; idx : si_reg; src : vi_reg; mask : vm_reg option }
+  | Vstoref_strided of { buf : buf; idx : si_reg; stride : si_reg; src : vf_reg }
+  | Vscatterf of { buf : buf; idx : vi_reg; src : vf_reg; mask : vm_reg option }
+  | Vscatteri of { buf : buf; idx : vi_reg; src : vi_reg; mask : vm_reg option }
+
+type block = stmt list
+
+and stmt =
+  | I of instr
+  | For of { idx : si_reg; lo : si_reg; hi : si_reg; step : si_reg; body : block }
+    (* [lo]/[hi]/[step] are read once at loop entry; [hi] is exclusive;
+       [step] must be positive. *)
+  | While of { cond_block : block; cond : si_reg; body : block }
+    (* Evaluate [cond_block], loop while register [cond] <> 0. *)
+  | If of { cond : si_reg; then_ : block; else_ : block }
+
+type phase =
+  | Par of block (* executed by every thread; barrier at the end *)
+  | Seq of block (* executed by thread 0 only *)
+
+type buffer_decl = { buf_name : string; elt : elt_ty }
+
+type reg_counts = { si : int; sf : int; vf : int; vi : int; vm : int }
+
+type program = {
+  prog_name : string;
+  buffers : buffer_decl array;
+  phases : phase list;
+  regs : reg_counts;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Operation classes for the timing model.                             *)
+
+type op_class =
+  | Salu (* scalar integer ALU, moves, compares, selects, conversions *)
+  | Sfp (* scalar FP add/sub/mul/fma/min/max/neg/abs/floor *)
+  | Sdivsqrt (* scalar FP div, sqrt, rsqrt *)
+  | Smath (* scalar exp/log *)
+  | Valu
+  | Vfp
+  | Vdivsqrt
+  | Vmath
+  | Vshuf (* permutes, broadcasts, extracts, inserts, reductions *)
+  | Vmask (* mask logic *)
+  | Sload
+  | Sstore
+  | Vload (* unit-stride or strided vector access *)
+  | Vstore
+  | Vgather
+  | Vscatter
+  | Branch
+
+let op_class_count = 17
+
+let op_class_index = function
+  | Salu -> 0 | Sfp -> 1 | Sdivsqrt -> 2 | Smath -> 3
+  | Valu -> 4 | Vfp -> 5 | Vdivsqrt -> 6 | Vmath -> 7
+  | Vshuf -> 8 | Vmask -> 9
+  | Sload -> 10 | Sstore -> 11 | Vload -> 12 | Vstore -> 13
+  | Vgather -> 14 | Vscatter -> 15 | Branch -> 16
+
+let all_op_classes =
+  [ Salu; Sfp; Sdivsqrt; Smath; Valu; Vfp; Vdivsqrt; Vmath; Vshuf; Vmask;
+    Sload; Sstore; Vload; Vstore; Vgather; Vscatter; Branch ]
+
+let op_class_name = function
+  | Salu -> "salu" | Sfp -> "sfp" | Sdivsqrt -> "sdivsqrt" | Smath -> "smath"
+  | Valu -> "valu" | Vfp -> "vfp" | Vdivsqrt -> "vdivsqrt" | Vmath -> "vmath"
+  | Vshuf -> "vshuf" | Vmask -> "vmask"
+  | Sload -> "sload" | Sstore -> "sstore" | Vload -> "vload"
+  | Vstore -> "vstore" | Vgather -> "vgather" | Vscatter -> "vscatter"
+  | Branch -> "branch"
+
+let classify_funop ~vector = function
+  (* [Frsqrt] is the hardware reciprocal-sqrt approximation (x86 rsqrtss):
+     single-cycle class, unlike true sqrt/div. Only Ninja code and the
+     fast-math compiler mode emit it. *)
+  | Fneg | Fabs | Ffloor | Frsqrt -> if vector then Vfp else Sfp
+  | Fsqrt -> if vector then Vdivsqrt else Sdivsqrt
+  | Fexp | Flog -> if vector then Vmath else Smath
+
+let classify_fbin ~vector = function
+  | Fdiv -> if vector then Vdivsqrt else Sdivsqrt
+  | Fadd | Fsub | Fmul | Fmin | Fmax -> if vector then Vfp else Sfp
+
+let classify instr =
+  match instr with
+  | Iconst _ | Imov _ | Ibin _ | Icmp _ | Fcmp _ | Iselect _ | Ioff _ -> Salu
+  | Fconst _ | Fmov _ | Fselect _ | Fofi _ | Fma _ -> Sfp
+  | Fbin (op, _, _, _) -> classify_fbin ~vector:false op
+  | Funop (op, _, _) -> classify_funop ~vector:false op
+  | Loadf _ | Loadi _ -> Sload
+  | Storef _ | Storei _ -> Sstore
+  | Vbroadcastf _ | Vbroadcasti _ | Viota _ | Vpermutef _ | Vextractf _
+  | Vinsertf _ | Vreducef _ | Vreducei _ -> Vshuf
+  | Vfbin (op, _, _, _) -> classify_fbin ~vector:true op
+  | Vmovf _ | Vfma _ | Vselectf _ | Vfofi _ -> Vfp
+  | Vfunop (op, _, _) -> classify_funop ~vector:true op
+  | Vmovi _ | Vibin _ | Vicmp _ | Vselecti _ | Vioff _ -> Valu
+  | Vfcmp _ -> Vfp
+  | Mconst _ | Mpattern _ | Mfirst _ | Mnot _ | Mand _ | Mor _ | Many _
+  | Mall _ | Mcount _ -> Vmask
+  | Vloadf _ | Vloadi _ -> Vload
+  (* strided accesses have no direct instruction on the modeled machines:
+     they are priced like gather/scatter (per-lane load + insert) *)
+  | Vloadf_strided _ | Vgatherf _ | Vgatheri _ -> Vgather
+  | Vstoref _ | Vstoref_nt _ | Vstorei _ -> Vstore
+  | Vstoref_strided _ -> Vscatter
+  | Vscatterf _ | Vscatteri _ -> Vscatter
+
+let elt_size = function F32 -> 4 | I32 -> 4
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+exception Invalid_program of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid_program s)) fmt
+
+let validate (p : program) =
+  let check_si (Si r) = if r < 0 || r >= p.regs.si then invalid "si reg %d out of range" r in
+  let check_sf (Sf r) = if r < 0 || r >= p.regs.sf then invalid "sf reg %d out of range" r in
+  let check_vf (Vf r) = if r < 0 || r >= p.regs.vf then invalid "vf reg %d out of range" r in
+  let check_vi (Vi r) = if r < 0 || r >= p.regs.vi then invalid "vi reg %d out of range" r in
+  let check_vm (Vm r) = if r < 0 || r >= p.regs.vm then invalid "vm reg %d out of range" r in
+  let check_mask = Option.iter check_vm in
+  let check_buf ~want (Buf b) =
+    if b < 0 || b >= Array.length p.buffers then invalid "buffer %d out of range" b;
+    let got = p.buffers.(b).elt in
+    if got <> want then
+      invalid "buffer %s has element type %s but is accessed as %s"
+        p.buffers.(b).buf_name
+        (match got with F32 -> "f32" | I32 -> "i32")
+        (match want with F32 -> "f32" | I32 -> "i32")
+  in
+  let check_instr = function
+    | Iconst (d, _) -> check_si d
+    | Fconst (d, _) -> check_sf d
+    | Imov (d, a) -> check_si d; check_si a
+    | Fmov (d, a) -> check_sf d; check_sf a
+    | Ibin (_, d, a, b) -> check_si d; check_si a; check_si b
+    | Fbin (_, d, a, b) -> check_sf d; check_sf a; check_sf b
+    | Fma (d, a, b, c) -> check_sf d; check_sf a; check_sf b; check_sf c
+    | Funop (_, d, a) -> check_sf d; check_sf a
+    | Icmp (_, d, a, b) -> check_si d; check_si a; check_si b
+    | Fcmp (_, d, a, b) -> check_si d; check_sf a; check_sf b
+    | Iselect (d, c, a, b) -> check_si d; check_si c; check_si a; check_si b
+    | Fselect (d, c, a, b) -> check_sf d; check_si c; check_sf a; check_sf b
+    | Fofi (d, a) -> check_sf d; check_si a
+    | Ioff (d, a) -> check_si d; check_sf a
+    | Loadf { dst; buf; idx; _ } -> check_sf dst; check_buf ~want:F32 buf; check_si idx
+    | Loadi { dst; buf; idx; _ } -> check_si dst; check_buf ~want:I32 buf; check_si idx
+    | Storef { buf; idx; src } -> check_buf ~want:F32 buf; check_si idx; check_sf src
+    | Storei { buf; idx; src } -> check_buf ~want:I32 buf; check_si idx; check_si src
+    | Vmovf (d, a) -> check_vf d; check_vf a
+    | Vmovi (d, a) -> check_vi d; check_vi a
+    | Vbroadcastf (d, a) -> check_vf d; check_sf a
+    | Vbroadcasti (d, a) -> check_vi d; check_si a
+    | Viota d -> check_vi d
+    | Vfbin (_, d, a, b) -> check_vf d; check_vf a; check_vf b
+    | Vfma (d, a, b, c) -> check_vf d; check_vf a; check_vf b; check_vf c
+    | Vfunop (_, d, a) -> check_vf d; check_vf a
+    | Vibin (_, d, a, b) -> check_vi d; check_vi a; check_vi b
+    | Vfcmp (_, d, a, b) -> check_vm d; check_vf a; check_vf b
+    | Vicmp (_, d, a, b) -> check_vm d; check_vi a; check_vi b
+    | Vselectf (d, m, a, b) -> check_vf d; check_vm m; check_vf a; check_vf b
+    | Vselecti (d, m, a, b) -> check_vi d; check_vm m; check_vi a; check_vi b
+    | Vfofi (d, a) -> check_vf d; check_vi a
+    | Vioff (d, a) -> check_vi d; check_vf a
+    | Vpermutef (d, a, pat) ->
+        check_vf d; check_vf a;
+        if Array.length pat = 0 then invalid "empty permutation pattern"
+    | Vextractf (d, a, l) -> check_sf d; check_vf a; check_si l
+    | Vinsertf (d, l, a) -> check_vf d; check_si l; check_sf a
+    | Vreducef (_, d, a) -> check_sf d; check_vf a
+    | Vreducei (_, d, a) -> check_si d; check_vi a
+    | Mconst (d, _) -> check_vm d
+    | Mpattern (d, pat) ->
+        check_vm d;
+        if Array.length pat = 0 then invalid "empty mask pattern" 
+    | Mfirst (d, n) -> check_vm d; check_si n
+    | Mnot (d, a) -> check_vm d; check_vm a
+    | Mand (d, a, b) | Mor (d, a, b) -> check_vm d; check_vm a; check_vm b
+    | Many (d, a) | Mall (d, a) | Mcount (d, a) -> check_si d; check_vm a
+    | Vloadf { dst; buf; idx; mask } ->
+        check_vf dst; check_buf ~want:F32 buf; check_si idx; check_mask mask
+    | Vloadi { dst; buf; idx; mask } ->
+        check_vi dst; check_buf ~want:I32 buf; check_si idx; check_mask mask
+    | Vloadf_strided { dst; buf; idx; stride } ->
+        check_vf dst; check_buf ~want:F32 buf; check_si idx; check_si stride
+    | Vgatherf { dst; buf; idx; mask; _ } ->
+        check_vf dst; check_buf ~want:F32 buf; check_vi idx; check_mask mask
+    | Vgatheri { dst; buf; idx; mask; _ } ->
+        check_vi dst; check_buf ~want:I32 buf; check_vi idx; check_mask mask
+    | Vstoref { buf; idx; src; mask } ->
+        check_buf ~want:F32 buf; check_si idx; check_vf src; check_mask mask
+    | Vstoref_nt { buf; idx; src } ->
+        check_buf ~want:F32 buf; check_si idx; check_vf src
+    | Vstorei { buf; idx; src; mask } ->
+        check_buf ~want:I32 buf; check_si idx; check_vi src; check_mask mask
+    | Vstoref_strided { buf; idx; stride; src } ->
+        check_buf ~want:F32 buf; check_si idx; check_si stride; check_vf src
+    | Vscatterf { buf; idx; src; mask } ->
+        check_buf ~want:F32 buf; check_vi idx; check_vf src; check_mask mask
+    | Vscatteri { buf; idx; src; mask } ->
+        check_buf ~want:I32 buf; check_vi idx; check_vi src; check_mask mask
+  in
+  let rec check_block b = List.iter check_stmt b
+  and check_stmt = function
+    | I i -> check_instr i
+    | For { idx; lo; hi; step; body } ->
+        check_si idx; check_si lo; check_si hi; check_si step;
+        check_block body
+    | While { cond_block; cond; body } ->
+        check_block cond_block; check_si cond; check_block body
+    | If { cond; then_; else_ } ->
+        check_si cond; check_block then_; check_block else_
+  in
+  if p.regs.si < reserved_si_regs then
+    invalid "programs must declare at least %d scalar int registers" reserved_si_regs;
+  List.iter (function Par b | Seq b -> check_block b) p.phases
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (assembler-style, for docs and debugging)           *)
+
+let pp_si ppf (Si r) = Fmt.pf ppf "i%d" r
+let pp_sf ppf (Sf r) = Fmt.pf ppf "f%d" r
+let pp_vf ppf (Vf r) = Fmt.pf ppf "v%d" r
+let pp_vi ppf (Vi r) = Fmt.pf ppf "x%d" r
+let pp_vm ppf (Vm r) = Fmt.pf ppf "m%d" r
+
+let ibin_name = function
+  | Iadd -> "add" | Isub -> "sub" | Imul -> "mul" | Idiv -> "div"
+  | Imod -> "mod" | Iand -> "and" | Ior -> "or" | Ixor -> "xor"
+  | Ishl -> "shl" | Ishr -> "shr" | Imin -> "min" | Imax -> "max"
+
+let fbin_name = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fmin -> "fmin" | Fmax -> "fmax"
+
+let funop_name = function
+  | Fneg -> "fneg" | Fabs -> "fabs" | Fsqrt -> "fsqrt" | Frsqrt -> "frsqrt"
+  | Fexp -> "fexp" | Flog -> "flog" | Ffloor -> "ffloor"
+
+let cmp_name = function
+  | Ceq -> "eq" | Cne -> "ne" | Clt -> "lt" | Cle -> "le" | Cgt -> "gt"
+  | Cge -> "ge"
+
+let red_name = function Rsum -> "sum" | Rmin -> "min" | Rmax -> "max"
+
+let pp_buf buffers ppf (Buf b) =
+  if b >= 0 && b < Array.length buffers then
+    Fmt.pf ppf "@%s" buffers.(b).buf_name
+  else Fmt.pf ppf "@?%d" b
+
+let pp_mask ppf = function
+  | None -> ()
+  | Some m -> Fmt.pf ppf " ?%a" pp_vm m
+
+let pp_chain ppf chain = if chain then Fmt.pf ppf " !chain"
+
+let pp_instr buffers ppf instr =
+  let buf = pp_buf buffers in
+  match instr with
+  | Iconst (d, n) -> Fmt.pf ppf "iconst %a, %d" pp_si d n
+  | Fconst (d, x) -> Fmt.pf ppf "fconst %a, %g" pp_sf d x
+  | Imov (d, a) -> Fmt.pf ppf "imov %a, %a" pp_si d pp_si a
+  | Fmov (d, a) -> Fmt.pf ppf "fmov %a, %a" pp_sf d pp_sf a
+  | Ibin (op, d, a, b) ->
+      Fmt.pf ppf "%s %a, %a, %a" (ibin_name op) pp_si d pp_si a pp_si b
+  | Fbin (op, d, a, b) ->
+      Fmt.pf ppf "%s %a, %a, %a" (fbin_name op) pp_sf d pp_sf a pp_sf b
+  | Fma (d, a, b, c) ->
+      Fmt.pf ppf "fma %a, %a, %a, %a" pp_sf d pp_sf a pp_sf b pp_sf c
+  | Funop (op, d, a) -> Fmt.pf ppf "%s %a, %a" (funop_name op) pp_sf d pp_sf a
+  | Icmp (c, d, a, b) ->
+      Fmt.pf ppf "icmp.%s %a, %a, %a" (cmp_name c) pp_si d pp_si a pp_si b
+  | Fcmp (c, d, a, b) ->
+      Fmt.pf ppf "fcmp.%s %a, %a, %a" (cmp_name c) pp_si d pp_sf a pp_sf b
+  | Iselect (d, c, a, b) ->
+      Fmt.pf ppf "isel %a, %a, %a, %a" pp_si d pp_si c pp_si a pp_si b
+  | Fselect (d, c, a, b) ->
+      Fmt.pf ppf "fsel %a, %a, %a, %a" pp_sf d pp_si c pp_sf a pp_sf b
+  | Fofi (d, a) -> Fmt.pf ppf "fofi %a, %a" pp_sf d pp_si a
+  | Ioff (d, a) -> Fmt.pf ppf "ioff %a, %a" pp_si d pp_sf a
+  | Loadf { dst; buf = b; idx; chain } ->
+      Fmt.pf ppf "loadf %a, %a[%a]%a" pp_sf dst buf b pp_si idx pp_chain chain
+  | Loadi { dst; buf = b; idx; chain } ->
+      Fmt.pf ppf "loadi %a, %a[%a]%a" pp_si dst buf b pp_si idx pp_chain chain
+  | Storef { buf = b; idx; src } ->
+      Fmt.pf ppf "storef %a[%a], %a" buf b pp_si idx pp_sf src
+  | Storei { buf = b; idx; src } ->
+      Fmt.pf ppf "storei %a[%a], %a" buf b pp_si idx pp_si src
+  | Vmovf (d, a) -> Fmt.pf ppf "vmovf %a, %a" pp_vf d pp_vf a
+  | Vmovi (d, a) -> Fmt.pf ppf "vmovi %a, %a" pp_vi d pp_vi a
+  | Vbroadcastf (d, a) -> Fmt.pf ppf "vbcastf %a, %a" pp_vf d pp_sf a
+  | Vbroadcasti (d, a) -> Fmt.pf ppf "vbcasti %a, %a" pp_vi d pp_si a
+  | Viota d -> Fmt.pf ppf "viota %a" pp_vi d
+  | Vfbin (op, d, a, b) ->
+      Fmt.pf ppf "v%s %a, %a, %a" (fbin_name op) pp_vf d pp_vf a pp_vf b
+  | Vfma (d, a, b, c) ->
+      Fmt.pf ppf "vfma %a, %a, %a, %a" pp_vf d pp_vf a pp_vf b pp_vf c
+  | Vfunop (op, d, a) ->
+      Fmt.pf ppf "v%s %a, %a" (funop_name op) pp_vf d pp_vf a
+  | Vibin (op, d, a, b) ->
+      Fmt.pf ppf "vi%s %a, %a, %a" (ibin_name op) pp_vi d pp_vi a pp_vi b
+  | Vfcmp (c, d, a, b) ->
+      Fmt.pf ppf "vfcmp.%s %a, %a, %a" (cmp_name c) pp_vm d pp_vf a pp_vf b
+  | Vicmp (c, d, a, b) ->
+      Fmt.pf ppf "vicmp.%s %a, %a, %a" (cmp_name c) pp_vm d pp_vi a pp_vi b
+  | Vselectf (d, m, a, b) ->
+      Fmt.pf ppf "vself %a, %a, %a, %a" pp_vf d pp_vm m pp_vf a pp_vf b
+  | Vselecti (d, m, a, b) ->
+      Fmt.pf ppf "vseli %a, %a, %a, %a" pp_vi d pp_vm m pp_vi a pp_vi b
+  | Vfofi (d, a) -> Fmt.pf ppf "vfofi %a, %a" pp_vf d pp_vi a
+  | Vioff (d, a) -> Fmt.pf ppf "vioff %a, %a" pp_vi d pp_vf a
+  | Vpermutef (d, a, pat) ->
+      Fmt.pf ppf "vperm %a, %a, [%a]" pp_vf d pp_vf a
+        Fmt.(array ~sep:(any ";") int) pat
+  | Vextractf (d, a, l) ->
+      Fmt.pf ppf "vextr %a, %a[%a]" pp_sf d pp_vf a pp_si l
+  | Vinsertf (d, l, a) ->
+      Fmt.pf ppf "vins %a[%a], %a" pp_vf d pp_si l pp_sf a
+  | Vreducef (r, d, a) ->
+      Fmt.pf ppf "vred.%s %a, %a" (red_name r) pp_sf d pp_vf a
+  | Vreducei (r, d, a) ->
+      Fmt.pf ppf "vired.%s %a, %a" (red_name r) pp_si d pp_vi a
+  | Mconst (d, v) -> Fmt.pf ppf "mconst %a, %b" pp_vm d v
+  | Mpattern (d, pat) ->
+      Fmt.pf ppf "mpat %a, [%a]" pp_vm d
+        Fmt.(array ~sep:(any ";") (fmt "%b")) pat
+  | Mfirst (d, n) -> Fmt.pf ppf "mfirst %a, %a" pp_vm d pp_si n
+  | Mnot (d, a) -> Fmt.pf ppf "mnot %a, %a" pp_vm d pp_vm a
+  | Mand (d, a, b) -> Fmt.pf ppf "mand %a, %a, %a" pp_vm d pp_vm a pp_vm b
+  | Mor (d, a, b) -> Fmt.pf ppf "mor %a, %a, %a" pp_vm d pp_vm a pp_vm b
+  | Many (d, a) -> Fmt.pf ppf "many %a, %a" pp_si d pp_vm a
+  | Mall (d, a) -> Fmt.pf ppf "mall %a, %a" pp_si d pp_vm a
+  | Mcount (d, a) -> Fmt.pf ppf "mcount %a, %a" pp_si d pp_vm a
+  | Vloadf { dst; buf = b; idx; mask } ->
+      Fmt.pf ppf "vloadf %a, %a[%a]%a" pp_vf dst buf b pp_si idx pp_mask mask
+  | Vloadi { dst; buf = b; idx; mask } ->
+      Fmt.pf ppf "vloadi %a, %a[%a]%a" pp_vi dst buf b pp_si idx pp_mask mask
+  | Vloadf_strided { dst; buf = b; idx; stride } ->
+      Fmt.pf ppf "vloadf.s %a, %a[%a:%a]" pp_vf dst buf b pp_si idx pp_si stride
+  | Vgatherf { dst; buf = b; idx; mask; chain } ->
+      Fmt.pf ppf "vgathf %a, %a[%a]%a%a" pp_vf dst buf b pp_vi idx pp_mask mask
+        pp_chain chain
+  | Vgatheri { dst; buf = b; idx; mask; chain } ->
+      Fmt.pf ppf "vgathi %a, %a[%a]%a%a" pp_vi dst buf b pp_vi idx pp_mask mask
+        pp_chain chain
+  | Vstoref { buf = b; idx; src; mask } ->
+      Fmt.pf ppf "vstoref %a[%a], %a%a" buf b pp_si idx pp_vf src pp_mask mask
+  | Vstoref_nt { buf = b; idx; src } ->
+      Fmt.pf ppf "vstoref.nt %a[%a], %a" buf b pp_si idx pp_vf src
+  | Vstorei { buf = b; idx; src; mask } ->
+      Fmt.pf ppf "vstorei %a[%a], %a%a" buf b pp_si idx pp_vi src pp_mask mask
+  | Vstoref_strided { buf = b; idx; stride; src } ->
+      Fmt.pf ppf "vstoref.s %a[%a:%a], %a" buf b pp_si idx pp_si stride pp_vf src
+  | Vscatterf { buf = b; idx; src; mask } ->
+      Fmt.pf ppf "vscatf %a[%a], %a%a" buf b pp_vi idx pp_vf src pp_mask mask
+  | Vscatteri { buf = b; idx; src; mask } ->
+      Fmt.pf ppf "vscati %a[%a], %a%a" buf b pp_vi idx pp_vi src pp_mask mask
+
+let pp_program ppf (p : program) =
+  let rec pp_block indent ppf b = List.iter (pp_stmt indent ppf) b
+  and pp_stmt indent ppf = function
+    | I i -> Fmt.pf ppf "%s%a@." indent (pp_instr p.buffers) i
+    | For { idx; lo; hi; step; body } ->
+        Fmt.pf ppf "%sfor %a = %a to %a step %a {@." indent pp_si idx pp_si lo
+          pp_si hi pp_si step;
+        pp_block (indent ^ "  ") ppf body;
+        Fmt.pf ppf "%s}@." indent
+    | While { cond_block; cond; body } ->
+        Fmt.pf ppf "%swhile {@." indent;
+        pp_block (indent ^ "  ") ppf cond_block;
+        Fmt.pf ppf "%s} %a {@." indent pp_si cond;
+        pp_block (indent ^ "  ") ppf body;
+        Fmt.pf ppf "%s}@." indent
+    | If { cond; then_; else_ } ->
+        Fmt.pf ppf "%sif %a {@." indent pp_si cond;
+        pp_block (indent ^ "  ") ppf then_;
+        if else_ <> [] then begin
+          Fmt.pf ppf "%s} else {@." indent;
+          pp_block (indent ^ "  ") ppf else_
+        end;
+        Fmt.pf ppf "%s}@." indent
+  in
+  Fmt.pf ppf "program %s@." p.prog_name;
+  Array.iter
+    (fun { buf_name; elt } ->
+      Fmt.pf ppf "  buffer %s : %s@." buf_name
+        (match elt with F32 -> "f32" | I32 -> "i32"))
+    p.buffers;
+  List.iteri
+    (fun i ph ->
+      match ph with
+      | Par b ->
+          Fmt.pf ppf "phase %d (parallel) {@." i;
+          pp_block "  " ppf b;
+          Fmt.pf ppf "}@."
+      | Seq b ->
+          Fmt.pf ppf "phase %d (sequential) {@." i;
+          pp_block "  " ppf b;
+          Fmt.pf ppf "}@.")
+    p.phases
+
+(* Static instruction count (program size, used as an effort proxy). *)
+let static_size (p : program) =
+  let rec block b = List.fold_left (fun acc s -> acc + stmt s) 0 b
+  and stmt = function
+    | I _ -> 1
+    | For { body; _ } -> 1 + block body
+    | While { cond_block; body; _ } -> 1 + block cond_block + block body
+    | If { then_; else_; _ } -> 1 + block then_ + block else_
+  in
+  List.fold_left (fun acc ph -> acc + match ph with Par b | Seq b -> block b) 0 p.phases

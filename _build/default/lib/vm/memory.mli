@@ -1,0 +1,42 @@
+(** The buffer store backing a program run.
+
+    Each buffer declared by a program is bound to an OCaml array and given
+    a page-aligned base address in a flat modeled address space, so the
+    cache simulator sees realistic, non-overlapping addresses. The modeled
+    element size is 4 bytes (the paper's kernels are single-precision /
+    32-bit integer), independent of OCaml's in-memory representation. *)
+
+type buffer = Fbuf of float array | Ibuf of int array
+
+type t
+
+exception Bad_binding of string
+(** Binding list does not match the program's buffer declarations. *)
+
+exception Trap of string
+(** Runtime memory fault (bounds, type confusion); also reused by the
+    interpreter for all runtime faults. *)
+
+val trap : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Trap} with a formatted message. *)
+
+val create : Isa.program -> (string * buffer) list -> t
+(** Bind every declared buffer by name. Element types must match; extra or
+    missing bindings raise {!Bad_binding}. *)
+
+val get_f : t -> Isa.buf -> int -> float
+val get_i : t -> Isa.buf -> int -> int
+val set_f : t -> Isa.buf -> int -> float -> unit
+val set_i : t -> Isa.buf -> int -> int -> unit
+
+val address : t -> Isa.buf -> int -> int
+(** Modeled byte address of an element. *)
+
+val length : t -> Isa.buf -> int
+
+val find : t -> string -> Isa.buf * buffer
+(** Look a buffer up by name (the live array, not a copy).
+    @raise Not_found *)
+
+val total_bytes : t -> int
+(** Total modeled bytes across buffers. *)

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Float Fun List Ninja_util

@@ -1,0 +1,77 @@
+module Rng = Ninja_util.Rng
+
+let floats ~seed ?(lo = 0.) ?(hi = 1.) n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.float_range rng lo hi)
+
+let ints ~seed ~bound n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.int rng bound)
+
+let permutation ~seed n =
+  let rng = Rng.create seed in
+  let a = Array.init n Fun.id in
+  Rng.shuffle rng a;
+  a
+
+let sorted_floats ~seed ?(lo = 0.) ?(hi = 1.) n =
+  let a = floats ~seed ~lo ~hi n in
+  Array.sort Float.compare a;
+  a
+
+let interleave fields =
+  match fields with
+  | [] -> [||]
+  | first :: rest ->
+      let n = Array.length first in
+      List.iter
+        (fun f ->
+          if Array.length f <> n then invalid_arg "Gen.interleave: ragged fields")
+        rest;
+      let k = List.length fields in
+      let out = Array.make (n * k) 0. in
+      List.iteri
+        (fun j f -> Array.iteri (fun i x -> out.((i * k) + j) <- x) f)
+        fields;
+      out
+
+let interleave2 a b = interleave [ a; b ]
+
+let grid3d ~seed ~nx ~ny ~nz =
+  let rng = Rng.create seed in
+  let g = Array.make (nx * ny * nz) 0. in
+  for z = 0 to nz - 1 do
+    for y = 0 to ny - 1 do
+      for x = 0 to nx - 1 do
+        (* smooth base field plus noise: stencils and rendering behave like
+           they do on physical data rather than white noise *)
+        let fx = float_of_int x /. float_of_int nx in
+        let fy = float_of_int y /. float_of_int ny in
+        let fz = float_of_int z /. float_of_int nz in
+        let base = sin (6.28 *. fx) *. cos (6.28 *. fy) +. fz in
+        g.(x + (nx * (y + (ny * z)))) <- base +. Rng.float rng 0.1
+      done
+    done
+  done;
+  g
+
+let bst_level_order ~seed ~depth =
+  if depth < 1 || depth > 30 then invalid_arg "Gen.bst_level_order: bad depth";
+  let n = (1 lsl depth) - 1 in
+  let sorted = sorted_floats ~seed ~lo:0. ~hi:1000. n in
+  (* ensure strict increase so searches have unique answers *)
+  for i = 1 to n - 1 do
+    if sorted.(i) <= sorted.(i - 1) then sorted.(i) <- sorted.(i - 1) +. 1e-3
+  done;
+  let tree = Array.make n 0. in
+  (* fill node [node] with the median of sorted[lo, hi) *)
+  let rec fill node lo hi =
+    if node < n && lo < hi then begin
+      let mid = (lo + hi) / 2 in
+      tree.(node) <- sorted.(mid);
+      fill ((2 * node) + 1) lo mid;
+      fill ((2 * node) + 2) (mid + 1) hi
+    end
+  in
+  fill 0 0 n;
+  tree

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_analysis Test_arch Test_core Test_kernels Test_lang Test_lang2 Test_report Test_util Test_vm

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Builder Gen Isa List Memory Ninja_arch Ninja_vm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring_contains List Ninja_arch Ninja_core Ninja_report Ninja_vm

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Fmt List Ninja_arch Ninja_kernels Ninja_vm String

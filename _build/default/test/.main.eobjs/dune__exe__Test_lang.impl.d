@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Analysis Array Ast Astring_contains Check Codegen Fmt Lexer List Ninja_arch Ninja_kernels Ninja_lang Ninja_vm Ninja_workloads Parser

@@ -1,0 +1,1 @@
+test/test_lang2.ml: Alcotest Array Codegen Float Fmt List Ninja_kernels Ninja_lang Ninja_vm Ninja_workloads Parser

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen List Ninja_util QCheck QCheck_alcotest

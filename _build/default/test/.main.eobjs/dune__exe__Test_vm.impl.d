@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Builder Counts Event Float Interp Isa List Memory Ninja_vm QCheck QCheck_alcotest

@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "ninja"
+    [ Test_util.suite;
+      Test_vm.suite;
+      Test_arch.suite;
+      Test_lang.suite;
+      Test_lang2.suite;
+      Test_analysis.suite;
+      Test_report.suite;
+      Test_kernels.suite;
+      Test_core.suite ]

@@ -1,0 +1,43 @@
+(* Roofline model tests. *)
+
+module Machine = Ninja_arch.Machine
+module Roofline = Ninja_analysis.Roofline
+
+let test_peak () =
+  (* Westmere: 6 cores x 4 lanes x 2 pipes (no FMA) x 3.33 GHz *)
+  Alcotest.(check (float 1.)) "peak" (6. *. 4. *. 2. *. 3.33)
+    (Roofline.peak_gflops Machine.westmere ~use_simd:true)
+
+let test_scalar_peak_smaller () =
+  Alcotest.(check bool) "scalar < simd" true
+    (Roofline.peak_gflops Machine.westmere ~use_simd:false
+    < Roofline.peak_gflops Machine.westmere ~use_simd:true)
+
+let test_ridge () =
+  let m = Machine.westmere in
+  let ridge = Roofline.ridge_intensity m in
+  Alcotest.(check (float 1e-6)) "roof continuous at ridge"
+    (Roofline.peak_gflops m ~use_simd:true)
+    (Roofline.attainable m ~intensity:ridge)
+
+let test_attainable_bw_side () =
+  let m = Machine.westmere in
+  Alcotest.(check (float 1e-6)) "low intensity is BW-limited" (m.dram_bw_gbs *. 0.25)
+    (Roofline.attainable m ~intensity:0.25)
+
+let test_attainable_monotone () =
+  let m = Machine.knights_ferry in
+  let prev = ref 0. in
+  for i = 1 to 100 do
+    let v = Roofline.attainable m ~intensity:(float_of_int i /. 10.) in
+    Alcotest.(check bool) "monotone nondecreasing" true (v >= !prev -. 1e-9);
+    prev := v
+  done
+
+let suite =
+  ( "analysis",
+    [ Alcotest.test_case "peak gflops" `Quick test_peak;
+      Alcotest.test_case "scalar peak smaller" `Quick test_scalar_peak_smaller;
+      Alcotest.test_case "ridge continuity" `Quick test_ridge;
+      Alcotest.test_case "bandwidth side" `Quick test_attainable_bw_side;
+      Alcotest.test_case "attainable monotone" `Quick test_attainable_monotone ] )

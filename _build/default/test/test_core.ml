@@ -1,0 +1,44 @@
+(* Experiment-layer tests (kept light: the heavy simulations are the bench
+   harness's job; here we check wiring, lookup, and one cheap experiment). *)
+
+module E = Ninja_core.Experiments
+
+let test_ids_unique () =
+  let ids = List.map (fun (e : E.experiment) -> e.id) E.all in
+  Alcotest.(check int) "no duplicates" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_find () =
+  Alcotest.(check string) "find f1" "f1" (E.find "F1").id;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (E.find "zz"))
+
+let test_expected_experiments () =
+  List.iter
+    (fun id -> ignore (E.find id))
+    [ "t1"; "f1"; "f2"; "f3"; "t2"; "f4"; "f5"; "f6"; "f7"; "f8"; "a1" ]
+
+let test_t2_runs () =
+  (* t2 compiles (no simulation): cheap end-to-end check of experiment code *)
+  let tables = (E.find "t2").run () in
+  Alcotest.(check int) "one table" 1 (List.length tables);
+  let csv = Ninja_report.Table.to_csv (List.hd tables) in
+  Alcotest.(check bool) "mentions NBody" true (Astring_contains.contains csv "NBody");
+  Alcotest.(check bool) "mentions MergeSort" true
+    (Astring_contains.contains csv "MergeSort")
+
+let test_gap () =
+  (* synthetic reports via a trivial simulated program *)
+  let b = Ninja_vm.Builder.create ~name:"g" in
+  Ninja_vm.Builder.seq_phase b (fun () -> ignore (Ninja_vm.Builder.iconst b 1));
+  let prog = Ninja_vm.Builder.finish b in
+  let mem = Ninja_vm.Memory.create prog [] in
+  let r = Ninja_arch.Timing.simulate ~machine:Ninja_arch.Machine.westmere prog mem in
+  Alcotest.(check (float 1e-9)) "gap with self" 1.0 (E.gap r r)
+
+let suite =
+  ( "core",
+    [ Alcotest.test_case "ids unique" `Quick test_ids_unique;
+      Alcotest.test_case "find" `Quick test_find;
+      Alcotest.test_case "all experiments present" `Quick test_expected_experiments;
+      Alcotest.test_case "t2 runs" `Quick test_t2_runs;
+      Alcotest.test_case "gap" `Quick test_gap ] )

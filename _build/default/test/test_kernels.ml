@@ -1,0 +1,75 @@
+(* Integration tests: every benchmark's every ladder variant must reproduce
+   the OCaml reference results, on both a CPU-class and a MIC-class machine
+   (different vector widths, thread counts, FMA availability), and compiled
+   parallel variants must be free of data races. *)
+
+module Driver = Ninja_kernels.Driver
+module Registry = Ninja_kernels.Registry
+module Machine = Ninja_arch.Machine
+
+let test_scale = 1
+
+let validate_case (machine : Machine.t) (bench : Driver.benchmark) =
+  let name = Fmt.str "%s on %s" bench.b_name machine.name in
+  Alcotest.test_case name `Quick (fun () ->
+      let steps = bench.steps ~scale:test_scale in
+      Alcotest.(check int) "five ladder steps" 5 (List.length steps);
+      List.iter
+        (fun (step : Driver.step) ->
+          match Driver.validate_step ~machine step with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (Fmt.str "%s / %s: %s" bench.b_name step.step_name e))
+        steps)
+
+let race_case (bench : Driver.benchmark) =
+  Alcotest.test_case (bench.b_name ^ " race-free") `Quick (fun () ->
+      let machine = Machine.westmere in
+      let steps = bench.steps ~scale:test_scale in
+      List.iter
+        (fun (step : Driver.step) ->
+          if step.parallel then begin
+            let prog = step.make ~machine in
+            let mem = Driver.memory_for prog (step.bindings ()) in
+            try
+              for run = 0 to step.runs machine - 1 do
+                step.prepare machine run mem;
+                ignore
+                  (Ninja_vm.Interp.run ~n_threads:machine.cores
+                     ~width:machine.simd_width ~check_races:true prog mem)
+              done
+            with Ninja_vm.Interp.Race races ->
+              Alcotest.fail
+                (Fmt.str "%s / %s: %s" bench.b_name step.step_name
+                   (String.concat "; " races))
+          end)
+        steps)
+
+let determinism_case (bench : Driver.benchmark) =
+  Alcotest.test_case (bench.b_name ^ " deterministic timing") `Quick (fun () ->
+      let machine = Machine.westmere in
+      let step = List.nth (bench.steps ~scale:test_scale) 4 (* ninja *) in
+      let r1 = Driver.run_step ~machine step in
+      let r2 = Driver.run_step ~machine step in
+      Alcotest.(check (float 1e-9)) "same cycles" r1.cycles r2.cycles)
+
+let ladder_monotone_case (bench : Driver.benchmark) =
+  (* the ninja variant must never be slower than naive serial *)
+  Alcotest.test_case (bench.b_name ^ " ninja beats naive") `Quick (fun () ->
+      let machine = Machine.westmere in
+      let steps = bench.steps ~scale:test_scale in
+      let time name =
+        (Driver.run_step ~machine
+           (List.find (fun (s : Driver.step) -> s.step_name = name) steps))
+          .cycles
+      in
+      Alcotest.(check bool) "ninja faster" true (time "ninja" < time "naive serial"))
+
+let suite =
+  ( "kernels",
+    List.concat
+      [ List.concat_map
+          (fun b -> [ validate_case Machine.westmere b; validate_case Machine.knights_ferry b ])
+          Registry.all;
+        List.map race_case Registry.all;
+        List.map determinism_case Registry.all;
+        List.map ladder_monotone_case Registry.all ] )

@@ -1,0 +1,402 @@
+(* Compiler tests: lexer, parser, typechecker, analysis, and end-to-end
+   compile-and-run equivalence across optimization levels. *)
+
+open Ninja_lang
+module Driver = Ninja_kernels.Driver
+module Machine = Ninja_arch.Machine
+
+let parse = Parser.parse_kernel
+
+(* ---- lexer ---- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "kernel f(x: int) { x = x + 41; } // done" in
+  Alcotest.(check int) "token count incl EOF" 16 (Array.length toks)
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "/* a\nmulti */ x // end\n y" in
+  Alcotest.(check int) "two idents + eof" 3 (Array.length toks)
+
+let test_lexer_floats () =
+  match (Lexer.tokenize "1.5 2e3 0.25").(1).tok with
+  | Lexer.FLOAT f -> Alcotest.(check (float 1e-9)) "2e3" 2000. f
+  | _ -> Alcotest.fail "expected float"
+
+let test_lexer_error () =
+  Alcotest.check_raises "bad char" (Failure "lex") (fun () ->
+      try ignore (Lexer.tokenize "a # b") with Lexer.Error _ -> raise (Failure "lex"))
+
+(* ---- parser ---- *)
+
+let test_parse_minimal () =
+  let k = parse "kernel f(a : float[], n : int) { var i : int; }" in
+  Alcotest.(check string) "name" "f" k.kname;
+  Alcotest.(check int) "params" 2 (List.length k.params)
+
+let test_parse_for_shape_enforced () =
+  Alcotest.check_raises "bad for" (Failure "parse") (fun () ->
+      try
+        ignore
+          (parse "kernel f(n : int) { var i : int; for (i = 0; i < n; i = i + 0) {} }")
+      with Parser.Error _ -> raise (Failure "parse"))
+
+let test_parse_precedence () =
+  let k = parse "kernel f(x : int) { x = 1 + 2 * 3; }" in
+  match k.body with
+  | [ Assign (_, Bin (Add, Int_lit 1, Bin (Mul, Int_lit 2, Int_lit 3))) ] -> ()
+  | _ -> Alcotest.fail "wrong precedence"
+
+let test_parse_pragmas () =
+  let k =
+    parse
+      "kernel f(n : int) { var i : int; pragma parallel pragma simd for (i = 0; i < n; i = i + 1) {} }"
+  in
+  match k.body with
+  | [ Decl _; For { pragmas = [ Parallel; Simd ]; _ } ] -> ()
+  | _ -> Alcotest.fail "pragmas lost"
+
+let test_parse_unknown_function () =
+  Alcotest.check_raises "unknown fn" (Failure "parse") (fun () ->
+      try ignore (parse "kernel f(x : float) { x = sin(x); }")
+      with Parser.Error _ -> raise (Failure "parse"))
+
+(* round-trip: pretty-print then re-parse gives the same AST, checked over
+   every real benchmark source in the repository *)
+let all_sources =
+  [ Ninja_kernels.Nbody.naive_src; Ninja_kernels.Nbody.opt_src;
+    Ninja_kernels.Blackscholes.naive_src; Ninja_kernels.Blackscholes.opt_src;
+    Ninja_kernels.Conv2d.naive_src; Ninja_kernels.Conv2d.opt_src;
+    Ninja_kernels.Stencil7.naive_src; Ninja_kernels.Stencil7.opt_src;
+    Ninja_kernels.Lbm.naive_src; Ninja_kernels.Lbm.opt_src;
+    Ninja_kernels.Complex1d.naive_src; Ninja_kernels.Complex1d.opt_src;
+    Ninja_kernels.Treesearch.naive_src; Ninja_kernels.Treesearch.opt_src;
+    Ninja_kernels.Backprojection.naive_src; Ninja_kernels.Backprojection.opt_src;
+    Ninja_kernels.Volume_render.naive_src; Ninja_kernels.Volume_render.opt_src;
+    Ninja_kernels.Mergesort.naive_src ]
+
+let test_roundtrip_all_sources () =
+  List.iteri
+    (fun i src ->
+      let k = parse src in
+      let printed = Fmt.str "%a" Ast.pp_kernel k in
+      let k2 = parse printed in
+      if k <> k2 then Alcotest.fail (Fmt.str "source %d did not round-trip" i))
+    all_sources
+
+(* ---- typechecker ---- *)
+
+let check_src src = Check.check_kernel (parse src)
+
+let expect_type_error src =
+  Alcotest.check_raises "type error" (Failure "type") (fun () ->
+      try check_src src with Check.Type_error _ -> raise (Failure "type"))
+
+let test_check_ok () = check_src "kernel f(a : float[], n : int) { var i : int; for (i = 0; i < n; i = i + 1) { a[i] = 1.0; } }"
+
+let test_check_mixed_arith () = expect_type_error "kernel f(x : float) { x = x + 1; }"
+let test_check_unbound () = expect_type_error "kernel f(x : int) { x = y; }"
+let test_check_bad_subscript () = expect_type_error "kernel f(a : float[], x : float) { a[x] = 1.0; }"
+let test_check_array_as_scalar () = expect_type_error "kernel f(a : float[]) { a = a; }"
+let test_check_loop_var_type () =
+  expect_type_error "kernel f(n : int) { var i : float; for (i = 0; i < n; i = i + 1) {} }"
+let test_check_cond_type () = expect_type_error "kernel f(x : float) { if (x) { x = 1.0; } }"
+
+(* ---- constant folding ---- *)
+
+let test_fold () =
+  let e = Ast.fold_expr (Bin (Add, Bin (Mul, Int_lit 3, Int_lit 4), Int_lit 0)) in
+  Alcotest.(check bool) "3*4+0 = 12" true (e = Ast.Int_lit 12)
+
+(* ---- analysis ---- *)
+
+let test_subscript_classify () =
+  let varying = Analysis.S.empty in
+  let classify e = Analysis.classify_subscript ~loop_var:"i" ~varying e in
+  (match classify (Bin (Add, Var "i", Var "base")) with
+  | Sub_affine (1, _) -> ()
+  | _ -> Alcotest.fail "i + base should be affine stride 1");
+  (match classify (Bin (Mul, Var "i", Int_lit 5)) with
+  | Sub_affine (5, _) -> ()
+  | _ -> Alcotest.fail "5i should be stride 5");
+  (match classify (Var "base") with
+  | Sub_invariant -> ()
+  | _ -> Alcotest.fail "base is invariant");
+  match classify (Index ("b", Var "i")) with
+  | Sub_complex -> ()
+  | _ -> Alcotest.fail "b[i] is complex"
+
+let test_subscript_varying_base () =
+  let varying = Analysis.S.singleton "t" in
+  match Analysis.classify_subscript ~loop_var:"i" ~varying (Bin (Add, Var "i", Var "t")) with
+  | Sub_complex -> ()
+  | _ -> Alcotest.fail "base mentioning a body-assigned scalar is complex"
+
+let test_const_difference () =
+  let e1 = Ast.Bin (Add, Bin (Mul, Var "y", Var "w"), Int_lit 3) in
+  let e2 = Ast.Bin (Add, Bin (Mul, Var "y", Var "w"), Int_lit 1) in
+  Alcotest.(check (option int)) "difference 2" (Some 2) (Analysis.const_difference e1 e2);
+  Alcotest.(check (option int)) "incomparable" None
+    (Analysis.const_difference (Ast.Var "a") (Ast.Var "b"))
+
+let vec_plan src =
+  let rec find_for = function
+    | [] -> Alcotest.fail "no loop in kernel body"
+    | Ast.For loop :: _ -> loop
+    | _ :: rest -> find_for rest
+  in
+  Analysis.vectorize_plan ~force:false (find_for (parse src).body)
+
+let test_reduction_recognized () =
+  let plan =
+    vec_plan
+      "kernel f(a : float[], n : int, s : float) { var i : int; for (i = 0; i < n; i = i + 1) { s = s + a[i]; } }"
+  in
+  match List.assoc "s" plan.scalars with
+  | Analysis.Reduction Analysis.Rsum -> ()
+  | _ -> Alcotest.fail "sum reduction not recognized"
+
+let test_min_reduction () =
+  let plan =
+    vec_plan
+      "kernel f(a : float[], n : int, s : float) { var i : int; for (i = 0; i < n; i = i + 1) { s = fminf(s, a[i]); } }"
+  in
+  match List.assoc "s" plan.scalars with
+  | Analysis.Reduction Analysis.Rmin -> ()
+  | _ -> Alcotest.fail "min reduction not recognized"
+
+let expect_not_vectorizable src =
+  Alcotest.check_raises "not vectorizable" (Failure "nv") (fun () ->
+      try ignore (vec_plan src) with Analysis.Not_vectorizable _ -> raise (Failure "nv"))
+
+let test_loop_carried_scalar_rejected () =
+  expect_not_vectorizable
+    "kernel f(a : float[], n : int, s : float) { var i : int; for (i = 0; i < n; i = i + 1) { a[i] = s; s = a[i] * 2.0; } }"
+
+let test_dependence_rejected () =
+  expect_not_vectorizable
+    "kernel f(a : float[], n : int) { var i : int; for (i = 0; i < n; i = i + 1) { a[i] = a[i + 1] + 1.0; } }"
+
+let test_disjoint_strides_accepted () =
+  (* writes at 2i and 2i+1 never collide *)
+  let plan =
+    vec_plan
+      "kernel f(a : float[], n : int) { var i : int; for (i = 0; i < n; i = i + 1) { a[2 * i] = 1.0; a[2 * i + 1] = 2.0; } }"
+  in
+  ignore plan
+
+let test_while_rejected () =
+  expect_not_vectorizable
+    "kernel f(a : float[], n : int) { var i : int; for (i = 0; i < n; i = i + 1) { var j : int = 0; while (j < 3) { j = j + 1; } a[i] = 0.0; } }"
+
+(* ---- end-to-end compile-and-run equivalence ---- *)
+
+(* saxpy with a conditional and a reduction; exercises if-conversion,
+   invariant broadcasts, and the remainder loop (n = 19 not a multiple of
+   any width). *)
+let testbed_src =
+  {|
+kernel testbed(x : float[], y : float[], n : int, a : float, s : float, out : float[]) {
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) {
+    var v : float = a * x[i] + y[i];
+    if (v < 0.0) { v = 0.0 - v; }
+    y[i] = v;
+    s = s + v;
+  }
+  out[0] = s;
+}
+|}
+
+let testbed_reference ~x ~y ~a =
+  let n = Array.length x in
+  let y' = Array.copy y in
+  let s = ref 0. in
+  for i = 0 to n - 1 do
+    let v = (a *. x.(i)) +. y.(i) in
+    let v = if v < 0. then -.v else v in
+    y'.(i) <- v;
+    s := !s +. v
+  done;
+  (y', !s)
+
+let run_testbed flags ~n_threads ~width =
+  let n = 19 in
+  let x = Ninja_workloads.Gen.floats ~seed:1 ~lo:(-5.) ~hi:5. n in
+  let y = Ninja_workloads.Gen.floats ~seed:2 ~lo:(-5.) ~hi:5. n in
+  let a = 0.75 in
+  let k = parse testbed_src in
+  let { Codegen.program; _ } = Codegen.compile ~flags k in
+  let mem =
+    Driver.memory_for program
+      [ ("x", Driver.Farr (Array.copy x));
+        ("y", Driver.Farr (Array.copy y));
+        ("n", Driver.Iscalar n);
+        ("a", Driver.Fscalar a);
+        ("s", Driver.Fscalar 0.);
+        ("out", Driver.Farr [| 0. |]) ]
+  in
+  ignore (Ninja_vm.Interp.run ~n_threads ~width program mem);
+  let expected_y, expected_s = testbed_reference ~x ~y ~a in
+  let got_y = Driver.output_f mem "y" in
+  let got_s = (Driver.output_f mem "out").(0) in
+  Array.iteri
+    (fun i e ->
+      if not (Driver.close ~rtol:1e-6 e got_y.(i)) then
+        Alcotest.fail (Fmt.str "y[%d]: expected %g got %g" i e got_y.(i)))
+    expected_y;
+  if not (Driver.close ~rtol:1e-6 expected_s got_s) then
+    Alcotest.fail (Fmt.str "s: expected %g got %g" expected_s got_s)
+
+let test_compile_scalar () = run_testbed Codegen.o2 ~n_threads:1 ~width:4
+let test_compile_vec () = run_testbed Codegen.o2_vec ~n_threads:1 ~width:4
+let test_compile_vec_w16 () = run_testbed Codegen.o2_vec ~n_threads:1 ~width:16
+let test_compile_vec_par () = run_testbed Codegen.o2_vec_par ~n_threads:6 ~width:4
+let test_compile_par_many_threads () = run_testbed Codegen.o2_vec_par ~n_threads:32 ~width:16
+
+let test_vec_report () =
+  let k = parse testbed_src in
+  let r = Codegen.compile ~flags:Codegen.o2_vec k in
+  match r.vec_report with
+  | [ (_, Codegen.Vectorized) ] -> ()
+  | _ -> Alcotest.fail "testbed loop should vectorize"
+
+let test_pragma_simd_error () =
+  let src =
+    "kernel f(a : float[], n : int) { var i : int; pragma simd for (i = 0; i < n; i = i + 1) { var j : int = 0; while (j < 2) { j = j + 1; } a[i] = 0.0; } }"
+  in
+  Alcotest.check_raises "hard error" (Failure "cerr") (fun () ->
+      try ignore (Codegen.compile ~flags:Codegen.o2_vec (parse src))
+      with Codegen.Compile_error _ -> raise (Failure "cerr"))
+
+let test_chain_taint () =
+  (* tree[node] where node depends on a previous load must be chained *)
+  let src =
+    {|
+kernel f(tree : float[], out : float[], depth : int) {
+  var node : int = 0;
+  var d : int;
+  var acc : float = 0.0;
+  for (d = 0; d < depth; d = d + 1) {
+    var kn : float = tree[node];
+    if (kn < 0.5) { node = 2 * node + 1; } else { node = 2 * node + 2; }
+    acc = acc + kn;
+  }
+  out[0] = acc;
+}
+|}
+  in
+  let { Codegen.program; _ } = Codegen.compile ~flags:Codegen.o2 (parse src) in
+  (* find a chained load in the program text *)
+  let text = Fmt.str "%a" Ninja_vm.Isa.pp_program program in
+  Alcotest.(check bool) "has chained load" true
+    (Astring_contains.contains text "!chain")
+
+let test_env_spill_across_phases () =
+  (* a scalar computed before the parallel loop must be visible to all
+     threads inside it *)
+  let src =
+    {|
+kernel f(out : float[], n : int) {
+  var c : float = 2.5;
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) {
+    out[i] = c;
+  }
+}
+|}
+  in
+  let { Codegen.program; _ } = Codegen.compile ~flags:Codegen.o2_vec_par (parse src) in
+  let mem =
+    Driver.memory_for program
+      [ ("out", Driver.Farr (Array.make 64 0.)); ("n", Driver.Iscalar 64) ]
+  in
+  ignore (Ninja_vm.Interp.run ~n_threads:6 ~width:4 program mem);
+  Array.iter
+    (fun v -> Alcotest.(check (float 1e-9)) "broadcast constant" 2.5 v)
+    (Driver.output_f mem "out")
+
+let test_parallel_reduction_combines () =
+  let src =
+    {|
+kernel f(x : float[], out : float[], n : int) {
+  var s : float = 100.0;
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) {
+    s = s + x[i];
+  }
+  out[0] = s;
+}
+|}
+  in
+  let n = 1000 in
+  let { Codegen.program; _ } = Codegen.compile ~flags:Codegen.o2_vec_par (parse src) in
+  let mem =
+    Driver.memory_for program
+      [ ("x", Driver.Farr (Array.make n 1.));
+        ("out", Driver.Farr [| 0. |]);
+        ("n", Driver.Iscalar n) ]
+  in
+  ignore (Ninja_vm.Interp.run ~n_threads:6 ~width:4 program mem);
+  Alcotest.(check (float 1e-6)) "100 + n" (100. +. float_of_int n)
+    (Driver.output_f mem "out").(0)
+
+let test_compiled_is_race_free () =
+  (* run a compiled parallel kernel under the race detector *)
+  let { Codegen.program; _ } =
+    Codegen.compile ~flags:Codegen.o2_vec_par (parse testbed_src)
+  in
+  let n = 64 in
+  let mem =
+    Driver.memory_for program
+      [ ("x", Driver.Farr (Array.make n 1.));
+        ("y", Driver.Farr (Array.make n 2.));
+        ("n", Driver.Iscalar n);
+        ("a", Driver.Fscalar 1.);
+        ("s", Driver.Fscalar 0.);
+        ("out", Driver.Farr [| 0. |]) ]
+  in
+  ignore (Ninja_vm.Interp.run ~n_threads:4 ~width:4 ~check_races:true program mem)
+
+let suite =
+  ( "lang",
+    [ Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+      Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+      Alcotest.test_case "lexer floats" `Quick test_lexer_floats;
+      Alcotest.test_case "lexer error" `Quick test_lexer_error;
+      Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+      Alcotest.test_case "for shape enforced" `Quick test_parse_for_shape_enforced;
+      Alcotest.test_case "precedence" `Quick test_parse_precedence;
+      Alcotest.test_case "pragmas" `Quick test_parse_pragmas;
+      Alcotest.test_case "unknown function" `Quick test_parse_unknown_function;
+      Alcotest.test_case "round-trip all suite sources" `Quick test_roundtrip_all_sources;
+      Alcotest.test_case "check ok" `Quick test_check_ok;
+      Alcotest.test_case "mixed arithmetic" `Quick test_check_mixed_arith;
+      Alcotest.test_case "unbound var" `Quick test_check_unbound;
+      Alcotest.test_case "bad subscript" `Quick test_check_bad_subscript;
+      Alcotest.test_case "array as scalar" `Quick test_check_array_as_scalar;
+      Alcotest.test_case "loop var type" `Quick test_check_loop_var_type;
+      Alcotest.test_case "cond type" `Quick test_check_cond_type;
+      Alcotest.test_case "constant folding" `Quick test_fold;
+      Alcotest.test_case "subscript classify" `Quick test_subscript_classify;
+      Alcotest.test_case "varying base" `Quick test_subscript_varying_base;
+      Alcotest.test_case "const difference" `Quick test_const_difference;
+      Alcotest.test_case "sum reduction" `Quick test_reduction_recognized;
+      Alcotest.test_case "min reduction" `Quick test_min_reduction;
+      Alcotest.test_case "loop-carried scalar" `Quick test_loop_carried_scalar_rejected;
+      Alcotest.test_case "dependence rejected" `Quick test_dependence_rejected;
+      Alcotest.test_case "disjoint strides ok" `Quick test_disjoint_strides_accepted;
+      Alcotest.test_case "while rejected" `Quick test_while_rejected;
+      Alcotest.test_case "compile O2" `Quick test_compile_scalar;
+      Alcotest.test_case "compile vec" `Quick test_compile_vec;
+      Alcotest.test_case "compile vec w16" `Quick test_compile_vec_w16;
+      Alcotest.test_case "compile vec+par" `Quick test_compile_vec_par;
+      Alcotest.test_case "compile 32 threads" `Quick test_compile_par_many_threads;
+      Alcotest.test_case "vec report" `Quick test_vec_report;
+      Alcotest.test_case "pragma simd hard error" `Quick test_pragma_simd_error;
+      Alcotest.test_case "chain taint" `Quick test_chain_taint;
+      Alcotest.test_case "env spill" `Quick test_env_spill_across_phases;
+      Alcotest.test_case "parallel reduction" `Quick test_parallel_reduction_combines;
+      Alcotest.test_case "compiled race-free" `Quick test_compiled_is_race_free ] )

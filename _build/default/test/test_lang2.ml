@@ -1,0 +1,298 @@
+(* Second compiler test battery: gathers, strided accesses, integer
+   reductions, nested loops, and the remainder-handling corner cases. *)
+
+open Ninja_lang
+module Driver = Ninja_kernels.Driver
+
+let parse = Parser.parse_kernel
+
+let run_kernel ?(n_threads = 1) ?(width = 4) flags src args =
+  let { Codegen.program; _ } = Codegen.compile ~flags (parse src) in
+  let mem = Driver.memory_for program args in
+  ignore (Ninja_vm.Interp.run ~n_threads ~width program mem);
+  mem
+
+(* every flag/width/thread combination a kernel must survive *)
+let combos =
+  [ (Codegen.o2, 1, 4); (Codegen.o2_vec, 1, 4); (Codegen.o2_vec, 1, 16);
+    (Codegen.o2_vec_par, 4, 4); (Codegen.o2_vec_par, 8, 16) ]
+
+let check_all_combos src args expected_of =
+  List.iter
+    (fun (flags, n_threads, width) ->
+      let mem = run_kernel ~n_threads ~width flags (src ()) (args ()) in
+      expected_of mem
+        (Fmt.str "%s/%dt/%dw" (Codegen.flags_name flags) n_threads width))
+    combos
+
+(* gather: permutation through an index array *)
+let test_gather_kernel () =
+  let n = 37 in
+  let src () =
+    {|
+kernel gatherk(src : float[], ix : int[], dst : float[], n : int) {
+  var i : int;
+  pragma parallel
+  pragma simd
+  for (i = 0; i < n; i = i + 1) {
+    dst[i] = src[ix[i]] * 2.0;
+  }
+}
+|}
+  in
+  let base = Array.init n (fun i -> float_of_int i +. 0.5) in
+  let perm = Ninja_workloads.Gen.permutation ~seed:9 n in
+  let args () =
+    [ ("src", Driver.Farr (Array.copy base));
+      ("ix", Driver.Iarr (Array.copy perm));
+      ("dst", Driver.Farr (Array.make n 0.));
+      ("n", Driver.Iscalar n) ]
+  in
+  let expected = Array.init n (fun i -> base.(perm.(i)) *. 2.) in
+  check_all_combos src args (fun mem label ->
+      match Driver.check_floats ~expected (Driver.output_f mem "dst") with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (label ^ ": " ^ e))
+
+(* strided store: AoS interleave written from SoA inputs *)
+let test_strided_store_kernel () =
+  let n = 23 in
+  let src () =
+    {|
+kernel interleave(a : float[], b : float[], out : float[], n : int) {
+  var i : int;
+  pragma simd
+  for (i = 0; i < n; i = i + 1) {
+    out[2 * i] = a[i];
+    out[2 * i + 1] = b[i];
+  }
+}
+|}
+  in
+  let a = Ninja_workloads.Gen.floats ~seed:11 n in
+  let b = Ninja_workloads.Gen.floats ~seed:12 n in
+  let args () =
+    [ ("a", Driver.Farr (Array.copy a));
+      ("b", Driver.Farr (Array.copy b));
+      ("out", Driver.Farr (Array.make (2 * n) 0.));
+      ("n", Driver.Iscalar n) ]
+  in
+  let expected = Ninja_workloads.Gen.interleave2 a b in
+  check_all_combos src args (fun mem label ->
+      match Driver.check_floats ~expected (Driver.output_f mem "out") with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (label ^ ": " ^ e))
+
+(* integer sum reduction, vectorized and parallel-combined *)
+let test_int_reduction () =
+  let n = 101 in
+  let src () =
+    {|
+kernel isum(x : int[], out : int[], n : int) {
+  var s : int = 7;
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) {
+    s = s + x[i];
+  }
+  out[0] = s;
+}
+|}
+  in
+  let x = Ninja_workloads.Gen.ints ~seed:13 ~bound:100 n in
+  let args () =
+    [ ("x", Driver.Iarr (Array.copy x));
+      ("out", Driver.Iarr [| 0 |]);
+      ("n", Driver.Iscalar n) ]
+  in
+  let expected = 7 + Array.fold_left ( + ) 0 x in
+  check_all_combos src args (fun mem label ->
+      Alcotest.(check int) label expected (Driver.output_i mem "out").(0))
+
+(* max reduction with if-converted guard *)
+let test_guarded_max_reduction () =
+  let n = 77 in
+  let src () =
+    {|
+kernel gmax(x : float[], out : float[], n : int) {
+  var m : float = 0.0 - 1000000.0;
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) {
+    if (x[i] > 0.0) {
+      m = fmaxf(m, x[i]);
+    }
+  }
+  out[0] = m;
+}
+|}
+  in
+  let x = Ninja_workloads.Gen.floats ~seed:14 ~lo:(-1.) ~hi:1. n in
+  let args () =
+    [ ("x", Driver.Farr (Array.copy x));
+      ("out", Driver.Farr [| 0. |]);
+      ("n", Driver.Iscalar n) ]
+  in
+  let expected =
+    Array.fold_left (fun m v -> if v > 0. then Float.max m v else m) (-1e6) x
+  in
+  check_all_combos src args (fun mem label ->
+      Alcotest.(check (float 1e-9)) label expected (Driver.output_f mem "out").(0))
+
+(* nested loops: outer parallel, inner vectorizable, invariant broadcasts *)
+let test_nested_loops () =
+  let rows = 9 and cols = 21 in
+  let src () =
+    {|
+kernel rowscale(m : float[], s : float[], out : float[], rows : int, cols : int) {
+  var r : int;
+  var c : int;
+  pragma parallel
+  for (r = 0; r < rows; r = r + 1) {
+    var k : float = s[r];
+    for (c = 0; c < cols; c = c + 1) {
+      out[r * cols + c] = m[r * cols + c] * k;
+    }
+  }
+}
+|}
+  in
+  let m = Ninja_workloads.Gen.floats ~seed:15 (rows * cols) in
+  let s = Ninja_workloads.Gen.floats ~seed:16 rows in
+  let args () =
+    [ ("m", Driver.Farr (Array.copy m));
+      ("s", Driver.Farr (Array.copy s));
+      ("out", Driver.Farr (Array.make (rows * cols) 0.));
+      ("rows", Driver.Iscalar rows);
+      ("cols", Driver.Iscalar cols) ]
+  in
+  let expected = Array.init (rows * cols) (fun i -> m.(i) *. s.(i / cols)) in
+  check_all_combos src args (fun mem label ->
+      match Driver.check_floats ~expected (Driver.output_f mem "out") with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (label ^ ": " ^ e))
+
+(* modulo/division/casts in a vector body *)
+let test_int_math_vectorized () =
+  let n = 33 in
+  let src () =
+    {|
+kernel imath(out : int[], n : int) {
+  var i : int;
+  pragma simd
+  for (i = 0; i < n; i = i + 1) {
+    out[i] = (i * 7) % 5 + (i / 3) + int(float(i) * 0.5);
+  }
+}
+|}
+  in
+  let args () = [ ("out", Driver.Iarr (Array.make n 0)); ("n", Driver.Iscalar n) ] in
+  let expected =
+    Array.init n (fun i -> (i * 7 mod 5) + (i / 3) + int_of_float (float_of_int i *. 0.5))
+  in
+  check_all_combos src args (fun mem label ->
+      match Driver.check_ints ~expected (Driver.output_i mem "out") with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (label ^ ": " ^ e))
+
+(* nested if-conversion *)
+let test_nested_if_conversion () =
+  let n = 41 in
+  let src () =
+    {|
+kernel bands(x : float[], out : float[], n : int) {
+  var i : int;
+  pragma simd
+  for (i = 0; i < n; i = i + 1) {
+    var v : float = x[i];
+    var r : float = 0.0;
+    if (v > 0.25) {
+      if (v > 0.75) {
+        r = 2.0;
+      } else {
+        r = 1.0;
+      }
+    } else {
+      r = 0.0 - 1.0;
+    }
+    out[i] = r;
+  }
+}
+|}
+  in
+  let x = Ninja_workloads.Gen.floats ~seed:17 n in
+  let args () =
+    [ ("x", Driver.Farr (Array.copy x));
+      ("out", Driver.Farr (Array.make n 0.));
+      ("n", Driver.Iscalar n) ]
+  in
+  let expected =
+    Array.map (fun v -> if v > 0.25 then (if v > 0.75 then 2. else 1.) else -1.) x
+  in
+  check_all_combos src args (fun mem label ->
+      match Driver.check_floats ~expected (Driver.output_f mem "out") with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (label ^ ": " ^ e))
+
+(* empty iteration spaces must be safe everywhere *)
+let test_empty_ranges () =
+  let src () =
+    {|
+kernel empty(x : float[], n : int) {
+  var i : int;
+  pragma parallel
+  pragma simd
+  for (i = 0; i < n; i = i + 1) {
+    x[i] = 1.0;
+  }
+}
+|}
+  in
+  let args () = [ ("x", Driver.Farr (Array.make 4 0.)); ("n", Driver.Iscalar 0) ] in
+  check_all_combos src args (fun mem label ->
+      Array.iter
+        (fun v -> Alcotest.(check (float 0.)) label 0. v)
+        (Driver.output_f mem "x"))
+
+(* more threads than iterations *)
+let test_more_threads_than_work () =
+  let src =
+    {|
+kernel tiny(x : float[], n : int) {
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) {
+    x[i] = float(i);
+  }
+}
+|}
+  in
+  let mem =
+    run_kernel ~n_threads:8 ~width:4 Codegen.o2_vec_par src
+      [ ("x", Driver.Farr (Array.make 3 0.)); ("n", Driver.Iscalar 3) ]
+  in
+  Alcotest.(check (array (float 1e-9))) "tiny n" [| 0.; 1.; 2. |] (Driver.output_f mem "x")
+
+(* the vectorization report distinguishes strided AoS from unit SoA *)
+let test_report_shapes () =
+  let r =
+    Codegen.compile ~flags:Codegen.o2_vec
+      (parse Ninja_kernels.Lbm.naive_src)
+  in
+  let vectorized =
+    List.filter (fun (_, o) -> o = Codegen.Vectorized) r.vec_report
+  in
+  Alcotest.(check int) "inner cell loop vectorized" 1 (List.length vectorized)
+
+let suite =
+  ( "lang2",
+    [ Alcotest.test_case "gather kernel" `Quick test_gather_kernel;
+      Alcotest.test_case "strided store kernel" `Quick test_strided_store_kernel;
+      Alcotest.test_case "int reduction" `Quick test_int_reduction;
+      Alcotest.test_case "guarded max reduction" `Quick test_guarded_max_reduction;
+      Alcotest.test_case "nested loops" `Quick test_nested_loops;
+      Alcotest.test_case "int math vectorized" `Quick test_int_math_vectorized;
+      Alcotest.test_case "nested if-conversion" `Quick test_nested_if_conversion;
+      Alcotest.test_case "empty ranges" `Quick test_empty_ranges;
+      Alcotest.test_case "more threads than work" `Quick test_more_threads_than_work;
+      Alcotest.test_case "vec-report shapes" `Quick test_report_shapes ] )

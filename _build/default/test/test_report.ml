@@ -1,0 +1,34 @@
+(* Table rendering tests. *)
+
+module Table = Ninja_report.Table
+
+let test_render_alignment () =
+  let t = Table.create ~title:"T" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "long-name"; "123" ];
+  let s = Fmt.str "%a" Table.render t in
+  Alcotest.(check bool) "contains rows" true (Astring_contains.contains s "long-name");
+  Alcotest.(check bool) "has separator" true (Astring_contains.contains s "---")
+
+let test_row_arity_checked () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Failure "arity") (fun () ->
+      try Table.add_row t [ "only one" ] with Invalid_argument _ -> raise (Failure "arity"))
+
+let test_csv () =
+  let t = Table.create ~title:"T" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "a,b"; "1" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "quoted comma" true (Astring_contains.contains csv "\"a,b\"");
+  Alcotest.(check bool) "header" true (Astring_contains.contains csv "name,value")
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f ~decimals:2 3.14159);
+  Alcotest.(check string) "gap" "24.00x" (Table.cell_x 24.)
+
+let suite =
+  ( "report",
+    [ Alcotest.test_case "render" `Quick test_render_alignment;
+      Alcotest.test_case "row arity" `Quick test_row_arity_checked;
+      Alcotest.test_case "csv" `Quick test_csv;
+      Alcotest.test_case "cells" `Quick test_cells ] )

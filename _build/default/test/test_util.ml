@@ -1,0 +1,101 @@
+(* Unit and property tests for ninja_util. *)
+
+module Rng = Ninja_util.Rng
+module Stats = Ninja_util.Stats
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_float_bounds () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float_range r (-2.) 3. in
+    Alcotest.(check bool) "in range" true (v >= -2. && v < 3.)
+  done
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean of equal" 4. (Stats.geomean [ 4.; 4.; 4. ]);
+  Alcotest.(check (float 1e-9)) "geomean 1,4" 2. (Stats.geomean [ 1.; 4. ])
+
+let test_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive" (Invalid_argument "Stats.geomean: non-positive value")
+    (fun () -> ignore (Stats.geomean [ 1.; 0. ]))
+
+let test_mean () = Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ])
+
+let test_minmax () =
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "max" 3. (Stats.maximum [ 3.; 1.; 2. ])
+
+let test_percentile () =
+  let xs = [ 10.; 20.; 30.; 40.; 50. ] in
+  Alcotest.(check (float 1e-9)) "p0" 10. (Stats.percentile 0. xs);
+  Alcotest.(check (float 1e-9)) "p50" 30. (Stats.percentile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "p100" 50. (Stats.percentile 1. xs)
+
+let test_ratio_zero () =
+  Alcotest.check_raises "zero divisor" (Invalid_argument "Stats.ratio: zero divisor")
+    (fun () -> ignore (Stats.ratio 1. 0.))
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      let r = Rng.create seed in
+      Rng.shuffle r a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let prop_geomean_between =
+  QCheck.Test.make ~name:"geomean between min and max" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (float_range 0.001 1000.))
+    (fun xs ->
+      let g = Stats.geomean xs in
+      g >= Stats.minimum xs -. 1e-9 && g <= Stats.maximum xs +. 1e-9)
+
+let suite =
+  ( "util",
+    [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+      Alcotest.test_case "rng copy" `Quick test_rng_copy;
+      Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "geomean" `Quick test_geomean;
+      Alcotest.test_case "geomean rejects" `Quick test_geomean_rejects_nonpositive;
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "min/max" `Quick test_minmax;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "ratio zero" `Quick test_ratio_zero;
+      QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+      QCheck_alcotest.to_alcotest prop_geomean_between ] )

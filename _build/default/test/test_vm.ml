@@ -1,0 +1,436 @@
+(* Tests for the ISA, interpreter, builder, and memory model. *)
+
+open Ninja_vm
+
+(* Build a tiny single-phase program with the Builder and run it. *)
+let run_prog ?(n_threads = 1) ?(width = 4) ?sink ?check_races build args =
+  let b = Builder.create ~name:"test" in
+  let ctx = build b in
+  let prog = Builder.finish b in
+  let mem = Memory.create prog (args ctx) in
+  let r = Interp.run ~n_threads ~width ?sink ?check_races prog mem in
+  (mem, prog, r)
+
+let farr mem prog name =
+  ignore prog;
+  match Memory.find mem name with
+  | _, Memory.Fbuf a -> a
+  | _ -> Alcotest.fail (name ^ " not a float buffer")
+
+let iarr mem prog name =
+  ignore prog;
+  match Memory.find mem name with
+  | _, Memory.Ibuf a -> a
+  | _ -> Alcotest.fail (name ^ " not an int buffer")
+
+(* ---- basic vector arithmetic ---- *)
+
+let test_vector_add () =
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let x = Builder.buffer_f b "x" in
+        let y = Builder.buffer_f b "y" in
+        let z = Builder.buffer_f b "z" in
+        Builder.seq_phase b (fun () ->
+            let zero = Builder.iconst b 0 in
+            let vx = Builder.vf b in
+            Builder.emit b (Vloadf { dst = vx; buf = x; idx = zero; mask = None });
+            let vy = Builder.vf b in
+            Builder.emit b (Vloadf { dst = vy; buf = y; idx = zero; mask = None });
+            let vz = Builder.vfbin b Fadd vx vy in
+            Builder.emit b (Vstoref { buf = z; idx = zero; src = vz; mask = None }));
+        ())
+      (fun () ->
+        [ ("x", Memory.Fbuf [| 1.; 2.; 3.; 4. |]);
+          ("y", Memory.Fbuf [| 10.; 20.; 30.; 40. |]);
+          ("z", Memory.Fbuf (Array.make 4 0.)) ])
+  in
+  Alcotest.(check (array (float 1e-9))) "sum" [| 11.; 22.; 33.; 44. |] (farr mem prog "z")
+
+let test_gather_scatter () =
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let src = Builder.buffer_f b "src" in
+        let ix = Builder.buffer_i b "ix" in
+        let dst = Builder.buffer_f b "dst" in
+        Builder.seq_phase b (fun () ->
+            let zero = Builder.iconst b 0 in
+            let vix = Builder.vi b in
+            Builder.emit b (Vloadi { dst = vix; buf = ix; idx = zero; mask = None });
+            let v = Builder.vf b in
+            Builder.emit b (Vgatherf { dst = v; buf = src; idx = vix; mask = None; chain = false });
+            Builder.emit b (Vscatterf { buf = dst; idx = vix; src = v; mask = None }));
+        ())
+      (fun () ->
+        [ ("src", Memory.Fbuf [| 0.5; 1.5; 2.5; 3.5; 4.5; 5.5 |]);
+          ("ix", Memory.Ibuf [| 5; 0; 3; 1 |]);
+          ("dst", Memory.Fbuf (Array.make 6 0.)) ])
+  in
+  let d = farr mem prog "dst" in
+  Alcotest.(check (float 1e-9)) "lane to 5" 5.5 d.(5);
+  Alcotest.(check (float 1e-9)) "lane to 0" 0.5 d.(0);
+  Alcotest.(check (float 1e-9)) "lane to 3" 3.5 d.(3);
+  Alcotest.(check (float 1e-9)) "lane to 1" 1.5 d.(1)
+
+let test_masked_store () =
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let out = Builder.buffer_f b "out" in
+        Builder.seq_phase b (fun () ->
+            let zero = Builder.iconst b 0 in
+            let two = Builder.iconst b 2 in
+            let m = Builder.vm b in
+            Builder.emit b (Mfirst (m, two));
+            let v = Builder.vbroadcastf b (Builder.fconst b 9.) in
+            Builder.emit b (Vstoref { buf = out; idx = zero; src = v; mask = Some m }));
+        ())
+      (fun () -> [ ("out", Memory.Fbuf (Array.make 4 1.)) ])
+  in
+  Alcotest.(check (array (float 1e-9))) "first two lanes written"
+    [| 9.; 9.; 1.; 1. |] (farr mem prog "out")
+
+let test_permute_reverse () =
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let x = Builder.buffer_f b "x" in
+        Builder.seq_phase b (fun () ->
+            let zero = Builder.iconst b 0 in
+            let v = Builder.vf b in
+            Builder.emit b (Vloadf { dst = v; buf = x; idx = zero; mask = None });
+            let r = Builder.vf b in
+            Builder.emit b (Vpermutef (r, v, [| 3; 2; 1; 0 |]));
+            Builder.emit b (Vstoref { buf = x; idx = zero; src = r; mask = None }));
+        ())
+      (fun () -> [ ("x", Memory.Fbuf [| 1.; 2.; 3.; 4. |]) ])
+  in
+  Alcotest.(check (array (float 1e-9))) "reversed" [| 4.; 3.; 2.; 1. |] (farr mem prog "x")
+
+let test_permute_aliasing () =
+  (* dst = src must still read all of src before writing *)
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let x = Builder.buffer_f b "x" in
+        Builder.seq_phase b (fun () ->
+            let zero = Builder.iconst b 0 in
+            let v = Builder.vf b in
+            Builder.emit b (Vloadf { dst = v; buf = x; idx = zero; mask = None });
+            Builder.emit b (Vpermutef (v, v, [| 1; 0; 3; 2 |]));
+            Builder.emit b (Vstoref { buf = x; idx = zero; src = v; mask = None }));
+        ())
+      (fun () -> [ ("x", Memory.Fbuf [| 1.; 2.; 3.; 4. |]) ])
+  in
+  Alcotest.(check (array (float 1e-9))) "pairwise swap" [| 2.; 1.; 4.; 3. |] (farr mem prog "x")
+
+let test_reduce () =
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let x = Builder.buffer_f b "x" in
+        let out = Builder.buffer_f b "out" in
+        Builder.seq_phase b (fun () ->
+            let zero = Builder.iconst b 0 in
+            let v = Builder.vf b in
+            Builder.emit b (Vloadf { dst = v; buf = x; idx = zero; mask = None });
+            let s = Builder.sf b in
+            Builder.emit b (Vreducef (Rsum, s, v));
+            Builder.emit b (Storef { buf = out; idx = zero; src = s });
+            let mn = Builder.sf b in
+            Builder.emit b (Vreducef (Rmin, mn, v));
+            let one = Builder.iconst b 1 in
+            Builder.emit b (Storef { buf = out; idx = one; src = mn });
+            let mx = Builder.sf b in
+            Builder.emit b (Vreducef (Rmax, mx, v));
+            let two = Builder.iconst b 2 in
+            Builder.emit b (Storef { buf = out; idx = two; src = mx }));
+        ())
+      (fun () ->
+        [ ("x", Memory.Fbuf [| 4.; -1.; 7.; 2. |]); ("out", Memory.Fbuf (Array.make 3 0.)) ])
+  in
+  let o = farr mem prog "out" in
+  Alcotest.(check (float 1e-9)) "sum" 12. o.(0);
+  Alcotest.(check (float 1e-9)) "min" (-1.) o.(1);
+  Alcotest.(check (float 1e-9)) "max" 7. o.(2)
+
+let test_mask_ops () =
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let out = Builder.buffer_i b "out" in
+        Builder.seq_phase b (fun () ->
+            let m = Builder.vm b in
+            Builder.emit b (Mpattern (m, [| true; false; true; false |]));
+            let c = Builder.si b in
+            Builder.emit b (Mcount (c, m));
+            let zero = Builder.iconst b 0 in
+            Builder.emit b (Storei { buf = out; idx = zero; src = c });
+            let any = Builder.si b in
+            Builder.emit b (Many (any, m));
+            let one = Builder.iconst b 1 in
+            Builder.emit b (Storei { buf = out; idx = one; src = any });
+            let all = Builder.si b in
+            Builder.emit b (Mall (all, m));
+            let two = Builder.iconst b 2 in
+            Builder.emit b (Storei { buf = out; idx = two; src = all }));
+        ())
+      (fun () -> [ ("out", Memory.Ibuf (Array.make 3 (-1))) ])
+  in
+  let o = iarr mem prog "out" in
+  Alcotest.(check int) "count" 2 o.(0);
+  Alcotest.(check int) "any" 1 o.(1);
+  Alcotest.(check int) "all" 0 o.(2)
+
+(* ---- control flow ---- *)
+
+let test_for_loop_sum () =
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let out = Builder.buffer_i b "out" in
+        Builder.seq_phase b (fun () ->
+            let acc = Builder.si b in
+            Builder.emit b (Iconst (acc, 0));
+            let lo = Builder.iconst b 0 in
+            let hi = Builder.iconst b 10 in
+            let one = Builder.iconst b 1 in
+            Builder.for_ b ~lo ~hi ~step:one (fun i ->
+                Builder.emit b (Ibin (Iadd, acc, acc, i)));
+            let zero = Builder.iconst b 0 in
+            Builder.emit b (Storei { buf = out; idx = zero; src = acc }));
+        ())
+      (fun () -> [ ("out", Memory.Ibuf [| 0 |]) ])
+  in
+  Alcotest.(check int) "sum 0..9" 45 (iarr mem prog "out").(0)
+
+let test_while_countdown () =
+  let mem, prog, _ =
+    run_prog
+      (fun b ->
+        let out = Builder.buffer_i b "out" in
+        Builder.seq_phase b (fun () ->
+            let n = Builder.si b in
+            Builder.emit b (Iconst (n, 10));
+            let steps = Builder.si b in
+            Builder.emit b (Iconst (steps, 0));
+            Builder.while_ b
+              ~cond:(fun () ->
+                let zero = Builder.iconst b 0 in
+                let c = Builder.si b in
+                Builder.emit b (Icmp (Cgt, c, n, zero));
+                c)
+              (fun () ->
+                let one = Builder.iconst b 1 in
+                Builder.emit b (Ibin (Isub, n, n, one));
+                Builder.emit b (Ibin (Iadd, steps, steps, one)));
+            let zero = Builder.iconst b 0 in
+            Builder.emit b (Storei { buf = out; idx = zero; src = steps }));
+        ())
+      (fun () -> [ ("out", Memory.Ibuf [| 0 |]) ])
+  in
+  Alcotest.(check int) "10 iterations" 10 (iarr mem prog "out").(0)
+
+(* ---- SPMD phases ---- *)
+
+let test_par_phase_partition () =
+  let mem, prog, _ =
+    run_prog ~n_threads:4
+      (fun b ->
+        let out = Builder.buffer_i b "out" in
+        Builder.par_phase b (fun () ->
+            (* each thread writes its id at index tid *)
+            Builder.emit b
+              (Storei { buf = out; idx = Isa.thread_id_reg; src = Isa.thread_id_reg }));
+        ())
+      (fun () -> [ ("out", Memory.Ibuf (Array.make 4 (-1))) ])
+  in
+  Alcotest.(check (array int)) "thread ids" [| 0; 1; 2; 3 |] (iarr mem prog "out")
+
+let test_race_detection () =
+  Alcotest.check_raises "race reported" (Failure "race") (fun () ->
+      try
+        ignore
+          (run_prog ~n_threads:2 ~check_races:true
+             (fun b ->
+               let out = Builder.buffer_i b "out" in
+               Builder.par_phase b (fun () ->
+                   (* every thread writes index 0: write-write race *)
+                   let zero = Builder.iconst b 0 in
+                   Builder.emit b (Storei { buf = out; idx = zero; src = Isa.thread_id_reg }));
+               ())
+             (fun () -> [ ("out", Memory.Ibuf [| 0 |]) ]))
+      with Interp.Race _ -> raise (Failure "race"))
+
+let test_no_race_on_partition () =
+  let _ =
+    run_prog ~n_threads:2 ~check_races:true
+      (fun b ->
+        let out = Builder.buffer_i b "out" in
+        Builder.par_phase b (fun () ->
+            Builder.emit b
+              (Storei { buf = out; idx = Isa.thread_id_reg; src = Isa.thread_id_reg }));
+        ())
+      (fun () -> [ ("out", Memory.Ibuf (Array.make 2 0)) ])
+  in
+  ()
+
+(* ---- traps and validation ---- *)
+
+let test_out_of_bounds_traps () =
+  Alcotest.check_raises "oob" (Failure "trap") (fun () ->
+      try
+        ignore
+          (run_prog
+             (fun b ->
+               let x = Builder.buffer_f b "x" in
+               Builder.seq_phase b (fun () ->
+                   let idx = Builder.iconst b 99 in
+                   let v = Builder.sf b in
+                   Builder.emit b (Loadf { dst = v; buf = x; idx; chain = false }));
+               ())
+             (fun () -> [ ("x", Memory.Fbuf (Array.make 4 0.)) ]))
+      with Memory.Trap _ -> raise (Failure "trap"))
+
+let test_div_by_zero_traps () =
+  Alcotest.check_raises "div0" (Failure "trap") (fun () ->
+      try
+        ignore
+          (run_prog
+             (fun b ->
+               Builder.seq_phase b (fun () ->
+                   let z = Builder.iconst b 0 in
+                   let x = Builder.iconst b 5 in
+                   ignore (Builder.ibin b Idiv x z));
+               ())
+             (fun () -> []))
+      with Memory.Trap _ -> raise (Failure "trap"))
+
+let test_fuel_exhaustion () =
+  let b = Builder.create ~name:"spin" in
+  Builder.seq_phase b (fun () ->
+      let one = Builder.iconst b 1 in
+      Builder.while_ b
+        ~cond:(fun () -> one)
+        (fun () -> ignore (Builder.ibin b Iadd one one)));
+  let prog = Builder.finish b in
+  let mem = Memory.create prog [] in
+  Alcotest.check_raises "fuel" (Failure "trap") (fun () ->
+      try ignore (Interp.run ~fuel:1000 prog mem)
+      with Memory.Trap _ -> raise (Failure "trap"))
+
+let test_validate_bad_register () =
+  let prog =
+    {
+      Isa.prog_name = "bad";
+      buffers = [||];
+      phases = [ Seq [ I (Fmov (Sf 3, Sf 0)) ] ];
+      regs = { si = 3; sf = 1; vf = 0; vi = 0; vm = 0 };
+    }
+  in
+  Alcotest.check_raises "invalid" (Failure "invalid") (fun () ->
+      try Isa.validate prog with Isa.Invalid_program _ -> raise (Failure "invalid"))
+
+let test_validate_buffer_type () =
+  let prog =
+    {
+      Isa.prog_name = "bad";
+      buffers = [| { Isa.buf_name = "x"; elt = I32 } |];
+      phases =
+        [ Seq [ I (Loadf { dst = Sf 0; buf = Buf 0; idx = Si 0; chain = false }) ] ];
+      regs = { si = 3; sf = 1; vf = 0; vi = 0; vm = 0 };
+    }
+  in
+  Alcotest.check_raises "type" (Failure "invalid") (fun () ->
+      try Isa.validate prog with Isa.Invalid_program _ -> raise (Failure "invalid"))
+
+let test_memory_missing_binding () =
+  let b = Builder.create ~name:"m" in
+  let _ = Builder.buffer_f b "x" in
+  let prog = Builder.finish b in
+  Alcotest.check_raises "missing" (Failure "bad") (fun () ->
+      try ignore (Memory.create prog []) with Memory.Bad_binding _ -> raise (Failure "bad"))
+
+let test_counts_and_events () =
+  let events = ref [] in
+  let _, _, r =
+    run_prog
+      ~sink:(fun e -> events := e :: !events)
+      (fun b ->
+        let x = Builder.buffer_f b "x" in
+        Builder.seq_phase b (fun () ->
+            let zero = Builder.iconst b 0 in
+            let v = Builder.vf b in
+            Builder.emit b (Vloadf { dst = v; buf = x; idx = zero; mask = None });
+            Builder.emit b (Vstoref_nt { buf = x; idx = zero; src = v }));
+        ())
+      (fun () -> [ ("x", Memory.Fbuf (Array.make 4 1.)) ])
+  in
+  Alcotest.(check int) "one vload" 1 (Counts.total r.counts Vload);
+  Alcotest.(check int) "one vstore" 1 (Counts.total r.counts Vstore);
+  let nt_events = List.filter (fun (e : Event.t) -> e.nt) !events in
+  Alcotest.(check int) "one nt event" 1 (List.length nt_events)
+
+let test_width_register () =
+  let mem, prog, _ =
+    run_prog ~width:8
+      (fun b ->
+        let out = Builder.buffer_i b "out" in
+        Builder.seq_phase b (fun () ->
+            let zero = Builder.iconst b 0 in
+            Builder.emit b (Storei { buf = out; idx = zero; src = Isa.vector_width_reg }));
+        ())
+      (fun () -> [ ("out", Memory.Ibuf [| 0 |]) ])
+  in
+  Alcotest.(check int) "width visible" 8 (iarr mem prog "out").(0)
+
+(* qcheck: elementwise vector ops match scalar maps *)
+let prop_vfbin_matches =
+  QCheck.Test.make ~name:"Vfbin Fadd = map2 (+.)" ~count:50
+    QCheck.(pair (array_of_size (QCheck.Gen.return 4) (float_range (-100.) 100.))
+              (array_of_size (QCheck.Gen.return 4) (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      let mem, prog, _ =
+        run_prog
+          (fun b ->
+            let x = Builder.buffer_f b "x" in
+            let y = Builder.buffer_f b "y" in
+            Builder.seq_phase b (fun () ->
+                let zero = Builder.iconst b 0 in
+                let vx = Builder.vf b in
+                Builder.emit b (Vloadf { dst = vx; buf = x; idx = zero; mask = None });
+                let vy = Builder.vf b in
+                Builder.emit b (Vloadf { dst = vy; buf = y; idx = zero; mask = None });
+                let vz = Builder.vfbin b Fadd vx vy in
+                Builder.emit b (Vstoref { buf = x; idx = zero; src = vz; mask = None }));
+            ())
+          (fun () -> [ ("x", Memory.Fbuf (Array.copy xs)); ("y", Memory.Fbuf (Array.copy ys)) ])
+      in
+      let got = farr mem prog "x" in
+      Array.for_all2 (fun g e -> Float.equal g e) got (Array.map2 ( +. ) xs ys))
+
+let suite =
+  ( "vm",
+    [ Alcotest.test_case "vector add" `Quick test_vector_add;
+      Alcotest.test_case "gather/scatter" `Quick test_gather_scatter;
+      Alcotest.test_case "masked store" `Quick test_masked_store;
+      Alcotest.test_case "permute reverse" `Quick test_permute_reverse;
+      Alcotest.test_case "permute aliasing" `Quick test_permute_aliasing;
+      Alcotest.test_case "reductions" `Quick test_reduce;
+      Alcotest.test_case "mask ops" `Quick test_mask_ops;
+      Alcotest.test_case "for loop" `Quick test_for_loop_sum;
+      Alcotest.test_case "while loop" `Quick test_while_countdown;
+      Alcotest.test_case "par phase partition" `Quick test_par_phase_partition;
+      Alcotest.test_case "race detection" `Quick test_race_detection;
+      Alcotest.test_case "no false race" `Quick test_no_race_on_partition;
+      Alcotest.test_case "oob traps" `Quick test_out_of_bounds_traps;
+      Alcotest.test_case "div by zero traps" `Quick test_div_by_zero_traps;
+      Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+      Alcotest.test_case "validate registers" `Quick test_validate_bad_register;
+      Alcotest.test_case "validate buffer types" `Quick test_validate_buffer_type;
+      Alcotest.test_case "missing binding" `Quick test_memory_missing_binding;
+      Alcotest.test_case "counts and events" `Quick test_counts_and_events;
+      Alcotest.test_case "width register" `Quick test_width_register;
+      QCheck_alcotest.to_alcotest prop_vfbin_matches ] )
