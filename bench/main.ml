@@ -10,13 +10,31 @@
    in the simulation infrastructure show up here. *)
 
 module E = Ninja_core.Experiments
+module Jobs = Ninja_core.Jobs
 module Driver = Ninja_kernels.Driver
 module Machine = Ninja_arch.Machine
+
+(* [-j N]: worker domains for the simulation grid (default: the runtime's
+   recommended count). The tables printed below are byte-identical for any
+   value; the prefill summary goes to stderr. *)
+let domains_of_argv () =
+  let rec go = function
+    | "-j" :: n :: _ -> int_of_string_opt n
+    | a :: tl when String.length a > 2 && String.sub a 0 2 = "-j" ->
+        (match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
+        | Some n -> Some n
+        | None -> go tl)
+    | _ :: tl -> go tl
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
 
 let print_experiments () =
   Fmt.pr "==================================================================@.";
   Fmt.pr " Reproduced evaluation (modeled results; see EXPERIMENTS.md)@.";
   Fmt.pr "==================================================================@.";
+  let summary = Jobs.prefill ?domains:(domains_of_argv ()) () in
+  Fmt.epr "%a@." Jobs.pp_summary summary;
   List.iter
     (fun (e : E.experiment) ->
       Fmt.pr "@.## %s — %s (%s)@.@." (String.uppercase_ascii e.id) e.title e.claim;

@@ -21,18 +21,21 @@ let machine_arg =
 
 (* ---- experiments ---- *)
 
-let run_experiment csv id =
-  match Ninja_core.Experiments.find id with
-  | exception Not_found ->
-      Fmt.epr "unknown experiment %S@." id;
-      exit 1
-  | e ->
-      Fmt.pr "## %s — %s (%s)@.@." (String.uppercase_ascii e.id) e.title e.claim;
-      List.iter
-        (fun t ->
-          if csv then print_string (Ninja_report.Table.to_csv t)
-          else Fmt.pr "%a@." Ninja_report.Table.render t)
-        (e.run ())
+let jobs_arg =
+  let doc =
+    "Worker domains for the simulation job grid (default: the runtime's \
+     recommended domain count; 1 = serial). Tables are byte-identical for \
+     any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
+let run_experiment csv (e : Ninja_core.Experiments.experiment) =
+  Fmt.pr "## %s — %s (%s)@.@." (String.uppercase_ascii e.id) e.title e.claim;
+  List.iter
+    (fun t ->
+      if csv then print_string (Ninja_report.Table.to_csv t)
+      else Fmt.pr "%a@." Ninja_report.Table.render t)
+    (e.run ())
 
 let experiments_cmd =
   let ids =
@@ -43,16 +46,28 @@ let experiments_cmd =
     let doc = "Emit CSV instead of aligned tables." in
     Arg.(value & flag & info [ "csv" ] ~doc)
   in
-  let run csv ids =
-    let ids =
-      if ids = [] then List.map (fun (e : Ninja_core.Experiments.experiment) -> e.id)
-          Ninja_core.Experiments.all
-      else ids
+  let run csv jobs ids =
+    let experiments =
+      if ids = [] then Ninja_core.Experiments.all
+      else
+        List.map
+          (fun id ->
+            match Ninja_core.Experiments.find id with
+            | e -> e
+            | exception Not_found ->
+                Fmt.epr "unknown experiment %S@." id;
+                exit 1)
+          ids
     in
-    List.iter (run_experiment csv) ids
+    (* precompute the whole simulation grid on the domain pool; the
+       summary carries wall-clock times, so it goes to stderr to keep
+       stdout deterministic across -j values *)
+    let summary = Ninja_core.Jobs.prefill ?domains:jobs ~experiments () in
+    Fmt.epr "%a@." Ninja_core.Jobs.pp_summary summary;
+    List.iter (run_experiment csv) experiments
   in
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ csv $ ids)
+    Term.(const run $ csv $ jobs_arg $ ids)
 
 (* ---- ladder ---- *)
 

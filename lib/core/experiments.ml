@@ -6,10 +6,13 @@ module Table = Ninja_report.Table
 module Roofline = Ninja_analysis.Roofline
 module Stats = Ninja_util.Stats
 
+type job = Machine.t * Driver.benchmark * string
+
 type experiment = {
   id : string;
   title : string;
   claim : string;
+  needs : unit -> job list;
   run : unit -> Table.t list;
 }
 
@@ -18,7 +21,28 @@ let gap (naive : Timing.report) (best : Timing.report) = Timing.speedup ~baselin
 (* ------------------------------------------------------------------ *)
 (* Memoized step execution                                             *)
 
+(* The memo cache is shared by the domain pool (Jobs.prefill) and by the
+   serial fallback below, so every read and write takes [cache_mu]. The
+   simulation itself runs outside the lock: jobs are pure (fresh memory,
+   deterministic workloads), so a racy double-compute of the same key just
+   stores the identical report twice. *)
+
 let cache : (string * string * string, Timing.report) Hashtbl.t = Hashtbl.create 64
+let cache_mu = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let locked f =
+  Mutex.lock cache_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mu) f
+
+let cache_stats () = locked (fun () -> (!cache_hits, !cache_misses))
+
+let reset_cache () =
+  locked (fun () ->
+      Hashtbl.reset cache;
+      cache_hits := 0;
+      cache_misses := 0)
 
 let find_step (bench : Driver.benchmark) name =
   let steps = bench.steps ~scale:bench.default_scale in
@@ -28,11 +52,21 @@ let find_step (bench : Driver.benchmark) name =
 
 let run_step_cached ~machine (bench : Driver.benchmark) step_name =
   let key = (machine.Machine.name, bench.b_name, step_name) in
-  match Hashtbl.find_opt cache key with
+  let cached =
+    locked (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some r ->
+            incr cache_hits;
+            Some r
+        | None -> None)
+  in
+  match cached with
   | Some r -> r
   | None ->
       let r = Driver.run_step ~machine (find_step bench step_name) in
-      Hashtbl.replace cache key r;
+      locked (fun () ->
+          incr cache_misses;
+          Hashtbl.replace cache key r);
       r
 
 let naive = "naive serial"
@@ -44,6 +78,28 @@ let ninja = "ninja"
 let suite = Registry.all
 let westmere = Machine.westmere
 let mic = Machine.knights_ferry
+
+(* Derived machines used by f6/f7/a1; hoisted so [needs] and [run] agree
+   on the exact machine (the memo key is the machine name). *)
+let gather_cpu = Machine.with_name (Machine.with_gather westmere true) "Westmere+gather"
+let no_gather_mic = Machine.with_name (Machine.with_gather mic false) "KNF-no-gather"
+let future_machines = [ westmere; Machine.future ~generation:1; Machine.future ~generation:2 ]
+
+let a1_variants =
+  [ ("baseline", westmere);
+    ("no prefetcher", Machine.with_name (Machine.with_prefetch westmere false) "W-nopf");
+    ("with gather", gather_cpu);
+    ("half bandwidth",
+     Machine.with_name { westmere with dram_bw_gbs = westmere.dram_bw_gbs /. 2. } "W-halfbw");
+    ("double bandwidth",
+     Machine.with_name { westmere with dram_bw_gbs = westmere.dram_bw_gbs *. 2. } "W-2xbw") ]
+
+(* [cross machines steps]: every (machine, benchmark, step) combination
+   over the whole suite — the closed-set declarations below. *)
+let cross machines steps : job list =
+  List.concat_map
+    (fun m -> List.concat_map (fun (b : Driver.benchmark) -> List.map (fun s -> (m, b, s)) steps) suite)
+    machines
 
 let geomean_row label values =
   label :: List.map (fun v -> Table.cell_x v) values
@@ -236,8 +292,6 @@ let f5 () =
 (* F6: hardware support for programmability (gather, prefetch)          *)
 
 let f6 () =
-  let gather_cpu = Machine.with_name (Machine.with_gather westmere true) "Westmere+gather" in
-  let no_gather_mic = Machine.with_name (Machine.with_gather mic false) "KNF-no-gather" in
   let t =
     Table.create
       ~title:
@@ -267,9 +321,7 @@ let f6 () =
 (* F7: projection over future architectures                             *)
 
 let f7 () =
-  let machines =
-    [ westmere; Machine.future ~generation:1; Machine.future ~generation:2 ]
-  in
+  let machines = future_machines in
   let t =
     Table.create
       ~title:
@@ -327,15 +379,7 @@ let f8 () =
 (* A1: machine-feature ablation on the bridged variant                  *)
 
 let a1 () =
-  let variants =
-    [ ("baseline", westmere);
-      ("no prefetcher", Machine.with_name (Machine.with_prefetch westmere false) "W-nopf");
-      ("with gather", Machine.with_name (Machine.with_gather westmere true) "W-gather");
-      ("half bandwidth",
-       Machine.with_name { westmere with dram_bw_gbs = westmere.dram_bw_gbs /. 2. } "W-halfbw");
-      ("double bandwidth",
-       Machine.with_name { westmere with dram_bw_gbs = westmere.dram_bw_gbs *. 2. } "W-2xbw") ]
-  in
+  let variants = a1_variants in
   let t =
     Table.create
       ~title:
@@ -355,18 +399,37 @@ let a1 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Each experiment's [needs] declares the exact simulation jobs its [run]
+   will read through [run_step_cached] — the closed set Jobs.prefill
+   executes on the domain pool. The differential test asserts closure:
+   after a prefill, rendering every experiment causes zero cache misses. *)
 let all =
-  [ { id = "t1"; title = "Benchmark characterization"; claim = "suite description (paper Table 1)"; run = t1 };
-    { id = "f1"; title = "Ninja gap on Westmere"; claim = "claim 1: avg 24X, up to 53X"; run = f1 };
-    { id = "f2"; title = "Gap across generations"; claim = "claim 2: gap grows if unaddressed"; run = f2 };
-    { id = "f3"; title = "Compiler-only ladder"; claim = "claim 3a: vectorization + threading on naive code"; run = f3 };
-    { id = "t2"; title = "Algorithmic changes"; claim = "claim 3b: the low-effort code changes"; run = t2 };
-    { id = "f4"; title = "Bridged gap"; claim = "claim 3c: avg ~1.3X after changes + compiler"; run = f4 };
-    { id = "f5"; title = "Knights Ferry (MIC)"; claim = "claim 5: same story on manycore"; run = f5 };
-    { id = "f6"; title = "Hardware gather support"; claim = "claim 4: hardware support for programmability"; run = f6 };
-    { id = "f7"; title = "Future scaling"; claim = "claims 2+3: bridged gap stays stable"; run = f7 };
-    { id = "f8"; title = "Roofline placement"; claim = "bound-and-bottleneck analysis"; run = f8 };
-    { id = "a1"; title = "Machine-feature ablation"; claim = "sensitivity analysis (ours)"; run = a1 } ]
+  [ { id = "t1"; title = "Benchmark characterization"; claim = "suite description (paper Table 1)";
+      needs = (fun () -> cross [ westmere ] [ ninja ]); run = t1 };
+    { id = "f1"; title = "Ninja gap on Westmere"; claim = "claim 1: avg 24X, up to 53X";
+      needs = (fun () -> cross [ westmere ] [ naive; ninja ]); run = f1 };
+    { id = "f2"; title = "Gap across generations"; claim = "claim 2: gap grows if unaddressed";
+      needs = (fun () -> cross (Machine.paper_cpus @ [ mic ]) [ naive; ninja ]); run = f2 };
+    { id = "f3"; title = "Compiler-only ladder"; claim = "claim 3a: vectorization + threading on naive code";
+      needs = (fun () -> cross [ westmere ] [ naive; autovec; parallel; ninja ]); run = f3 };
+    { id = "t2"; title = "Algorithmic changes"; claim = "claim 3b: the low-effort code changes";
+      needs = (fun () -> []); run = t2 };
+    { id = "f4"; title = "Bridged gap"; claim = "claim 3c: avg ~1.3X after changes + compiler";
+      needs = (fun () -> cross [ westmere ] [ algorithmic; ninja ]); run = f4 };
+    { id = "f5"; title = "Knights Ferry (MIC)"; claim = "claim 5: same story on manycore";
+      needs = (fun () -> cross [ mic ] [ naive; algorithmic; ninja ]); run = f5 };
+    { id = "f6"; title = "Hardware gather support"; claim = "claim 4: hardware support for programmability";
+      needs =
+        (fun () ->
+          cross [ westmere; gather_cpu ] [ algorithmic ]
+          @ cross [ mic; no_gather_mic ] [ ninja ]);
+      run = f6 };
+    { id = "f7"; title = "Future scaling"; claim = "claims 2+3: bridged gap stays stable";
+      needs = (fun () -> cross future_machines [ naive; algorithmic; ninja ]); run = f7 };
+    { id = "f8"; title = "Roofline placement"; claim = "bound-and-bottleneck analysis";
+      needs = (fun () -> cross [ westmere; mic ] [ ninja ]); run = f8 };
+    { id = "a1"; title = "Machine-feature ablation"; claim = "sensitivity analysis (ours)";
+      needs = (fun () -> cross (List.map snd a1_variants) [ algorithmic ]); run = a1 } ]
 
 let find id =
   let id = String.lowercase_ascii id in

@@ -3,12 +3,22 @@
     Each experiment returns rendered tables (see DESIGN.md for the mapping
     from experiment ids to the paper's claims). Results are deterministic;
     simulated runs are memoized within a process, so running several
-    experiments shares the underlying simulations. *)
+    experiments shares the underlying simulations. Experiments themselves
+    are pure table formatting: every simulation they read is declared up
+    front by [needs], so {!Jobs.prefill} can execute the whole grid on a
+    domain pool before any table is rendered. *)
+
+type job = Ninja_arch.Machine.t * Ninja_kernels.Driver.benchmark * string
+(** One simulation: (machine, benchmark, ladder-step name). The memo key is
+    [(machine.name, benchmark.b_name, step_name)]. *)
 
 type experiment = {
   id : string;  (** stable id: "t1", "f1" ... "a1" *)
   title : string;
   claim : string;  (** which abstract claim it reproduces *)
+  needs : unit -> job list;
+      (** the closed set of simulations [run] reads (possibly with
+          duplicates; dedup is the caller's job) *)
   run : unit -> Ninja_report.Table.t list;
 }
 
@@ -27,4 +37,12 @@ val run_step_cached :
   string ->
   Ninja_arch.Timing.report
 (** Simulate one named ladder step of a benchmark at its default scale,
-    memoized on (machine name, benchmark, step). *)
+    memoized on (machine name, benchmark, step). Domain-safe: the cache is
+    mutex-protected; the simulation itself runs outside the lock. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] since start / the last {!reset_cache}. A miss is a
+    simulation actually executed; a hit is a memoized read. *)
+
+val reset_cache : unit -> unit
+(** Drop all memoized reports and zero the hit/miss counters (tests). *)

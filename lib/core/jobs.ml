@@ -1,0 +1,84 @@
+module Machine = Ninja_arch.Machine
+module Driver = Ninja_kernels.Driver
+module Pool = Ninja_util.Pool
+module E = Experiments
+
+type job = { machine : Machine.t; bench : Driver.benchmark; step : string }
+
+let key j = (j.machine.Machine.name, j.bench.Driver.b_name, j.step)
+
+let all_jobs ?(experiments = E.all) () =
+  let seen = Hashtbl.create 256 in
+  List.concat_map (fun (e : E.experiment) -> e.needs ()) experiments
+  |> List.filter_map (fun (machine, bench, step) ->
+         let j = { machine; bench; step } in
+         if Hashtbl.mem seen (key j) then None
+         else begin
+           Hashtbl.add seen (key j) ();
+           Some j
+         end)
+
+type class_stat = { step_name : string; jobs : int; wall_s : float }
+
+type summary = {
+  domains : int;
+  total_jobs : int;
+  executed : int;
+  hits : int;
+  wall_s : float;
+  per_class : class_stat list;
+}
+
+(* Fixed presentation order for per-class stats; unknown steps (none
+   today) would sort after the ladder. *)
+let ladder_order = [ "naive serial"; "+autovec"; "+parallel"; "+algorithmic"; "ninja" ]
+
+let class_rank s =
+  let rec go i = function
+    | [] -> (List.length ladder_order, s)
+    | x :: tl -> if x = s then (i, s) else go (i + 1) tl
+  in
+  go 0 ladder_order
+
+let aggregate timed =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (step, dt) ->
+      let jobs, wall = Option.value (Hashtbl.find_opt tbl step) ~default:(0, 0.) in
+      Hashtbl.replace tbl step (jobs + 1, wall +. dt))
+    timed;
+  Hashtbl.fold (fun step_name (jobs, wall_s) acc -> { step_name; jobs; wall_s } :: acc) tbl []
+  |> List.sort (fun a b -> compare (class_rank a.step_name) (class_rank b.step_name))
+
+let prefill ?domains ?experiments () =
+  let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
+  let jobs = all_jobs ?experiments () in
+  let hits0, misses0 = E.cache_stats () in
+  let t0 = Unix.gettimeofday () in
+  let timed =
+    Pool.map_list ~domains
+      (fun j ->
+        let s = Unix.gettimeofday () in
+        ignore (E.run_step_cached ~machine:j.machine j.bench j.step);
+        (j.step, Unix.gettimeofday () -. s))
+      jobs
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let hits1, misses1 = E.cache_stats () in
+  {
+    domains;
+    total_jobs = List.length jobs;
+    executed = misses1 - misses0;
+    hits = hits1 - hits0;
+    wall_s;
+    per_class = aggregate timed;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "job grid: %d jobs on %d domain%s in %.1fs (%d simulated, %d cache hits)"
+    s.total_jobs s.domains
+    (if s.domains = 1 then "" else "s")
+    s.wall_s s.executed s.hits;
+  List.iter
+    (fun c -> Fmt.pf ppf "@.  %-14s %3d jobs %8.1fs" c.step_name c.jobs c.wall_s)
+    s.per_class

@@ -1,0 +1,45 @@
+(** The experiment job grid: the closed set of (machine, benchmark, step)
+    simulations every experiment reads, executed across a pool of worker
+    domains ({!Ninja_util.Pool}) into the shared memo cache.
+
+    The grid is deterministic: jobs are enumerated in a fixed order
+    (experiment presentation order, first occurrence wins on duplicates)
+    and each job is an independent pure simulation, so the memoized
+    reports — and therefore every rendered table — are byte-identical
+    whatever the domain count or scheduling interleaving. *)
+
+type job = {
+  machine : Ninja_arch.Machine.t;
+  bench : Ninja_kernels.Driver.benchmark;
+  step : string;
+}
+
+val all_jobs : ?experiments:Experiments.experiment list -> unit -> job list
+(** The deduplicated grid for the given experiments (default: all of
+    {!Experiments.all}), in deterministic enumeration order. *)
+
+type class_stat = {
+  step_name : string;  (** ladder step ("naive serial" ... "ninja") *)
+  jobs : int;  (** jobs of this class executed or found cached *)
+  wall_s : float;  (** summed per-job wall-clock, seconds *)
+}
+
+type summary = {
+  domains : int;  (** pool size used *)
+  total_jobs : int;  (** grid size after dedup *)
+  executed : int;  (** simulations actually run (cache misses) *)
+  hits : int;  (** jobs already present in the memo cache *)
+  wall_s : float;  (** whole-prefill wall clock, seconds *)
+  per_class : class_stat list;  (** by ladder step, fixed ladder order *)
+}
+
+val prefill : ?domains:int -> ?experiments:Experiments.experiment list -> unit -> summary
+(** Run the grid on [domains] workers (default
+    {!Ninja_util.Pool.default_domains}; [1] = serial in the calling
+    domain) and populate {!Experiments.run_step_cached}'s memo cache.
+    After a prefill, running the covered experiments performs no further
+    simulation. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Multi-line, human-oriented; contains wall-clock times, so callers keep
+    it out of deterministic output streams (the CLI sends it to stderr). *)

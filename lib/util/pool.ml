@@ -1,0 +1,97 @@
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;  (* signaled when a task is enqueued / on shutdown *)
+  idle : Condition.t;  (* broadcast when [pending] drops to 0 *)
+  tasks : (unit -> unit) Queue.t;
+  mutable pending : int;  (* enqueued + currently running *)
+  mutable stopping : bool;
+  mutable error : exn option;  (* first task exception, for [wait] *)
+  mutable workers : unit Domain.t list;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let rec worker_loop p =
+  Mutex.lock p.mu;
+  while Queue.is_empty p.tasks && not p.stopping do
+    Condition.wait p.nonempty p.mu
+  done;
+  if Queue.is_empty p.tasks then Mutex.unlock p.mu (* stopping: exit *)
+  else begin
+    let task = Queue.pop p.tasks in
+    Mutex.unlock p.mu;
+    let err = (try task (); None with e -> Some e) in
+    Mutex.lock p.mu;
+    (match (err, p.error) with Some e, None -> p.error <- Some e | _ -> ());
+    p.pending <- p.pending - 1;
+    if p.pending = 0 then Condition.broadcast p.idle;
+    Mutex.unlock p.mu;
+    worker_loop p
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let p =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      tasks = Queue.create ();
+      pending = 0;
+      stopping = false;
+      error = None;
+      workers = [];
+    }
+  in
+  p.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let size p = List.length p.workers
+
+let submit p task =
+  Mutex.lock p.mu;
+  if p.stopping then begin
+    Mutex.unlock p.mu;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task p.tasks;
+  p.pending <- p.pending + 1;
+  Condition.signal p.nonempty;
+  Mutex.unlock p.mu
+
+let wait p =
+  Mutex.lock p.mu;
+  while p.pending > 0 do
+    Condition.wait p.idle p.mu
+  done;
+  let err = p.error in
+  p.error <- None;
+  Mutex.unlock p.mu;
+  match err with Some e -> raise e | None -> ()
+
+let shutdown p =
+  Mutex.lock p.mu;
+  p.stopping <- true;
+  Condition.broadcast p.nonempty;
+  Mutex.unlock p.mu;
+  List.iter Domain.join p.workers;
+  p.workers <- []
+
+let map_list ?domains f xs =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let n = List.length xs in
+  if domains <= 1 || n <= 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let out = Array.make n None in
+    let p = create ~domains:(min domains n) in
+    Array.iteri (fun i x -> submit p (fun () -> out.(i) <- Some (f x))) arr;
+    let fin () = shutdown p in
+    (try wait p
+     with e ->
+       fin ();
+       raise e);
+    fin ();
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) out)
+  end

@@ -1,0 +1,40 @@
+(** A fixed-size pool of worker domains fed from a shared work queue.
+
+    Workers are OCaml 5 [Domain]s; the queue is protected by a [Mutex] and
+    two [Condition]s (queue-nonempty for workers, pool-idle for waiters).
+    Tasks are independent thunks; the pool makes no ordering guarantee
+    between tasks, so callers that need deterministic output must key their
+    results (see {!map_list}, which preserves input order regardless of
+    execution order). *)
+
+type t
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the [-j] default. *)
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains (at least 1) blocked on an empty queue. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task. Tasks must not themselves call {!wait} or {!shutdown}.
+    If a task raises, the first such exception is kept and re-raised by the
+    next {!wait}; remaining tasks still run. *)
+
+val wait : t -> unit
+(** Block until every submitted task has finished, then re-raise the first
+    task exception, if any. *)
+
+val shutdown : t -> unit
+(** Drain remaining tasks, then join all worker domains. The pool must not
+    be used afterwards. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~domains f xs] applies [f] to every element across a
+    temporary pool of [domains] workers and returns results in input order
+    ([List.map] observational equivalence, whatever the interleaving).
+    [domains <= 1] (or a short list) degenerates to plain [List.map] in the
+    calling domain — no domains are spawned, so [-j 1] is exactly the
+    serial path. Default: {!default_domains}. *)

@@ -176,6 +176,100 @@ let test_speedup_and_flops () =
   Alcotest.(check (float 1.)) "flops" (float_of_int n) (Timing.flops r);
   Alcotest.(check (float 1e-9)) "self speedup" 1.0 (Timing.speedup ~baseline:r r)
 
+(* ---- qcheck properties for the cache ----
+   A pure reference model of a set-associative LRU cache (per-set MRU-first
+   association lists) differentially checked against Cache.access, plus
+   counter and full-associativity invariants. *)
+
+module Lru_model = struct
+  type t = { assoc : int; sets : (int * bool ref) list ref array }
+
+  let create ~n_sets ~assoc = { assoc; sets = Array.init n_sets (fun _ -> ref []) }
+
+  (* mirror of Cache.access: returns the same outcome record *)
+  let access m ~line_addr ~write : Cache.outcome =
+    let set = m.sets.(line_addr mod Array.length m.sets) in
+    match List.assoc_opt line_addr !set with
+    | Some dirty ->
+        if write then dirty := true;
+        set := (line_addr, dirty) :: List.remove_assoc line_addr !set;
+        { hit = true; evicted_dirty = None }
+    | None ->
+        let kept = (line_addr, ref write) :: !set in
+        let evicted_dirty =
+          if List.length kept <= m.assoc then None
+          else
+            match List.rev kept with
+            | (victim, dirty) :: _ -> if !dirty then Some victim else None
+            | [] -> assert false
+        in
+        set :=
+          (if List.length kept <= m.assoc then kept
+           else List.filteri (fun i _ -> i < m.assoc) kept);
+        { hit = false; evicted_dirty }
+end
+
+(* (sets, assoc, accesses): small geometries so eviction is exercised *)
+let cache_trace_gen =
+  QCheck.make
+    ~print:(fun (s, a, tr) ->
+      Fmt.str "sets=%d assoc=%d trace=%a" s a
+        Fmt.(Dump.list (Dump.pair int bool))
+        tr)
+    QCheck.Gen.(
+      triple (oneofl [ 1; 2; 4 ]) (oneofl [ 1; 2; 4; 8 ])
+        (list_size (1 -- 300) (pair (int_bound 40) bool)))
+
+let prop_cache_matches_lru_model =
+  QCheck.Test.make ~name:"access stream matches reference LRU model" ~count:300
+    cache_trace_gen
+    (fun (n_sets, assoc, trace) ->
+      let c =
+        Cache.create
+          { size_bytes = n_sets * assoc * 64; assoc; line_bytes = 64; latency = 1 }
+      in
+      let m = Lru_model.create ~n_sets ~assoc in
+      List.for_all
+        (fun (line_addr, write) ->
+          Cache.access c ~line_addr ~write
+          = Lru_model.access m ~line_addr ~write)
+        trace)
+
+let prop_cache_hits_plus_misses =
+  QCheck.Test.make ~name:"hits + misses = accesses" ~count:300 cache_trace_gen
+    (fun (n_sets, assoc, trace) ->
+      let c =
+        Cache.create
+          { size_bytes = n_sets * assoc * 64; assoc; line_bytes = 64; latency = 1 }
+      in
+      List.iter (fun (line_addr, write) -> ignore (Cache.access c ~line_addr ~write)) trace;
+      Cache.stats_hits c + Cache.stats_misses c = List.length trace)
+
+let prop_fully_assoc_no_eviction_within_capacity =
+  (* a fully-associative cache touched with <= capacity distinct lines:
+     misses = compulsory only, nothing is ever displaced *)
+  QCheck.Test.make
+    ~name:"fully-associative: within-capacity working set never evicts" ~count:300
+    (QCheck.make
+       ~print:(fun (cap, tr) -> Fmt.str "cap=%d trace=%a" cap Fmt.(Dump.list int) tr)
+       QCheck.Gen.(
+         oneofl [ 1; 2; 4; 8; 16 ] >>= fun cap ->
+         list_size (1 -- 200) (int_bound (cap - 1)) >|= fun picks -> (cap, picks)))
+    (fun (cap, picks) ->
+      let c =
+        Cache.create { size_bytes = cap * 64; assoc = cap; line_bytes = 64; latency = 1 }
+      in
+      let distinct = List.sort_uniq compare picks in
+      let no_evict =
+        List.for_all
+          (fun line_addr ->
+            (Cache.access c ~line_addr ~write:true).evicted_dirty = None)
+          picks
+      in
+      no_evict
+      && Cache.stats_misses c = List.length distinct
+      && List.for_all (fun a -> Cache.probe c ~line_addr:a) distinct)
+
 let prop_cache_most_recent_present =
   QCheck.Test.make ~name:"most recent access always resident" ~count:200
     QCheck.(list_of_size Gen.(1 -- 100) (int_bound 1000))
@@ -208,4 +302,7 @@ let suite =
       Alcotest.test_case "traffic accounting" `Quick test_timing_traffic_accounting;
       Alcotest.test_case "oversubscription rejected" `Quick test_timing_rejects_oversubscription;
       Alcotest.test_case "flops and speedup" `Quick test_speedup_and_flops;
-      QCheck_alcotest.to_alcotest prop_cache_most_recent_present ] )
+      QCheck_alcotest.to_alcotest prop_cache_most_recent_present;
+      QCheck_alcotest.to_alcotest prop_cache_matches_lru_model;
+      QCheck_alcotest.to_alcotest prop_cache_hits_plus_misses;
+      QCheck_alcotest.to_alcotest prop_fully_assoc_no_eviction_within_capacity ] )

@@ -2,6 +2,7 @@
 
 module Rng = Ninja_util.Rng
 module Stats = Ninja_util.Stats
+module Pool = Ninja_util.Pool
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -83,9 +84,65 @@ let prop_geomean_between =
       let g = Stats.geomean xs in
       g >= Stats.minimum xs -. 1e-9 && g <= Stats.maximum xs +. 1e-9)
 
+(* ---- domain pool ---- *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Fmt.str "matches List.map at %d domains" domains)
+        (List.map f xs)
+        (Pool.map_list ~domains f xs))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_runs_all_tasks () =
+  let n = 200 in
+  let hit = Array.make n 0 in
+  let p = Pool.create ~domains:4 in
+  for i = 0 to n - 1 do
+    Pool.submit p (fun () -> hit.(i) <- hit.(i) + 1)
+  done;
+  Pool.wait p;
+  Pool.shutdown p;
+  Alcotest.(check int) "every task ran exactly once" n
+    (Array.fold_left ( + ) 0 hit)
+
+let test_pool_reusable_after_wait () =
+  let p = Pool.create ~domains:2 in
+  let a = ref 0 and b = ref 0 in
+  Pool.submit p (fun () -> a := 1);
+  Pool.wait p;
+  Pool.submit p (fun () -> b := 1);
+  Pool.wait p;
+  Pool.shutdown p;
+  Alcotest.(check (pair int int)) "both batches ran" (1, 1) (!a, !b)
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "first task exception re-raised" (Failure "boom")
+    (fun () ->
+      ignore
+        (Pool.map_list ~domains:4
+           (fun x -> if x = 13 then failwith "boom" else x)
+           (List.init 50 (fun i -> i))))
+
+let test_pool_size () =
+  let p = Pool.create ~domains:3 in
+  Alcotest.(check int) "three workers" 3 (Pool.size p);
+  Pool.shutdown p;
+  Alcotest.check_raises "create rejects 0 domains"
+    (Invalid_argument "Pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:0))
+
 let suite =
   ( "util",
     [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+      Alcotest.test_case "pool runs all tasks" `Quick test_pool_runs_all_tasks;
+      Alcotest.test_case "pool reusable after wait" `Quick test_pool_reusable_after_wait;
+      Alcotest.test_case "pool exception" `Quick test_pool_exception_propagates;
+      Alcotest.test_case "pool size" `Quick test_pool_size;
       Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
       Alcotest.test_case "rng copy" `Quick test_rng_copy;
       Alcotest.test_case "rng split" `Quick test_rng_split_independent;
