@@ -39,7 +39,7 @@ let run_experiment csv (e : Ninja_core.Experiments.experiment) =
 
 let experiments_cmd =
   let ids =
-    let doc = "Experiment ids (t1, f1..f8, t2, a1); all when omitted." in
+    let doc = "Experiment ids (t1, f1..f8, t2, t3, a1); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~doc ~docv:"ID")
   in
   let csv =
@@ -147,6 +147,23 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Print a variant's compiled ISA program")
     Term.(const run $ machine_arg $ bench_arg $ step_arg)
 
+(* ---- source variants (vec-report / analyze) ---- *)
+
+let variant_arg =
+  let doc = "Restrict to one source variant (naive or algo)." in
+  Arg.(value & opt (some string) None & info [ "variant" ] ~doc ~docv:"VARIANT")
+
+let variants_of ?variant (b : Ninja_kernels.Driver.benchmark) =
+  match variant with
+  | None -> b.b_sources
+  | Some v -> (
+      match List.assoc_opt v b.b_sources with
+      | Some src -> [ (v, src) ]
+      | None ->
+          Fmt.epr "benchmark %s has no %S variant (has: %s)@." b.b_name v
+            (String.concat ", " (List.map fst b.b_sources));
+          exit 1)
+
 (* ---- vec-report ---- *)
 
 let vec_report_cmd =
@@ -154,12 +171,8 @@ let vec_report_cmd =
     let doc = "Benchmark name." in
     Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"BENCHMARK")
   in
-  let run bench =
+  let run bench variant =
     let b = Ninja_kernels.Registry.find bench in
-    ignore b;
-    (* the ladder sources are module-internal; re-derive reports by
-       compiling naive and algorithmic steps is not possible generically,
-       so this command reports for the known source-based kernels *)
     let report src =
       let k = Ninja_kernels.Common.parse_kernel src in
       let r = Ninja_lang.Codegen.compile ~flags:Ninja_lang.Codegen.o2_vec_par k in
@@ -170,35 +183,89 @@ let vec_report_cmd =
           | Scalar why -> Fmt.pr "  scalar     %s: %s@." label why)
         r.vec_report
     in
-    let sources =
-      match String.lowercase_ascii bench with
-      | "nbody" -> [ ("naive", Ninja_kernels.Nbody.naive_src); ("opt", Ninja_kernels.Nbody.opt_src) ]
-      | "blackscholes" ->
-          [ ("naive", Ninja_kernels.Blackscholes.naive_src);
-            ("opt", Ninja_kernels.Blackscholes.opt_src) ]
-      | "conv2d" -> [ ("naive", Ninja_kernels.Conv2d.naive_src); ("opt", Ninja_kernels.Conv2d.opt_src) ]
-      | "stencil7" -> [ ("naive", Ninja_kernels.Stencil7.naive_src); ("opt", Ninja_kernels.Stencil7.opt_src) ]
-      | "lbm" -> [ ("naive", Ninja_kernels.Lbm.naive_src); ("opt", Ninja_kernels.Lbm.opt_src) ]
-      | "complexconv1d" ->
-          [ ("naive", Ninja_kernels.Complex1d.naive_src); ("opt", Ninja_kernels.Complex1d.opt_src) ]
-      | "treesearch" ->
-          [ ("naive", Ninja_kernels.Treesearch.naive_src); ("opt", Ninja_kernels.Treesearch.opt_src) ]
-      | "backprojection" ->
-          [ ("naive", Ninja_kernels.Backprojection.naive_src);
-            ("opt", Ninja_kernels.Backprojection.opt_src) ]
-      | "volumerender" ->
-          [ ("naive", Ninja_kernels.Volume_render.naive_src);
-            ("opt", Ninja_kernels.Volume_render.opt_src) ]
-      | "mergesort" -> [ ("naive", Ninja_kernels.Mergesort.naive_src) ]
-      | other -> failwith ("no sources known for " ^ other)
-    in
     List.iter
       (fun (name, src) ->
         Fmt.pr "%s variant:@." name;
         report src)
-      sources
+      (variants_of ?variant b)
   in
   Cmd.v (Cmd.info "vec-report" ~doc:"Show the auto-vectorizer's per-loop decisions")
+    Term.(const run $ bench_arg $ variant_arg)
+
+(* ---- analyze (per-loop opt-report with reason codes) ---- *)
+
+let analyze_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (see `list`); all benchmarks when omitted." in
+    Arg.(value & pos 0 (some string) None & info [] ~doc ~docv:"BENCHMARK")
+  in
+  let run bench variant =
+    let benches =
+      match bench with
+      | Some name -> [ Ninja_kernels.Registry.find name ]
+      | None -> Ninja_kernels.Registry.all
+    in
+    List.iter
+      (fun (b : Ninja_kernels.Driver.benchmark) ->
+        List.iter
+          (fun (vname, src) ->
+            let name = Fmt.str "%s/%s" b.b_name vname in
+            Fmt.pr "# %s@.%a@." name Ninja_lang.Optreport.pp
+              (Ninja_lang.Optreport.analyze_src ~name src))
+          (variants_of ?variant b))
+      benches
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Per-loop optimization report (vectorized / parallelized / rejected, \
+          with stable reason codes and remediation hints)")
+    Term.(const run $ bench_arg $ variant_arg)
+
+(* ---- verify (static ISA lint over every registered variant) ---- *)
+
+let verify_cmd =
+  let bench_arg =
+    let doc = "Benchmark name; the whole suite when omitted." in
+    Arg.(value & pos 0 (some string) None & info [] ~doc ~docv:"BENCHMARK")
+  in
+  let run bench =
+    let benches =
+      match bench with
+      | Some name -> [ Ninja_kernels.Registry.find name ]
+      | None -> Ninja_kernels.Registry.all
+    in
+    let machines = [ Ninja_arch.Machine.westmere; Ninja_arch.Machine.knights_ferry ] in
+    let bad = ref 0 and total = ref 0 in
+    List.iter
+      (fun (machine : Ninja_arch.Machine.t) ->
+        List.iter
+          (fun (b : Ninja_kernels.Driver.benchmark) ->
+            List.iter
+              (fun (step : Ninja_kernels.Driver.step) ->
+                incr total;
+                match Ninja_kernels.Driver.verify_step ~machine step with
+                | [] ->
+                    Fmt.pr "ok   %-12s %-16s %s@." machine.name b.b_name
+                      step.step_name
+                | issues ->
+                    incr bad;
+                    Fmt.pr "BAD  %-12s %-16s %s@." machine.name b.b_name
+                      step.step_name;
+                    List.iter
+                      (fun i -> Fmt.pr "       %a@." Ninja_vm.Verify.pp_issue i)
+                      issues)
+              (b.steps ~scale:1))
+          benches)
+      machines;
+    Fmt.pr "%d programs verified, %d with issues@." !total !bad;
+    if !bad > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically lint every variant's ISA program (def-before-use, SPMD \
+          register discipline, reserved registers, provable out-of-bounds)")
     Term.(const run $ bench_arg)
 
 let main_cmd =
@@ -207,6 +274,8 @@ let main_cmd =
       ~doc:
         "Reproduction of 'Can traditional programming bridge the Ninja performance gap?' (ISCA 2012)"
   in
-  Cmd.group info [ experiments_cmd; ladder_cmd; list_cmd; compile_cmd; vec_report_cmd ]
+  Cmd.group info
+    [ experiments_cmd; ladder_cmd; list_cmd; compile_cmd; vec_report_cmd;
+      analyze_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

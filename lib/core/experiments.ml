@@ -238,6 +238,49 @@ let t2 () =
   [ t ]
 
 (* ------------------------------------------------------------------ *)
+(* T3: why the naive code fails to vectorize, and what the rewrite      *)
+(* changes — purely static (opt-report reason codes; zero simulations)  *)
+
+(* The distinct reason codes a source's opt-report produces, sorted for
+   determinism. Remarks count too: a loop that vectorizes *with strided
+   accesses* (AOS_LAYOUT / NON_UNIT_STRIDE remarks) is exactly the
+   bandwidth story T3 is about. *)
+let reason_codes src =
+  let report = Ninja_lang.Optreport.analyze_src src in
+  let codes =
+    List.concat_map
+      (fun (l : Ninja_lang.Optreport.loop_report) ->
+        List.map (fun (d : Ninja_lang.Diag.t) -> Ninja_lang.Diag.code_name d.code) l.diags)
+      report.loops
+    @ List.map
+        (fun (d : Ninja_lang.Diag.t) -> Ninja_lang.Diag.code_name d.code)
+        report.errors
+  in
+  match List.sort_uniq compare codes with
+  | [] -> "-"
+  | cs -> String.concat " " cs
+
+let t3 () =
+  let t =
+    Table.create
+      ~title:
+        "T3. Static diagnosis of the naive code vs the rewrite (opt-report reason codes)"
+      ~columns:[ "benchmark"; "naive codes"; "algorithmic change"; "rewrite codes" ]
+  in
+  List.iter
+    (fun (b : Driver.benchmark) ->
+      let variant name =
+        List.assoc_opt name b.b_sources |> Option.map reason_codes
+      in
+      Table.add_row t
+        [ b.b_name;
+          Option.value ~default:"-" (variant "naive");
+          b.b_algo_note;
+          Option.value ~default:"(no traditional rewrite)" (variant "algo") ])
+    suite;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
 (* F4: the bridged gap (algorithmic changes + compiler vs ninja)        *)
 
 let f4 () =
@@ -414,6 +457,8 @@ let all =
       needs = (fun () -> cross [ westmere ] [ naive; autovec; parallel; ninja ]); run = f3 };
     { id = "t2"; title = "Algorithmic changes"; claim = "claim 3b: the low-effort code changes";
       needs = (fun () -> []); run = t2 };
+    { id = "t3"; title = "Static diagnosis"; claim = "why naive code stays scalar (reason codes)";
+      needs = (fun () -> []); run = t3 };
     { id = "f4"; title = "Bridged gap"; claim = "claim 3c: avg ~1.3X after changes + compiler";
       needs = (fun () -> cross [ westmere ] [ algorithmic; ninja ]); run = f4 };
     { id = "f5"; title = "Knights Ferry (MIC)"; claim = "claim 5: same story on manycore";

@@ -190,6 +190,7 @@ let benchmark : Driver.benchmark =
     b_name = "BackProjection";
     b_desc = "sinogram backprojection (gather-dominated compute)";
     b_algo_note = "precomputed geometry + asserted SIMD; relies on gather hardware";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 4;
     steps =
       (fun ~scale ->

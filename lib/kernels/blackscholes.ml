@@ -231,6 +231,7 @@ let benchmark : Driver.benchmark =
     b_name = "BlackScholes";
     b_desc = "European option pricing (vector transcendental math)";
     b_algo_note = "AoS -> SoA conversion of the option records";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 8;
     steps =
       (fun ~scale ->

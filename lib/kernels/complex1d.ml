@@ -181,6 +181,7 @@ let benchmark : Driver.benchmark =
     b_name = "ComplexConv1D";
     b_desc = "complex FIR filter (layout-sensitive SIMD)";
     b_algo_note = "AoS (interleaved re/im) -> SoA split of signal and taps";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 8;
     steps =
       (fun ~scale ->

@@ -173,6 +173,7 @@ let benchmark : Driver.benchmark =
     b_name = "Conv2D";
     b_desc = "5x5 image convolution (regular compute, register reuse)";
     b_algo_note = "unroll the 5x5 tap loops so the pixel loop vectorizes";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 4;
     steps =
       (fun ~scale ->

@@ -101,10 +101,35 @@ let validate_step ~machine step =
   | () -> step.check mem
   | exception Memory.Trap msg -> Error ("trap: " ^ msg)
 
+(* Buffer lengths a step's bindings imply, in the driver's calling
+   convention — what the static verifier needs to check bounds. *)
+let lengths_for_verify step =
+  let args = step.bindings () in
+  List.map
+    (fun (name, arg) ->
+      match arg with
+      | Farr a -> (name, Array.length a)
+      | Iarr a -> (name, Array.length a)
+      | Fscalar _ | Iscalar _ -> ("__p_" ^ name, 1))
+    args
+  @ [
+      ("__env_i", env_slots);
+      ("__env_f", env_slots);
+      ("__red_i", red_slots);
+      ("__red_f", red_slots);
+    ]
+
+let verify_step ~machine step =
+  let prog = step.make ~machine in
+  let n_threads = if step.parallel then machine.Ninja_arch.Machine.cores else 1 in
+  let width = machine.Ninja_arch.Machine.simd_width in
+  Verify.verify ~width ~n_threads ~lengths:(lengths_for_verify step) prog
+
 type benchmark = {
   b_name : string;
   b_desc : string;
   b_algo_note : string;
+  b_sources : (string * string) list;
   steps : scale:int -> step list;
   default_scale : int;
 }

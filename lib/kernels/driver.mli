@@ -65,10 +65,27 @@ val validate_step :
   machine:Ninja_arch.Machine.t -> step -> (unit, string) result
 (** Run the step functionally and apply its output check. *)
 
+val lengths_for_verify : step -> (string * int) list
+(** Buffer lengths implied by the step's bindings under the driver's
+    calling convention (arrays by name, scalars as one-element
+    ["__p_<name>"] cells, hidden spill/reduction buffers), for
+    {!Ninja_vm.Verify.verify}'s bounds checking. *)
+
+val verify_step :
+  machine:Ninja_arch.Machine.t -> step -> Ninja_vm.Verify.issue list
+(** Statically lint the step's program (no simulation): build it for
+    [machine] and run {!Ninja_vm.Verify.verify} with the machine's vector
+    width, the step's thread count, and the bindings' buffer lengths. *)
+
 type benchmark = {
   b_name : string;
   b_desc : string;
   b_algo_note : string;  (** the algorithmic change applied (experiment T2) *)
+  b_sources : (string * string) list;
+      (** the benchmark's Cee sources by variant name — ["naive"] and,
+          where a traditional-programmer rewrite exists, ["algo"] — for
+          static analysis (opt-reports, experiment T3) without touching
+          the step ladder *)
   steps : scale:int -> step list;
       (** the ladder, in order; [scale] grows the dataset (1 = unit tests,
           default benchmark scale is per-benchmark) *)

@@ -291,6 +291,7 @@ let benchmark : Driver.benchmark =
     b_name = "LBM";
     b_desc = "lattice Boltzmann D2Q9 time step (streaming + collision)";
     b_algo_note = "AoS -> SoA distributions; ninja adds streaming stores";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 8;
     steps =
       (fun ~scale ->

@@ -269,6 +269,7 @@ let benchmark : Driver.benchmark =
     b_name = "MergeSort";
     b_desc = "bottom-up merge sort (data-dependent control flow)";
     b_algo_note = "none expressible traditionally: SIMD merge networks are intrinsics-level";
+    b_sources = [ ("naive", naive_src) ];
     default_scale = 16;
     steps =
       (fun ~scale ->

@@ -187,6 +187,7 @@ let benchmark : Driver.benchmark =
     b_name = "NBody";
     b_desc = "O(N^2) gravitational force computation (compute bound)";
     b_algo_note = "none required (SoA layout; compiler vectorizes the interaction loop)";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 4;
     steps =
       (fun ~scale ->

@@ -184,6 +184,7 @@ let benchmark : Driver.benchmark =
     b_name = "Stencil7";
     b_desc = "7-point 3D stencil sweep (memory bandwidth bound)";
     b_algo_note = "inline affine subscripts (+pragma simd); ninja adds streaming stores";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 4;
     steps =
       (fun ~scale ->

@@ -147,6 +147,7 @@ let benchmark : Driver.benchmark =
     b_name = "TreeSearch";
     b_desc = "batched binary-tree lookups (memory latency bound)";
     b_algo_note = "level-synchronous SIMD-across-queries restructuring (gathers)";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 8;
     steps =
       (fun ~scale ->

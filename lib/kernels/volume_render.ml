@@ -316,6 +316,7 @@ let benchmark : Driver.benchmark =
     b_name = "VolumeRender";
     b_desc = "ray marching with early termination (divergence + gathers)";
     b_algo_note = "level-synchronous masked marching with ray state in arrays";
+    b_sources = [ ("naive", naive_src); ("algo", opt_src) ];
     default_scale = 4;
     steps =
       (fun ~scale ->

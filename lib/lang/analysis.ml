@@ -29,7 +29,14 @@ type plan = {
 
 exception Not_vectorizable of string
 
-let fail fmt = Fmt.kstr (fun s -> raise (Not_vectorizable s)) fmt
+(* Internally every rejection is a structured diagnostic with a stable
+   reason code; the public [*_plan] entry points re-render it through
+   [Diag.label] so existing [Not_vectorizable] call sites keep working.
+   Spans are filled in at the loop level by the [_diag] wrappers. *)
+exception Rejected of Diag.t
+
+let fail code fmt =
+  Fmt.kstr (fun s -> raise (Rejected (Diag.v Diag.Error code "%s" s))) fmt
 
 let red_kind_name = function Rsum -> "sum" | Rmin -> "min" | Rmax -> "max"
 
@@ -213,7 +220,7 @@ let exposed_reads (body : Ast.block) : S.t =
   ignore (block S.empty body : S.t);
   !exposed
 
-let classify_scalars (body : Ast.block) : (string * scalar_class) list =
+let classify_scalars_x (body : Ast.block) : (string * scalar_class) list =
   let assigned = assigned_in_block body in
   let exposed = exposed_reads body in
   S.fold
@@ -240,17 +247,19 @@ let classify_scalars (body : Ast.block) : (string * scalar_class) list =
         in
         List.iter scan_stmt body;
         (match !bad with
-        | Some reason -> fail "scalar %s carries a dependence: %s" v reason
+        | Some reason ->
+            fail Diag.Scalar_cycle "scalar %s carries a dependence: %s" v reason
         | None -> ());
         (match !kinds with
-        | [] -> fail "scalar %s is read but never assigned a reduction" v
+        | [] ->
+            fail Diag.Scalar_cycle "scalar %s is read but never assigned a reduction" v
         | k :: rest ->
             if List.exists (fun k' -> k' <> k) rest then
-              fail "scalar %s mixes reduction kinds" v;
+              fail Diag.Scalar_cycle "scalar %s mixes reduction kinds" v;
             (* every read of v must be the one inside a reduction assignment *)
             let reads = count_reads v body in
             if reads <> List.length !kinds then
-              fail "scalar %s is read outside its reduction updates" v;
+              fail Diag.Scalar_cycle "scalar %s is read outside its reduction updates" v;
             ())
         ;
         (v, Reduction (List.hd !kinds)) :: acc
@@ -266,13 +275,14 @@ let rec check_mechanics ~in_if (body : Ast.block) =
   List.iter
     (fun (s : Ast.stmt) ->
       match s with
-      | Decl _ when in_if -> fail "declaration inside a conditional branch"
+      | Decl _ when in_if ->
+          fail Diag.Complex_control "declaration inside a conditional branch"
       | Decl _ | Assign _ | Store _ -> ()
       | If (_, t, e) ->
           check_mechanics ~in_if:true t;
           check_mechanics ~in_if:true e
-      | While _ -> fail "while loop in vector-candidate body"
-      | For _ -> fail "nested loop in vector-candidate body")
+      | While _ -> fail Diag.Inner_loop "while loop in vector-candidate body"
+      | For _ -> fail Diag.Inner_loop "nested loop in vector-candidate body")
     body
 
 type array_access = { array : string; sub : Ast.expr; is_write : bool }
@@ -330,13 +340,38 @@ let const_difference e1 e2 : int option =
   | c, [] -> Some c
   | _ -> None
 
+(* The distinct (|stride|, residue mod |stride|) pairs among an array's
+   strided (|stride| >= 2) affine accesses. Two or more distinct residues
+   at the same address expression shape are the signature of interleaved
+   record fields — the AoS layout the paper's first fix removes. *)
+let strided_pairs ~classify accesses array =
+  List.filter_map
+    (fun (a : array_access) ->
+      if a.array <> array then None
+      else
+        match classify a with
+        | Sub_affine (k, b) when abs k >= 2 ->
+            let k = abs k in
+            let c, _ = linearize b in
+            Some (k, ((c mod k) + k) mod k)
+        | _ -> None)
+    accesses
+  |> List.sort_uniq compare
+
+(* Refine the reason code for a failed array dependence test. *)
+let dep_code ~classify accesses array =
+  match strided_pairs ~classify accesses array with
+  | [] -> Diag.Loop_carried_dep
+  | [ _ ] -> Diag.Non_unit_stride
+  | _ :: _ :: _ -> Diag.Aos_layout
+
 (* Conservative cross-iteration dependence test on arrays, with
    constant-distance disambiguation: two references with the same stride
    whose bases differ by a constant not divisible by the stride can never
    touch the same element. *)
 let check_dependences ~loop_var ~varying (body : Ast.block) =
   let accesses = collect_accesses body in
-  let classify a = classify_subscript ~loop_var ~varying a.sub in
+  let classify (a : array_access) = classify_subscript ~loop_var ~varying a.sub in
   let disjoint_or_same ~stride b1 b2 ~allow_same =
     match const_difference b1 b2 with
     | Some 0 -> allow_same
@@ -348,11 +383,15 @@ let check_dependences ~loop_var ~varying (body : Ast.block) =
       if w.is_write then begin
         (match classify w with
         | Sub_complex ->
-            fail "store to %s with non-affine subscript (assert with pragma simd)" w.array
+            fail Diag.Gather_required
+              "store to %s with non-affine subscript (assert with pragma simd)"
+              w.array
         | Sub_invariant ->
-            fail "store to %s at a loop-invariant address" w.array
+            fail Diag.Invariant_store "store to %s at a loop-invariant address"
+              w.array
         | Sub_affine (0, _) ->
-            fail "store to %s at a loop-invariant address" w.array
+            fail Diag.Invariant_store "store to %s at a loop-invariant address"
+              w.array
         | Sub_affine _ -> ());
         List.iter
           (fun other ->
@@ -364,6 +403,7 @@ let check_dependences ~loop_var ~varying (body : Ast.block) =
                           ~allow_same:(not other.is_write || other.sub = w.sub) -> ()
               | _ ->
                   fail
+                    (dep_code ~classify accesses w.array)
                     "possible loop-carried dependence on %s (assert with pragma simd)"
                     w.array)
           accesses
@@ -373,10 +413,10 @@ let check_dependences ~loop_var ~varying (body : Ast.block) =
 (* Main entry: decide whether [loop] can be vectorized and produce the
    codegen plan. [force] corresponds to [pragma simd]: it skips the
    dependence test but never the mechanical requirements. *)
-let vectorize_plan ~force (loop : Ast.for_loop) : plan =
-  if loop.step <> 1 then fail "only unit-step loops are vectorized";
+let vectorize_x ~force (loop : Ast.for_loop) : plan =
+  if loop.step <> 1 then fail Diag.Non_unit_step "only unit-step loops are vectorized";
   check_mechanics ~in_if:false loop.body;
-  let scalars = classify_scalars loop.body in
+  let scalars = classify_scalars_x loop.body in
   let varying = assigned_in_block loop.body in
   (* stores at loop-invariant addresses break even forced vectorization *)
   if not force then check_dependences ~loop_var:loop.index ~varying loop.body;
@@ -386,13 +426,125 @@ let vectorize_plan ~force (loop : Ast.for_loop) : plan =
          if a.is_write then
            match classify_subscript ~loop_var:loop.index ~varying a.sub with
            | Sub_invariant | Sub_affine (0, _) ->
-               fail "store to %s at a loop-invariant address" a.array
+               fail Diag.Invariant_store "store to %s at a loop-invariant address"
+                 a.array
            | _ -> ()
          else ())
        (collect_accesses loop.body));
   { scalars }
 
+let vectorize_diag ~force (loop : Ast.for_loop) : (plan, Diag.t) result =
+  match vectorize_x ~force loop with
+  | p -> Ok p
+  | exception Rejected d -> Error (Diag.with_span loop.span d)
+
 (* Parallelization shares the scalar analysis: every assigned scalar in the
    parallel body must be private or a reduction. *)
+let parallel_diag (loop : Ast.for_loop) : (plan, Diag.t) result =
+  match { scalars = classify_scalars_x loop.body } with
+  | p -> Ok p
+  | exception Rejected d -> Error (Diag.with_span loop.span d)
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility shims: the original raising API, with the reason code
+   folded into the message ("CODE: reason") so reports carry it.        *)
+
+let classify_scalars (body : Ast.block) : (string * scalar_class) list =
+  match classify_scalars_x body with
+  | s -> s
+  | exception Rejected d -> raise (Not_vectorizable (Diag.label d))
+
+let vectorize_plan ~force (loop : Ast.for_loop) : plan =
+  match vectorize_diag ~force loop with
+  | Ok p -> p
+  | Error d -> raise (Not_vectorizable (Diag.label d))
+
 let parallel_plan (loop : Ast.for_loop) : plan =
-  { scalars = classify_scalars loop.body }
+  match parallel_diag loop with
+  | Ok p -> p
+  | Error d -> raise (Not_vectorizable (Diag.label d))
+
+(* ------------------------------------------------------------------ *)
+(* Opt-report remarks and the pragma race checker                       *)
+
+(* Remarks on a vectorizable loop's memory traffic: strided and gathered
+   accesses do vectorize here (the VM has strided loads and a hardware
+   gather), but at the paper's bandwidth penalty — report them icc-style
+   so the layout pathology is visible even when legality holds. *)
+let access_remarks (loop : Ast.for_loop) : Diag.t list =
+  let varying = assigned_in_block loop.body in
+  let classify (a : array_access) =
+    classify_subscript ~loop_var:loop.index ~varying a.sub
+  in
+  let accesses = collect_accesses loop.body in
+  let arrays =
+    List.sort_uniq compare (List.map (fun (a : array_access) -> a.array) accesses)
+  in
+  List.filter_map
+    (fun arr ->
+      let subs =
+        List.filter_map
+          (fun (a : array_access) -> if a.array = arr then Some (classify a) else None)
+          accesses
+      in
+      if List.mem Sub_complex subs then
+        Some
+          (Diag.v ~span:loop.span Diag.Remark Diag.Gather_required
+             "data-dependent subscript on %s: gather/scatter emitted" arr)
+      else
+        match strided_pairs ~classify accesses arr with
+        | [] -> None
+        | [ (k, _) ] ->
+            Some
+              (Diag.v ~span:loop.span Diag.Remark Diag.Non_unit_stride
+                 "stride-%d access to %s: strided memory operations emitted" k arr)
+        | (k, _) :: _ :: _ ->
+            Some
+              (Diag.v ~span:loop.span Diag.Remark Diag.Aos_layout
+                 "%s is accessed as %d-wide interleaved records (AoS layout)" arr k))
+    arrays
+
+(* The pragma race checker: run the affine dependence machinery over an
+   asserted loop anyway and report dependences that are *provable* — not
+   merely possible — as RACE diagnostics. [Sub_complex] subscripts prove
+   nothing, so the paper's legitimate asserted scatters stay quiet. *)
+let race_diags (loop : Ast.for_loop) : Diag.t list =
+  let varying = assigned_in_block loop.body in
+  let classify (a : array_access) =
+    classify_subscript ~loop_var:loop.index ~varying a.sub
+  in
+  let accesses = collect_accesses loop.body in
+  let out = ref [] in
+  let add d =
+    if not (List.exists (fun d' -> Diag.compare d d' = 0) !out) then out := d :: !out
+  in
+  List.iter
+    (fun (w : array_access) ->
+      if w.is_write then
+        match classify w with
+        | Sub_invariant | Sub_affine (0, _) ->
+            add
+              (Diag.v ~span:loop.span Diag.Warning Diag.Race
+                 "asserted-independent loop stores to %s at a loop-invariant \
+                  address: every iteration writes the same element"
+                 w.array)
+        | Sub_affine (k, b1) ->
+            List.iter
+              (fun (o : array_access) ->
+                if o.array = w.array && not (o == w) then
+                  match classify o with
+                  | Sub_affine (k', b2) when k' = k -> (
+                      match const_difference b1 b2 with
+                      | Some c when c <> 0 && c mod k = 0 ->
+                          add
+                            (Diag.v ~span:loop.span Diag.Warning Diag.Race
+                               "asserted-independent loop carries a dependence \
+                                on %s: iterations %d apart touch the same element"
+                               w.array
+                               (abs (c / k)))
+                      | _ -> ())
+                  | _ -> ())
+              accesses
+        | Sub_complex -> ())
+    accesses;
+  List.sort Diag.compare !out

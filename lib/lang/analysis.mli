@@ -62,13 +62,38 @@ val collect_accesses : Ast.block -> array_access list
 
 (** {1 Legality} *)
 
-val vectorize_plan : force:bool -> Ast.for_loop -> plan
+val vectorize_diag : force:bool -> Ast.for_loop -> (plan, Diag.t) result
 (** Decide vectorizability and produce the codegen plan. [force]
     corresponds to [pragma simd]: it skips the array dependence test but
     never the mechanical requirements (no inner loops, no declarations in
-    branches, classifiable scalars).
+    branches, classifiable scalars). Rejections come back as structured
+    diagnostics with stable reason codes ([NON_UNIT_STEP], [SCALAR_CYCLE],
+    [AOS_LAYOUT], [NON_UNIT_STRIDE], [LOOP_CARRIED_DEP],
+    [GATHER_REQUIRED], [INVARIANT_STORE], [INNER_LOOP],
+    [COMPLEX_CONTROL]) carrying the loop's source span. *)
+
+val parallel_diag : Ast.for_loop -> (plan, Diag.t) result
+(** Scalar classification for a [pragma parallel] loop (privatization and
+    reduction detection), with structured rejection. *)
+
+val vectorize_plan : force:bool -> Ast.for_loop -> plan
+(** Raising shim over {!vectorize_diag}; the exception message is the
+    diagnostic's {!Diag.label} (["CODE: reason"]), deterministically.
     @raise Not_vectorizable with the reason otherwise. *)
 
 val parallel_plan : Ast.for_loop -> plan
-(** Scalar classification for a [pragma parallel] loop (privatization and
-    reduction detection). @raise Not_vectorizable *)
+(** Raising shim over {!parallel_diag}. @raise Not_vectorizable *)
+
+val access_remarks : Ast.for_loop -> Diag.t list
+(** icc-style remarks on a vectorizable loop's memory traffic: strided
+    accesses ([NON_UNIT_STRIDE]), interleaved-record accesses
+    ([AOS_LAYOUT]) and data-dependent subscripts ([GATHER_REQUIRED]) all
+    vectorize on this VM, but at the paper's bandwidth penalty.
+    Deterministic (sorted by array name). *)
+
+val race_diags : Ast.for_loop -> Diag.t list
+(** The pragma race checker: run the affine dependence machinery over an
+    asserted loop and report *provable* cross-iteration conflicts as
+    [RACE] warnings (loop-invariant store addresses, constant-distance
+    same-element conflicts). [Sub_complex] subscripts prove nothing, so
+    legitimately asserted scatters stay quiet. Deterministic. *)

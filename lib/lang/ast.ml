@@ -45,6 +45,7 @@ and for_loop = {
   step : int; (* positive constant *)
   pragmas : pragma list;
   body : block;
+  span : Diag.span; (* source lines of the loop, threaded by the parser *)
 }
 
 and block = stmt list
@@ -65,10 +66,13 @@ let ty_name = function
 
 let is_array = function Tarr_int | Tarr_float -> true | Tint | Tfloat -> false
 
-let elt_ty = function
-  | Tarr_int -> Tint
-  | Tarr_float -> Tfloat
-  | t -> invalid_arg ("Ast.elt_ty: not an array type: " ^ ty_name t)
+(* Total: malformed input must never abort the process. Callers turn [None]
+   into a proper diagnostic (a type error, or an internal-error diagnostic
+   where the typechecker already guarantees an array). *)
+let elt_ty_opt = function
+  | Tarr_int -> Some Tint
+  | Tarr_float -> Some Tfloat
+  | Tint | Tfloat -> None
 
 (* ------------------------------------------------------------------ *)
 (* Size metrics (programming-effort proxies for experiment T2)         *)
@@ -130,7 +134,7 @@ let rec pp_stmt indent ppf stmt =
         (pp_block (indent + 2)) t pad (pp_block (indent + 2)) e pad
   | While (c, b) ->
       Fmt.pf ppf "%swhile (%a) {@.%a%s}@." pad pp_expr c (pp_block (indent + 2)) b pad
-  | For { index; init; limit; step; pragmas; body } ->
+  | For { index; init; limit; step; pragmas; body; _ } ->
       List.iter
         (fun p ->
           Fmt.pf ppf "%spragma %s@." pad
@@ -187,4 +191,19 @@ and fold_stmt (s : stmt) : stmt =
   | If (c, t, e) -> If (fold_expr c, fold_block t, fold_block e)
   | While (c, b) -> While (fold_expr c, fold_block b)
   | For f -> For { f with init = fold_expr f.init; limit = fold_expr f.limit; body = fold_block f.body }
+
+(* ------------------------------------------------------------------ *)
+(* Span erasure (for structural comparison, e.g. the print/reparse
+   round-trip test: pretty-printing moves line numbers, not structure)  *)
+
+let rec erase_spans_block (b : block) : block = List.map erase_spans_stmt b
+
+and erase_spans_stmt (s : stmt) : stmt =
+  match s with
+  | Decl _ | Assign _ | Store _ -> s
+  | If (c, t, e) -> If (c, erase_spans_block t, erase_spans_block e)
+  | While (c, b) -> While (c, erase_spans_block b)
+  | For f -> For { f with body = erase_spans_block f.body; span = Diag.no_span }
+
+let erase_spans (k : kernel) : kernel = { k with body = erase_spans_block k.body }
 

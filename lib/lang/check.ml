@@ -34,8 +34,10 @@ let rec type_of_expr (env : env) (e : Ast.expr) : Ast.ty =
       | Tint -> ()
       | t -> err "subscript of %s has type %s, expected int" a (Ast.ty_name t));
       match Env.find_opt a env with
-      | Some ty when Ast.is_array ty -> Ast.elt_ty ty
-      | Some ty -> err "%s has type %s and cannot be indexed" a (Ast.ty_name ty)
+      | Some ty -> (
+          match Ast.elt_ty_opt ty with
+          | Some elt -> elt
+          | None -> err "%s has type %s and cannot be indexed" a (Ast.ty_name ty))
       | None -> err "unbound array %s" a)
   | Bin (op, a, b) -> (
       let ta = type_of_expr env a and tb = type_of_expr env b in
@@ -95,17 +97,19 @@ and check_stmt env (stmt : Ast.stmt) : env =
           env)
   | Store (a, i, e) -> (
       match Env.find_opt a env with
-      | Some ty when Ast.is_array ty ->
-          (match type_of_expr env i with
-          | Tint -> ()
-          | t -> err "subscript of %s has type %s, expected int" a (Ast.ty_name t));
-          let want = Ast.elt_ty ty in
-          let got = type_of_expr env e in
-          if got <> want then
-            err "store to %s of type %s, expected %s" a (Ast.ty_name got)
-              (Ast.ty_name want);
-          env
-      | Some ty -> err "%s has type %s and cannot be indexed" a (Ast.ty_name ty)
+      | Some ty -> (
+          match Ast.elt_ty_opt ty with
+          | None -> err "%s has type %s and cannot be indexed" a (Ast.ty_name ty)
+          | Some want ->
+              (match type_of_expr env i with
+              | Tint -> ()
+              | t ->
+                  err "subscript of %s has type %s, expected int" a (Ast.ty_name t));
+              let got = type_of_expr env e in
+              if got <> want then
+                err "store to %s of type %s, expected %s" a (Ast.ty_name got)
+                  (Ast.ty_name want);
+              env)
       | None -> err "unbound array %s" a)
   | If (c, t, e) ->
       if type_of_expr env c <> Tint then err "if condition must be int";
@@ -134,3 +138,8 @@ let initial_env (k : Ast.kernel) =
     Env.empty k.params
 
 let check_kernel (k : Ast.kernel) = check_block (initial_env k) k.body
+
+let check_kernel_diag (k : Ast.kernel) : (unit, Diag.t) result =
+  match check_kernel k with
+  | () -> Ok ()
+  | exception Type_error msg -> Error (Diag.v Diag.Error Diag.Type_error "%s" msg)

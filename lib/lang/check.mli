@@ -19,3 +19,7 @@ val initial_env : Ast.kernel -> env
 
 val check_kernel : Ast.kernel -> unit
 (** Check a whole kernel. @raise Type_error *)
+
+val check_kernel_diag : Ast.kernel -> (unit, Diag.t) result
+(** Like {!check_kernel} but returning type errors as structured
+    diagnostics (code [TYPE]) instead of raising. *)

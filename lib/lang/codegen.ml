@@ -447,6 +447,8 @@ let rec vexpr_i vc (e : Ast.expr) : Isa.vi_reg =
       let ib : Isa.ibin =
         match op with
         | Add -> Iadd | Sub -> Isub | Mul -> Imul | Div -> Idiv | Mod -> Imod
+        (* unreachable: the preceding arm consumed every comparison and
+           logical operator, leaving only the arithmetic ones above *)
         | _ -> assert false
       in
       let ra = vexpr_i vc a and rb = vexpr_i vc b in
@@ -484,6 +486,7 @@ and vexpr_m vc (e : Ast.expr) : Isa.vm_reg =
       let c : Isa.cmp =
         match op with
         | Lt -> Clt | Le -> Cle | Gt -> Cgt | Ge -> Cge | Eq -> Ceq | Ne -> Cne
+        (* unreachable: [op] is bound by the comparison-only pattern above *)
         | _ -> assert false
       in
       match vtype_of vc a with
@@ -551,6 +554,8 @@ and affine_lane0 vc ~stride ~base =
         let pre_code = ctx.code in
         ctx.code <- saved;
         List.iter
+          (* unreachable [_]: [expr_i] emits instructions only, never
+             control statements, so the captured block is all [Isa.I] *)
           (fun st -> match st with Isa.I i -> pre_emit vc i | _ -> assert false)
           (List.rev pre_code);
         vc.inv_base <- (base, r) :: vc.inv_base;
@@ -586,7 +591,9 @@ and vload_float vc ~array ~sub ~mask : Isa.vf_reg =
           let idx = expr_i ctx vc.env sub in
           let pre_code = ctx.code in
           ctx.code <- saved;
-          List.iter (fun st -> match st with Isa.I i -> pre_emit vc i | _ -> assert false)
+          List.iter
+            (* unreachable [_]: [expr_i] emits instructions only *)
+            (fun st -> match st with Isa.I i -> pre_emit vc i | _ -> assert false)
             (List.rev pre_code);
           let s = fresh_sf ctx in
           pre_emit vc (Loadf { dst = s; buf; idx; chain = subscript_chains sub });
@@ -631,7 +638,9 @@ and vload_int vc ~array ~sub ~mask : Isa.vi_reg =
           let idx = expr_i ctx vc.env sub in
           let pre_code = ctx.code in
           ctx.code <- saved;
-          List.iter (fun st -> match st with Isa.I i -> pre_emit vc i | _ -> assert false)
+          List.iter
+            (* unreachable [_]: [expr_i] emits instructions only *)
+            (fun st -> match st with Isa.I i -> pre_emit vc i | _ -> assert false)
             (List.rev pre_code);
           let s = fresh_si ctx in
           pre_emit vc (Loadi { dst = s; buf; idx; chain = subscript_chains sub });
@@ -937,8 +946,8 @@ and compile_vstore vs ~array ~sub ~rhs =
   let ctx = vc.c in
   let buf, aty = lookup_array vc.env array in
   let mask = vs.cur_mask in
-  match Ast.elt_ty aty with
-  | Tfloat -> (
+  match Ast.elt_ty_opt aty with
+  | Some Tfloat -> (
       let ve = vexpr_f vc rhs in
       match vsubscript vc sub with
       | Sub_affine (1, base) ->
@@ -955,7 +964,7 @@ and compile_vstore vs ~array ~sub ~rhs =
       | Sub_invariant | Sub_complex ->
           let idx = vexpr_i vc sub in
           instr ctx (Vscatterf { buf; idx; src = ve; mask }))
-  | Tint -> (
+  | Some Tint -> (
       let ve = vexpr_i vc rhs in
       match vsubscript vc sub with
       | Sub_affine (1, base) ->
@@ -968,7 +977,9 @@ and compile_vstore vs ~array ~sub ~rhs =
       | Sub_invariant | Sub_complex ->
           let idx = vexpr_i vc sub in
           instr ctx (Vscatteri { buf; idx; src = ve; mask }))
-  | _ -> assert false
+  | Some _ | None ->
+      cerr "internal error: vector store to %s, which is not an array \
+            (checker invariant violated)" array
 
 (* ------------------------------------------------------------------ *)
 (* Scalar statement compilation and the vectorized-loop driver         *)
@@ -1046,14 +1057,16 @@ and compile_stmt ctx env (s : Ast.stmt) : env =
   | Store (a, sub, e) ->
       let buf, aty = lookup_array env a in
       let idx = expr_i ctx env sub in
-      (match Ast.elt_ty aty with
-      | Tfloat ->
+      (match Ast.elt_ty_opt aty with
+      | Some Tfloat ->
           let src = expr_f ctx env e in
           instr ctx (Storef { buf; idx; src })
-      | Tint ->
+      | Some Tint ->
           let src = expr_i ctx env e in
           instr ctx (Storei { buf; idx; src })
-      | _ -> assert false);
+      | Some _ | None ->
+          cerr "internal error: store to %s, which is not an array \
+                (checker invariant violated)" a);
       env
   | If (c, t, e) ->
       let rc = expr_i ctx env c in
@@ -1250,7 +1263,9 @@ let spill_all ctx =
       match b with
       | Bint r -> instr ctx (Storei { buf = ctx.env_i; idx; src = r })
       | Bfloat r -> instr ctx (Storef { buf = ctx.env_f; idx; src = r })
-      | Barray _ -> assert false)
+      | Barray _ ->
+          cerr "internal error: array binding in the spill list \
+                (alloc_slot rejects arrays)")
     ctx.spill
 
 let reload_all ctx =
@@ -1260,7 +1275,9 @@ let reload_all ctx =
       match b with
       | Bint dst -> instr ctx (Loadi { dst; buf = ctx.env_i; idx; chain = false })
       | Bfloat dst -> instr ctx (Loadf { dst; buf = ctx.env_f; idx; chain = false })
-      | Barray _ -> assert false)
+      | Barray _ ->
+          cerr "internal error: array binding in the spill list \
+                (alloc_slot rejects arrays)")
     ctx.spill
 
 let compile_parallel_loop ctx env phases (loop : Ast.for_loop) : unit =
@@ -1347,6 +1364,8 @@ let compile_parallel_loop ctx env phases (loop : Ast.for_loop) : unit =
       match local with
       | Bfloat r -> instr ctx (Storef { buf = ctx.red_f; idx; src = r })
       | Bint r -> instr ctx (Storei { buf = ctx.red_i; idx; src = r })
+      (* unreachable: [local] is constructed a few lines up as Bint or
+         Bfloat only (the Barray case there raises) *)
       | Barray _ -> assert false)
     reductions;
   phases := Isa.Par (List.rev ctx.code) :: !phases;
@@ -1383,7 +1402,9 @@ let compile_parallel_loop ctx env phases (loop : Ast.for_loop) : unit =
                   | Rmax -> Imax
                 in
                 instr ctx (Ibin (op, vr, vr, p))
-            | Barray _ -> assert false)
+            | Barray _ ->
+                cerr "internal error: reduction variable %s is bound to an \
+                      array in the combine phase" v)
       in
       stmt ctx (Isa.For { idx = t; lo; hi = Isa.num_threads_reg; step = one; body }))
     reductions
@@ -1410,7 +1431,7 @@ let compile ~(flags : flags) (kernel : Ast.kernel) : result =
   in
   let buf_index name =
     let rec go i = function
-      | [] -> assert false
+      | [] -> cerr "internal error: unknown buffer %s in %s" name kernel.kname
       | (d : Isa.buffer_decl) :: rest -> if d.buf_name = name then Isa.Buf i else go (i + 1) rest
     in
     go 0 buffer_decls
@@ -1450,7 +1471,7 @@ let compile ~(flags : flags) (kernel : Ast.kernel) : result =
         ctx.env_f_slots <- s + 1;
         if s >= max_env_slots then cerr "too many top-level float scalars";
         s
-    | Barray _ -> assert false
+    | Barray _ -> cerr "internal error: spill slot requested for an array binding"
   in
   (* parameter bindings + prologue loads of scalar parameters *)
   let env = ref [] in
@@ -1471,6 +1492,7 @@ let compile ~(flags : flags) (kernel : Ast.kernel) : result =
             let r = fresh_sf ctx in
             instr ctx (Loadf { dst = r; buf = cell; idx; chain = false });
             Bfloat r
+        (* unreachable: [scalar_params] filtered out array types above *)
         | _ -> assert false
       in
       let slot = alloc_slot ctx b in
@@ -1496,7 +1518,12 @@ let compile ~(flags : flags) (kernel : Ast.kernel) : result =
           | Some e, Bfloat r ->
               let re = expr_f ctx !env e in
               instr ctx (Fmov (r, re))
-          | None, _ -> ()
+          (* top-level scalars are spilled around every [Par] phase, so an
+             uninitialized one would store a never-written register; give
+             it a defined zero (what the VM's register file holds anyway) *)
+          | None, Bint r -> instr ctx (Iconst (r, 0))
+          | None, Bfloat r -> instr ctx (Fconst (r, 0.))
+          (* unreachable: [b] is constructed just above as Bint or Bfloat *)
           | _ -> assert false);
           let slot = alloc_slot ctx b in
           ctx.spill <- (b, slot) :: ctx.spill;

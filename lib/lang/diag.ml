@@ -1,0 +1,145 @@
+(* Structured compiler diagnostics. See the interface for the contract;
+   everything here is deliberately deterministic (no tables, no state) so
+   diagnostic output can be byte-compared across worker-domain counts. *)
+
+type code =
+  | Aos_layout
+  | Non_unit_stride
+  | Non_unit_step
+  | Loop_carried_dep
+  | Scalar_cycle
+  | Gather_required
+  | Invariant_store
+  | Inner_loop
+  | Complex_control
+  | Short_trip
+  | Race
+  | Syntax
+  | Type_error
+  | Internal
+
+let code_name = function
+  | Aos_layout -> "AOS_LAYOUT"
+  | Non_unit_stride -> "NON_UNIT_STRIDE"
+  | Non_unit_step -> "NON_UNIT_STEP"
+  | Loop_carried_dep -> "LOOP_CARRIED_DEP"
+  | Scalar_cycle -> "SCALAR_CYCLE"
+  | Gather_required -> "GATHER_REQUIRED"
+  | Invariant_store -> "INVARIANT_STORE"
+  | Inner_loop -> "INNER_LOOP"
+  | Complex_control -> "COMPLEX_CONTROL"
+  | Short_trip -> "SHORT_TRIP"
+  | Race -> "RACE"
+  | Syntax -> "SYNTAX"
+  | Type_error -> "TYPE"
+  | Internal -> "INTERNAL"
+
+(* rank for ordering only; the numeric value is not part of the surface *)
+let code_rank = function
+  | Aos_layout -> 0 | Non_unit_stride -> 1 | Non_unit_step -> 2
+  | Loop_carried_dep -> 3 | Scalar_cycle -> 4 | Gather_required -> 5
+  | Invariant_store -> 6 | Inner_loop -> 7 | Complex_control -> 8
+  | Short_trip -> 9 | Race -> 10 | Syntax -> 11 | Type_error -> 12
+  | Internal -> 13
+
+type severity = Error | Warning | Remark
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Remark -> "remark"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Remark -> 2
+
+type span = { first_line : int; last_line : int }
+
+let no_span = { first_line = 0; last_line = 0 }
+let line_span l = { first_line = l; last_line = l }
+let lines a b = { first_line = min a b; last_line = max a b }
+
+let pp_span ppf s =
+  if s = no_span then ()
+  else if s.first_line = s.last_line then Fmt.pf ppf "line %d" s.first_line
+  else Fmt.pf ppf "lines %d-%d" s.first_line s.last_line
+
+type t = {
+  code : code;
+  severity : severity;
+  span : span;
+  message : string;
+  hint : string option;
+}
+
+(* The remediation the paper applies for each pathology; see DESIGN.md
+   "Benchmarks" (column "Naive pathology") for where each one bites. *)
+let hint_for = function
+  | Aos_layout ->
+      Some
+        "convert the interleaved records to one array per field (AoS -> SoA, \
+         the paper's layout change)"
+  | Non_unit_stride ->
+      Some "restructure the data layout so accesses are unit-stride (AoS -> SoA)"
+  | Non_unit_step ->
+      Some "rewrite with a unit step and scale the subscripts instead"
+  | Loop_carried_dep ->
+      Some
+        "restructure the algorithm to break the dependence, or assert \
+         independence with pragma simd if it is spurious"
+  | Scalar_cycle ->
+      Some
+        "rewrite the recurrence as a sum/min/max reduction, or privatize the \
+         scalar by defining it before every use"
+  | Gather_required ->
+      Some
+        "precompute the indices into a unit-stride layout (blocking), or rely \
+         on hardware gather/scatter support"
+  | Invariant_store ->
+      Some "hoist the store out of the loop, or index it by the loop variable"
+  | Inner_loop ->
+      Some
+        "unroll the short inner loop or interchange the nest so the innermost \
+         loop is the vector candidate (the paper's Conv2D fix)"
+  | Complex_control ->
+      Some "hoist declarations out of conditional branches"
+  | Short_trip ->
+      Some "merge or block loops so the innermost trip count covers the SIMD width"
+  | Race ->
+      Some
+        "remove the pragma, or make iterations independent (privatize the \
+         state or use a reduction)"
+  | Syntax | Type_error | Internal -> None
+
+let v ?span:(sp = no_span) ?hint severity code fmt =
+  Fmt.kstr
+    (fun message ->
+      let hint =
+        match hint with
+        | Some "" -> None
+        | Some h -> Some h
+        | None -> hint_for code
+      in
+      { code; severity; span = sp; message; hint })
+    fmt
+
+let with_span sp d = if d.span = no_span then { d with span = sp } else d
+
+let label d = Fmt.str "%s: %s" (code_name d.code) d.message
+
+let pp ppf d =
+  if d.span <> no_span then Fmt.pf ppf "%a: " pp_span d.span;
+  Fmt.pf ppf "%s %s" (severity_name d.severity) (label d);
+  match d.hint with
+  | None -> ()
+  | Some h -> Fmt.pf ppf "@.  hint: %s" h
+
+let to_string d = Fmt.str "%a" pp d
+
+let compare a b =
+  let c = Stdlib.compare (a.span.first_line, a.span.last_line) (b.span.first_line, b.span.last_line) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare (code_rank a.code) (code_rank b.code) in
+      if c <> 0 then c else Stdlib.compare a.message b.message

@@ -1,0 +1,86 @@
+(** Structured compiler diagnostics with stable reason codes.
+
+    Every analysis and code-generation failure in the Cee pipeline is
+    described by a {!t}: a machine-readable reason {!code} (the stable
+    vocabulary the opt-report, experiment T3 and the negative tests key
+    on), a source {!span} threaded from the lexer/parser, a severity, a
+    human-readable message, and an optional remediation hint naming the
+    fix the paper applies for that pathology. *)
+
+(** Stable reason codes. The constructor names render as the upper-case
+    snake form ([Aos_layout] -> ["AOS_LAYOUT"]); both the rendering and
+    the set itself are part of the tool's stable surface. *)
+type code =
+  | Aos_layout  (** interleaved record fields accessed at stride > 1 *)
+  | Non_unit_stride  (** strided (but not interleaved) accesses *)
+  | Non_unit_step  (** loop step <> 1 defeats the vectorizer *)
+  | Loop_carried_dep  (** possible cross-iteration array dependence *)
+  | Scalar_cycle  (** scalar recurrence that is not a known reduction *)
+  | Gather_required  (** data-dependent subscript: gather/scatter *)
+  | Invariant_store  (** every iteration stores to the same address *)
+  | Inner_loop  (** nested/while loop inside a vector candidate *)
+  | Complex_control  (** control flow if-conversion cannot handle *)
+  | Short_trip  (** trip count too small to profit *)
+  | Race  (** pragma-asserted loop is provably not independent *)
+  | Syntax  (** lexer/parser error *)
+  | Type_error  (** Cee type error *)
+  | Internal  (** compiler invariant violation (a bug in us) *)
+
+val code_name : code -> string
+(** ["AOS_LAYOUT"], ["NON_UNIT_STRIDE"], ... — the stable spelling. *)
+
+type severity =
+  | Error  (** the construct is rejected / cannot be honored *)
+  | Warning  (** accepted, but the programmer's assertion looks wrong *)
+  | Remark  (** icc-style informational note on generated code *)
+
+val severity_name : severity -> string
+
+type span = { first_line : int; last_line : int }
+(** 1-based source lines, inclusive. The lexer tracks lines only (no
+    columns), so spans are line ranges. *)
+
+val no_span : span
+(** The unknown span ([{0; 0}]); rendered as nothing. *)
+
+val line_span : int -> span
+val lines : int -> int -> span
+val pp_span : span Fmt.t
+
+type t = {
+  code : code;
+  severity : severity;
+  span : span;
+  message : string;
+  hint : string option;
+      (** remediation, defaulted per-code from {!hint_for} by {!v} *)
+}
+
+val v :
+  ?span:span ->
+  ?hint:string ->
+  severity ->
+  code ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [v sev code fmt ...] builds a diagnostic. When [?hint] is omitted the
+    per-code default from {!hint_for} is used (pass [~hint:""] to
+    suppress a hint entirely). *)
+
+val hint_for : code -> string option
+(** The paper's fix for each pathology (None for syntax/type/internal). *)
+
+val with_span : span -> t -> t
+(** Fill in the span if the diagnostic carries {!no_span}. *)
+
+val label : t -> string
+(** ["CODE: message"] — the stable one-line form used by vec-reports and
+    the [Not_vectorizable] compatibility shim. *)
+
+val pp : t Fmt.t
+(** ["lines 4-9: error AOS_LAYOUT: ...\n  hint: ..."] — deterministic. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+(** Deterministic order: span, then severity, code, message. *)

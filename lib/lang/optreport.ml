@@ -1,0 +1,140 @@
+(* Per-loop optimization report. Mirrors the decision sequence of
+   {!Codegen.compile_for} / {!Codegen.compile_parallel_loop} at the full
+   [o2_vec_par] setting, but collects diagnostics instead of emitting
+   code. Keep the two in sync: the report must say "VECTORIZED" exactly
+   when the code generator would vectorize. *)
+
+type loop_report = {
+  label : string;
+  span : Diag.span;
+  depth : int;
+  parallelized : bool;
+  vectorized : bool;
+  diags : Diag.t list;
+}
+
+type t = {
+  kernel_name : string;
+  errors : Diag.t list;
+  loops : loop_report list;
+}
+
+(* Same rendering as Codegen.loop_label so report lines match vec-reports. *)
+let loop_label (loop : Ast.for_loop) =
+  Fmt.str "for(%s=%a;%s<%a)" loop.index Ast.pp_expr loop.init loop.index
+    Ast.pp_expr loop.limit
+
+let prefix_message pre (d : Diag.t) = { d with Diag.message = pre ^ d.Diag.message }
+
+let rec walk_block ~depth acc (b : Ast.block) =
+  List.fold_left (fun acc s -> walk_stmt ~depth acc s) acc b
+
+and walk_stmt ~depth acc (s : Ast.stmt) =
+  match s with
+  | Decl _ | Assign _ | Store _ -> acc
+  | If (_, t, e) -> walk_block ~depth (walk_block ~depth acc t) e
+  | While (_, b) -> walk_block ~depth acc b
+  | For loop -> walk_for ~depth acc loop
+
+and walk_for ~depth acc (loop : Ast.for_loop) =
+  let has_parallel = List.mem Ast.Parallel loop.pragmas in
+  let force = List.mem Ast.Simd loop.pragmas in
+  let diags = ref [] in
+  let addd d = diags := d :: !diags in
+  let parallelized =
+    if not has_parallel then false
+    else if depth > 0 then begin
+      (* the code generator rejects this shape outright *)
+      addd
+        (Diag.v ~span:loop.span ~hint:"" Diag.Error Diag.Complex_control
+           "pragma parallel is only supported on top-level loops");
+      false
+    end
+    else
+      match Analysis.parallel_diag loop with
+      | Ok _ -> true
+      | Error d -> addd (prefix_message "pragma parallel cannot be honored: " d); false
+  in
+  (* cost model: short constant-trip loops stay scalar unless forced;
+     a parallelized loop iterates over runtime chunk bounds, so the
+     constant-trip test never applies to it (as in codegen) *)
+  let short_trip =
+    (not parallelized)
+    &&
+    match (loop.init, loop.limit) with
+    | Ast.Int_lit lo, Ast.Int_lit hi -> hi - lo < 8
+    | _ -> false
+  in
+  let vectorized =
+    if short_trip && not force then begin
+      addd
+        (Diag.v ~span:loop.span Diag.Remark Diag.Short_trip
+           "trip count too small to profit");
+      false
+    end
+    else
+      match Analysis.vectorize_diag ~force loop with
+      | Ok _ ->
+          List.iter addd (Analysis.access_remarks loop);
+          true
+      | Error d ->
+          addd (if force then prefix_message "pragma simd cannot be honored: " d else d);
+          false
+  in
+  if force || has_parallel then List.iter addd (Analysis.race_diags loop);
+  let report =
+    {
+      label = loop_label loop;
+      span = loop.span;
+      depth;
+      parallelized;
+      vectorized;
+      diags = List.stable_sort Diag.compare (List.rev !diags);
+    }
+  in
+  let acc = report :: acc in
+  (* a vectorized body provably contains no loops (mechanics); recurse
+     only where the code generator would fall back to scalar code *)
+  if vectorized then acc else walk_block ~depth:(depth + 1) acc loop.body
+
+let analyze (k : Ast.kernel) : t =
+  match Check.check_kernel_diag k with
+  | Error d -> { kernel_name = k.kname; errors = [ d ]; loops = [] }
+  | Ok () ->
+      let body = Ast.fold_block k.body in
+      { kernel_name = k.kname;
+        errors = [];
+        loops = List.rev (walk_block ~depth:0 [] body) }
+
+let analyze_src ?(name = "<input>") src : t =
+  match Parser.parse_kernel_diag src with
+  | Ok k -> analyze k
+  | Error d -> { kernel_name = name; errors = [ d ]; loops = [] }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "opt-report for kernel %s@." t.kernel_name;
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Diag.pp d) t.errors;
+  if t.loops = [] && t.errors = [] then Fmt.pf ppf "  (no loops)@.";
+  List.iter
+    (fun (l : loop_report) ->
+      let pad = String.make (2 + (2 * l.depth)) ' ' in
+      let verdict =
+        match (l.parallelized, l.vectorized) with
+        | true, true -> "PARALLELIZED, VECTORIZED"
+        | true, false -> "PARALLELIZED, not vectorized"
+        | false, true -> "VECTORIZED"
+        | false, false -> "not vectorized"
+      in
+      if l.span = Diag.no_span then Fmt.pf ppf "%sLOOP %s: %s@." pad l.label verdict
+      else Fmt.pf ppf "%sLOOP %s at %a: %s@." pad l.label Diag.pp_span l.span verdict;
+      List.iter
+        (fun (d : Diag.t) ->
+          Fmt.pf ppf "%s  %s %s: %s@." pad
+            (Diag.severity_name d.Diag.severity)
+            (Diag.code_name d.Diag.code)
+            d.Diag.message;
+          match d.Diag.hint with
+          | None -> ()
+          | Some h -> Fmt.pf ppf "%s    hint: %s@." pad h)
+        l.diags)
+    t.loops

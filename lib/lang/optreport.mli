@@ -1,0 +1,35 @@
+(** icc-[-qopt-report]-style per-loop optimization report for Cee sources.
+
+    The pass replays the decisions the code generator makes at its full
+    [O2+vec+par] setting — parallelization of top-level [pragma parallel]
+    loops, the short-trip profitability check, vectorization legality —
+    without generating any code, and collects every decision as a
+    structured {!Diag.t} with a stable reason code. Pragma-asserted loops
+    additionally run the {!Analysis.race_diags} checker, so a provably
+    unsafe assertion surfaces as a [RACE] warning right in the report. *)
+
+type loop_report = {
+  label : string;  (** [for(i=lo;i<hi)] — matches the vec-report label *)
+  span : Diag.span;
+  depth : int;  (** 0 for top-level loops, +1 per enclosing loop *)
+  parallelized : bool;
+  vectorized : bool;
+  diags : Diag.t list;  (** rejections, race warnings, access remarks *)
+}
+
+type t = {
+  kernel_name : string;
+  errors : Diag.t list;  (** kernel-level parse/type errors (then no loops) *)
+  loops : loop_report list;  (** in source order, nested loops after their parent *)
+}
+
+val analyze : Ast.kernel -> t
+(** Analyze a parsed kernel. Never raises: type errors land in [errors]. *)
+
+val analyze_src : ?name:string -> string -> t
+(** Parse and analyze; lexical/syntax errors land in [errors] with [name]
+    (default ["<input>"]) as the kernel name. *)
+
+val pp : t Fmt.t
+(** Render the report. Deterministic: identical input gives byte-identical
+    output regardless of worker-domain count. *)

@@ -4,8 +4,18 @@
 
 exception Error of string
 
+(* Internally every syntax error is a structured diagnostic carrying its
+   source span; the public [parse_kernel] re-renders it as the classic
+   [Error] string for existing call sites, while [parse_kernel_diag]
+   returns it intact. *)
+exception Error_diag of Diag.t
+
 let error ~line fmt =
-  Fmt.kstr (fun s -> raise (Error (Fmt.str "line %d: %s" line s))) fmt
+  Fmt.kstr
+    (fun s ->
+      raise
+        (Error_diag (Diag.v ~span:(Diag.line_span line) Diag.Error Diag.Syntax "%s" s)))
+    fmt
 
 type state = { toks : Lexer.located array; mutable pos : int }
 
@@ -126,9 +136,9 @@ and parse_primary st =
       let e = parse_expr st in
       expect st RPAREN;
       e
-  | KW ("float" | "int") ->
-      (* cast syntax: float(e), int(e) *)
-      let name = match (cur st).tok with KW s -> s | _ -> assert false in
+  | KW (("float" | "int") as name) ->
+      (* cast syntax: float(e), int(e); the cast name is bound by the
+         pattern itself, so no unreachable re-match is needed *)
       advance st;
       let args = parse_args st in
       if List.length args <> 1 then error ~line:(line st) "%s() takes one argument" name;
@@ -257,11 +267,14 @@ and parse_for st pragmas : Ast.stmt =
       in
       expect st RPAREN;
       let body = parse_block st in
-      For { index; init; limit; step; pragmas = List.rev pragmas; body }
+      (* the token before the current position is the block's closing brace *)
+      let last = st.toks.(st.pos - 1).line in
+      For
+        { index; init; limit; step; pragmas = List.rev pragmas; body;
+          span = Diag.lines l last }
   | t -> error ~line:(line st) "expected for after pragma, found %s" (Lexer.token_name t)
 
-let parse_kernel src : Ast.kernel =
-  let st = { toks = Lexer.tokenize src; pos = 0 } in
+let parse_kernel_toks st : Ast.kernel =
   expect st (KW "kernel");
   let kname = expect_ident st in
   expect st LPAREN;
@@ -284,3 +297,26 @@ let parse_kernel src : Ast.kernel =
   if (cur st).tok <> EOF then
     error ~line:(line st) "trailing input after kernel body";
   { kname; params = List.rev !params; body }
+
+(* Lexer errors arrive as strings "line %d: ..."; recover the span from the
+   prefix so even tokenization failures carry a usable location. *)
+let diag_of_lexer_error msg =
+  let span =
+    try Scanf.sscanf msg "line %d:" Diag.line_span with
+    | Scanf.Scan_failure _ | Failure _ | End_of_file -> Diag.no_span
+  in
+  Diag.v ~span Diag.Error Diag.Syntax "%s" msg
+
+let parse_kernel_diag src : (Ast.kernel, Diag.t) result =
+  match
+    let st = { toks = Lexer.tokenize src; pos = 0 } in
+    parse_kernel_toks st
+  with
+  | k -> Ok k
+  | exception Error_diag d -> Error d
+  | exception Lexer.Error msg -> Error (diag_of_lexer_error msg)
+
+let parse_kernel src : Ast.kernel =
+  match parse_kernel_diag src with
+  | Ok k -> k
+  | Error d -> raise (Error (Diag.to_string d))

@@ -1,12 +1,17 @@
 (** Recursive-descent parser for Cee. Enforces the canonical for-loop shape
     [for (i = e0; i < e1; i = i + c)] (positive constant [c]) that every
     later pass relies on; unary minus on literals folds at parse time so
-    pretty-printing round-trips. *)
+    pretty-printing round-trips. For-loop nodes carry their source span. *)
 
 exception Error of string
-(** Syntax error with line number. *)
+(** Syntax error, rendered with its source span. *)
+
+val parse_kernel_diag : string -> (Ast.kernel, Diag.t) result
+(** Parse one [kernel name(params) { ... }] compilation unit. Lexical and
+    syntax failures come back as structured {!Diag.t} values (code
+    [SYNTAX]) carrying the offending source line; malformed input never
+    raises and never aborts the process. *)
 
 val parse_kernel : string -> Ast.kernel
-(** Parse one [kernel name(params) { ... }] compilation unit.
-    @raise Error on syntax errors
-    @raise Lexer.Error on lexical errors *)
+(** Like {!parse_kernel_diag} but raising.
+    @raise Error on lexical or syntax errors *)

@@ -5,6 +5,8 @@ let () =
       Test_arch.suite;
       Test_lang.suite;
       Test_lang2.suite;
+      Test_diag.suite;
+      Test_verify.suite;
       Test_analysis.suite;
       Test_report.suite;
       Test_kernels.suite;

@@ -23,7 +23,7 @@ let test_find () =
 let test_expected_experiments () =
   List.iter
     (fun id -> ignore (E.find id))
-    [ "t1"; "f1"; "f2"; "f3"; "t2"; "f4"; "f5"; "f6"; "f7"; "f8"; "a1" ]
+    [ "t1"; "f1"; "f2"; "f3"; "t2"; "t3"; "f4"; "f5"; "f6"; "f7"; "f8"; "a1" ]
 
 let test_t2_runs () =
   (* t2 compiles (no simulation): cheap end-to-end check of experiment code *)
@@ -33,6 +33,23 @@ let test_t2_runs () =
   Alcotest.(check bool) "mentions NBody" true (Astring_contains.contains csv "NBody");
   Alcotest.(check bool) "mentions MergeSort" true
     (Astring_contains.contains csv "MergeSort")
+
+let test_t3_runs () =
+  (* t3 is purely static (opt-report reason codes): zero simulations *)
+  E.reset_cache ();
+  let tables = (E.find "t3").run () in
+  let _, misses = E.cache_stats () in
+  Alcotest.(check int) "zero simulations" 0 misses;
+  Alcotest.(check int) "one table" 1 (List.length tables);
+  let csv = Ninja_report.Table.to_csv (List.hd tables) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Fmt.str "mentions %s" needle)
+        true
+        (Astring_contains.contains csv needle))
+    [ "AOS_LAYOUT"; "INNER_LOOP"; "GATHER_REQUIRED"; "SCALAR_CYCLE";
+      "(no traditional rewrite)" ]
 
 let test_gap () =
   (* synthetic reports via a trivial simulated program *)
@@ -82,11 +99,25 @@ let test_grid_covers_every_experiment () =
    renderings must be byte-identical, and after a prefill, rendering must
    cause zero further simulations (the declared job set is closed). *)
 
+(* Every diagnostic the static analyses produce for the suite, in one
+   string — appended to the differential transcript so the byte-compare
+   also proves diagnostic output is deterministic across -j values. *)
+let diag_dump () =
+  Ninja_kernels.Registry.all
+  |> List.concat_map (fun (b : Ninja_kernels.Driver.benchmark) ->
+         List.map
+           (fun (vname, src) ->
+             Fmt.str "# %s/%s@.%a" b.b_name vname Ninja_lang.Optreport.pp
+               (Ninja_lang.Optreport.analyze_src src))
+           b.b_sources)
+  |> String.concat "\n"
+
 let render_all () =
-  E.all
+  (E.all
   |> List.concat_map (fun (e : E.experiment) ->
          Fmt.str "## %s — %s@." (String.uppercase_ascii e.id) e.title
-         :: List.map (Fmt.str "%a" Ninja_report.Table.render) (e.run ()))
+         :: List.map (Fmt.str "%a" Ninja_report.Table.render) (e.run ())))
+  @ [ diag_dump () ]
   |> String.concat "\n"
 
 let test_differential_j1_vs_j4 () =
@@ -161,6 +192,7 @@ let suite =
       Alcotest.test_case "find" `Quick test_find;
       Alcotest.test_case "all experiments present" `Quick test_expected_experiments;
       Alcotest.test_case "t2 runs" `Quick test_t2_runs;
+      Alcotest.test_case "t3 runs statically" `Quick test_t3_runs;
       Alcotest.test_case "gap" `Quick test_gap;
       Alcotest.test_case "job grid deduplicated" `Quick test_grid_deduplicated;
       Alcotest.test_case "job grid subset" `Quick test_grid_subset;
