@@ -39,7 +39,7 @@ let run_experiment csv (e : Ninja_core.Experiments.experiment) =
 
 let experiments_cmd =
   let ids =
-    let doc = "Experiment ids (t1, f1..f8, t2, t3, a1); all when omitted." in
+    let doc = "Experiment ids (t1, f1..f8, t2, t3, t4, a1); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~doc ~docv:"ID")
   in
   let csv =
@@ -146,6 +146,114 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Print a variant's compiled ISA program")
     Term.(const run $ machine_arg $ bench_arg $ step_arg)
+
+(* ---- profile (cycle attribution + Chrome trace export) ---- *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let profile_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (see `list`)." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"BENCHMARK")
+  in
+  let step_arg =
+    let doc =
+      "Ladder step to profile (naive serial, +autovec, +parallel, \
+       +algorithmic, ninja)."
+    in
+    Arg.(value & opt string "ninja" & info [ "variant" ] ~doc ~docv:"STEP")
+  in
+  let trace_arg =
+    let doc =
+      "Write the profile's spans as Chrome trace_event JSON to $(docv) \
+       (load in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let csv_arg =
+    let doc = "Write a roofline-ready CSV point for this run to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "roofline-csv" ] ~doc ~docv:"FILE")
+  in
+  let run machine bench step_name trace csv =
+    let machine = machine_of_name machine in
+    let b = Ninja_kernels.Registry.find bench in
+    let steps = b.steps ~scale:b.default_scale in
+    match
+      List.find_opt (fun (s : Ninja_kernels.Driver.step) -> s.step_name = step_name) steps
+    with
+    | None ->
+        Fmt.epr "benchmark %s has no step %S@." b.b_name step_name;
+        exit 1
+    | Some s ->
+        let p = Ninja_profile.Profile.of_step ~machine ~prog_name:b.b_name s in
+        Fmt.pr "%a@." Ninja_report.Table.render
+          (Ninja_profile.Profile.attribution_table p);
+        let f = Ninja_profile.Profile.fractions p in
+        Fmt.pr
+          "resource fractions of %.3f Mcycles: compute %.0f%%, bandwidth \
+           %.0f%%, latency %.0f%%, serial %.0f%%  ->  %s-bound@."
+          (p.report.cycles /. 1e6) (100. *. f.f_compute) (100. *. f.f_bandwidth)
+          (100. *. f.f_latency) (100. *. f.f_serial)
+          (Ninja_arch.Timing.bound_name p.bound);
+        (match p.lane_util with
+        | Some u -> Fmt.pr "SIMD lane utilization (masked memory ops): %.0f%%@." (100. *. u)
+        | None -> ());
+        (match trace with
+        | Some path ->
+            write_file path (Ninja_profile.Chrome.to_json p);
+            Fmt.pr "wrote Chrome trace: %s (%d spans)@." path (List.length p.spans)
+        | None -> ());
+        (match csv with
+        | Some path ->
+            write_file path (Ninja_profile.Profile.roofline_csv [ p ]);
+            Fmt.pr "wrote roofline CSV: %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Cycle-attribution profile of one benchmark variant: per-loop/phase \
+          attribution table, resource fractions, optional Chrome trace_event \
+          JSON and roofline CSV export")
+    Term.(const run $ machine_arg $ bench_arg $ step_arg $ trace_arg $ csv_arg)
+
+(* ---- report (generated-section sync for EXPERIMENTS.md) ---- *)
+
+let report_cmd =
+  let write_arg =
+    let doc = "Regenerate drifted sections in place (default: check only)." in
+    Arg.(value & flag & info [ "write" ] ~doc)
+  in
+  let check_arg =
+    let doc = "Check that generated sections are current (the default)." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let path_arg =
+    let doc = "Document to sync." in
+    Arg.(value & opt string "EXPERIMENTS.md" & info [ "path" ] ~doc ~docv:"FILE")
+  in
+  let run write _check path =
+    let mode = if write then Ninja_core.Report_sync.Write else Ninja_core.Report_sync.Check in
+    match Ninja_core.Report_sync.sync mode ~path with
+    | Error msg ->
+        Fmt.epr "report: %s@." msg;
+        exit 2
+    | Ok [] -> Fmt.pr "%s: generated sections (%s) are current@." path
+                 (String.concat ", " Ninja_core.Report_sync.sections)
+    | Ok stale when not write ->
+        Fmt.epr "%s: generated sections out of date: %s@.run `ninja_cli report --write` to regenerate@."
+          path (String.concat ", " stale);
+        exit 1
+    | Ok updated -> Fmt.pr "%s: regenerated sections: %s@." path (String.concat ", " updated)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Keep EXPERIMENTS.md's generated sections in sync with the measured \
+          output (--check gates CI, --write regenerates)")
+    Term.(const run $ write_arg $ check_arg $ path_arg)
 
 (* ---- source variants (vec-report / analyze) ---- *)
 
@@ -275,7 +383,7 @@ let main_cmd =
         "Reproduction of 'Can traditional programming bridge the Ninja performance gap?' (ISCA 2012)"
   in
   Cmd.group info
-    [ experiments_cmd; ladder_cmd; list_cmd; compile_cmd; vec_report_cmd;
-      analyze_cmd; verify_cmd ]
+    [ experiments_cmd; ladder_cmd; list_cmd; compile_cmd; profile_cmd;
+      report_cmd; vec_report_cmd; analyze_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -36,6 +36,15 @@ let point_compute ~label (r : Timing.report) =
     efficiency = gflops /. roof;
   }
 
+let csv_header = "label,flop_per_byte,gflops,roof_gflops,efficiency"
+
+let csv_row p =
+  Fmt.str "%s,%.6g,%.6g,%.6g,%.6g" p.label p.intensity p.gflops p.roof_gflops
+    p.efficiency
+
+let to_csv points =
+  String.concat "\n" (csv_header :: List.map csv_row points) ^ "\n"
+
 let pp_point ppf p =
   Fmt.pf ppf "%-24s %8.2f flop/B %8.2f GF/s (roof %8.2f, %.0f%%)" p.label
     p.intensity p.gflops p.roof_gflops (100. *. p.efficiency)

@@ -28,4 +28,15 @@ val point_compute : label:string -> Ninja_arch.Timing.report -> point
 (** Like {!point}, but for cache-resident runs: intensity is reported as
     the compute ridge and the roof is the compute peak. *)
 
+val csv_header : string
+(** Header line of the roofline CSV: [label,flop_per_byte,gflops,...]. *)
+
+val csv_row : point -> string
+(** One CSV data line for a point ([%.6g] fields — deterministic). Labels
+    are emitted verbatim; callers must not put commas in them. *)
+
+val to_csv : point list -> string
+(** Full roofline-ready CSV document (header + one line per point +
+    trailing newline) for external plotting tools. *)
+
 val pp_point : point Fmt.t

@@ -14,10 +14,16 @@ type outcome = {
 }
 
 val create : cfg -> t
+(** An empty cache with the configuration's geometry. *)
 
 val line_bytes : t -> int
+(** Line size in bytes. *)
+
 val sets : t -> int
+(** Number of sets. *)
+
 val assoc : t -> int
+(** Ways per set. *)
 
 val access : t -> line_addr:int -> write:bool -> outcome
 (** Probe for [line_addr]; on a miss, fill it (possibly evicting). [write]
@@ -27,11 +33,17 @@ val probe : t -> line_addr:int -> bool
 (** Non-destructive hit test (no fill, no LRU update). *)
 
 val invalidate_all : t -> unit
+(** Drop every line (dirty contents are discarded, not written back). *)
 
 val dirty_lines : t -> int
 (** Number of valid dirty lines currently held (for end-of-run write-back
     draining). *)
 
 val stats_hits : t -> int
+(** Hits since creation / the last {!reset_stats}. *)
+
 val stats_misses : t -> int
+(** Misses since creation / the last {!reset_stats}. *)
+
 val reset_stats : t -> unit
+(** Zero the hit/miss counters (contents untouched). *)

@@ -14,6 +14,7 @@ type result = {
 }
 
 val create : Machine.t -> t
+(** A cold hierarchy shaped by the machine's cache configurations. *)
 
 val access :
   t -> core:int -> addr:int -> bytes:int -> write:bool -> nt:bool -> result
@@ -26,11 +27,16 @@ val drain_writebacks : t -> unit
     steady-state accounting). *)
 
 val dram_read_bytes : t -> int
+(** Bytes fetched from DRAM so far (line fills + uncached reads). *)
+
 val dram_write_bytes : t -> int
+(** Bytes written to DRAM so far (writebacks + non-temporal stores). *)
 
 val accesses : t -> level -> int
 (** Number of accesses whose deepest level was [level]. *)
 
 val reset : t -> unit
+(** Invalidate all caches and zero all traffic counters. *)
 
 val level_name : level -> string
+(** ["L1"], ["L2"], ["LLC"] or ["DRAM"]. *)

@@ -71,10 +71,20 @@ val future : generation:int -> t
     for the gap growing if unaddressed). [generation] >= 1. *)
 
 val with_gather : t -> bool -> t
+(** Copy with native gather/scatter support toggled. *)
+
 val with_prefetch : t -> bool -> t
+(** Copy with the hardware prefetcher toggled. *)
+
 val with_cores : t -> int -> t
+(** Copy with a different core count. *)
+
 val with_simd : t -> int -> t
+(** Copy with a different SIMD width (lanes). *)
+
 val with_name : t -> string -> t
+(** Copy under a new name (the memo caches key on names — rename any
+    modified machine). *)
 
 val pp : t Fmt.t
 (** One-line summary: name, cores, width, frequency, bandwidth. *)

@@ -43,7 +43,13 @@ let issue_time (m : Machine.t) counts ~thread =
   let front_end = slots /. float_of_int m.issue_width in
   List.fold_left Float.max front_end [ alu; fp; mem; br ]
 
-let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare prog mem =
+let trace_level : Hierarchy.level -> Trace.level = function
+  | L1 -> Trace.L1
+  | L2 -> Trace.L2
+  | LLC -> Trace.LLC
+  | Dram -> Trace.Dram
+
+let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare ?trace prog mem =
   let m : Machine.t = machine in
   if n_threads > m.cores then
     invalid_arg
@@ -59,25 +65,43 @@ let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare prog mem =
     | LLC -> float_of_int m.llc.latency
     | Dram -> float_of_int m.dram_latency
   in
+  let dram_total () = Hierarchy.dram_read_bytes hier + Hierarchy.dram_write_bytes hier in
   let sink (e : Event.t) =
     let core = e.thread mod m.cores in
     let write = e.kind = Event.Write in
+    let dram_before = match trace with None -> 0 | Some _ -> dram_total () in
     let r = Hierarchy.access hier ~core ~addr:e.addr ~bytes:e.bytes ~write ~nt:e.nt in
-    if not r.covered then begin
-      let p = level_penalty r.level in
-      stalls.(e.thread) <- stalls.(e.thread) +. (if e.chain then p else p /. mlp)
-    end
+    let stall =
+      if r.covered then 0.
+      else begin
+        let p = level_penalty r.level in
+        let s = if e.chain then p else p /. mlp in
+        stalls.(e.thread) <- stalls.(e.thread) +. s;
+        s
+      end
+    in
+    match trace with
+    | None -> ()
+    | Some f ->
+        f
+          (Trace.Access
+             { thread = e.thread; level = trace_level r.level; covered = r.covered;
+               stall; bytes = e.bytes; write; dram_bytes = dram_total () - dram_before })
   in
   let counts = Counts.create n_threads in
   let instructions = ref 0 in
   for run = 0 to runs - 1 do
     (match prepare with Some f -> f run mem | None -> ());
-    let r = Interp.run ~n_threads ~width:m.simd_width ~sink prog mem in
+    let r = Interp.run ~n_threads ~width:m.simd_width ~sink ?trace prog mem in
     Counts.merge_into ~dst:counts r.counts;
     instructions := !instructions + r.instructions
   done;
   let instructions = !instructions in
+  let dram_before_drain = match trace with None -> 0 | Some _ -> dram_total () in
   Hierarchy.drain_writebacks hier;
+  (match trace with
+  | None -> ()
+  | Some f -> f (Trace.Drain { dram_bytes = dram_total () - dram_before_drain }));
   let issue = Array.init n_threads (fun t -> issue_time m counts ~thread:t) in
   let thread_time t = issue.(t) +. stalls.(t) in
   let slowest = ref 0 in

@@ -31,6 +31,7 @@ val simulate :
   ?n_threads:int ->
   ?runs:int ->
   ?prepare:(int -> Ninja_vm.Memory.t -> unit) ->
+  ?trace:Ninja_vm.Trace.sink ->
   Ninja_vm.Isa.program ->
   Ninja_vm.Memory.t ->
   report
@@ -42,7 +43,19 @@ val simulate :
     memory and cache state, summing the modeled time — this models repeated
     kernel launches (e.g. the passes of a bottom-up merge sort). [prepare]
     is called before each run with the run index, e.g. to update a scalar
-    parameter cell between passes. *)
+    parameter cell between passes.
+
+    [trace] receives the interpreter's profiling events plus, from this
+    model, one {!Ninja_vm.Trace.event.Access} per memory access (cache
+    level, prefetch coverage, stall cycles charged, DRAM traffic caused)
+    and a final {!Ninja_vm.Trace.event.Drain} for the writeback drain.
+    Passing it does not change any reported number. *)
+
+val issue_time : Machine.t -> Ninja_vm.Counts.t -> thread:int -> float
+(** Port-model issue time (cycles) for one thread's instruction counts:
+    each class priced at its reciprocal throughput, binned onto ALU / FP /
+    memory / branch ports, bounded below by front-end width. The profiler
+    uses this to reprice event-derived counts exactly as [simulate] does. *)
 
 val flops : report -> float
 (** Arithmetic floating-point operations executed (FMA counts as two),
@@ -58,4 +71,7 @@ val speedup : baseline:report -> report -> float
     cycles). *)
 
 val bound_name : bound -> string
+(** ["compute"], ["bandwidth"] or ["latency"]. *)
+
 val pp_summary : report Fmt.t
+(** Multi-line human-readable report (cycles, bound, traffic, counts). *)

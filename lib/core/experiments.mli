@@ -23,7 +23,16 @@ type experiment = {
 }
 
 val all : experiment list
-(** In presentation order: T1, F1..F8, T2, A1. *)
+(** In presentation order: T1, F1..F8, T2..T4, A1. T4 (measured cycle
+    attribution) runs its simulations under the profiler, outside the memo
+    cache — its [needs] is empty by design. *)
+
+val t4_profiles :
+  (Ninja_arch.Machine.t * Ninja_profile.Profile.t list) list Lazy.t
+(** The ninja-variant profiles behind T4 (Westmere and Knights Ferry, the
+    whole suite), memoized for the process — also the data source for the
+    report-sync tooling and tests that compare measured bottleneck classes
+    with the timing reports'. *)
 
 val find : string -> experiment
 (** Lookup by id (case-insensitive). Raises [Not_found]. *)

@@ -1,0 +1,98 @@
+(* Keep EXPERIMENTS.md's generated sections in sync with the code.
+
+   The document carries marker pairs
+
+     <!-- BEGIN GENERATED: <id> -->
+     ...generated text...
+     <!-- END GENERATED: <id> -->
+
+   and this module owns what goes between them: each registered id has a
+   generator that renders the current experiment output (deterministic, so
+   "in sync" is byte equality). [Check] reports drifted sections without
+   touching the file — the CI gate; [Write] splices fresh content in. *)
+
+module Table = Ninja_report.Table
+
+let begin_marker id = Fmt.str "<!-- BEGIN GENERATED: %s -->" id
+let end_marker id = Fmt.str "<!-- END GENERATED: %s -->" id
+
+(* An experiment's tables as a fenced block (markdown-safe ASCII). *)
+let tables_of_experiment id () =
+  let e = Experiments.find id in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun t -> Buffer.add_string buf (Fmt.str "```@.%a```@." Table.render t))
+    (e.run ());
+  Buffer.contents buf
+
+let generators = [ ("t3", tables_of_experiment "t3"); ("t4", tables_of_experiment "t4") ]
+
+let sections = List.map fst generators
+
+type mode = Check | Write
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* First occurrence of [sub] in [s] at or after [start]. *)
+let find_sub ?(start = 0) s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go start
+
+(* Find the span between a marker pair: returns (content_start, content_end)
+   where content runs from just after the BEGIN line's newline to the start
+   of the END line. *)
+let find_section doc id =
+  let b = begin_marker id and e = end_marker id in
+  match find_sub doc b with
+  | None -> Error (Fmt.str "marker pair for section %S is missing" id)
+  | Some bi -> (
+      let after_begin =
+        match String.index_from_opt doc (bi + String.length b) '\n' with
+        | Some nl -> nl + 1
+        | None -> String.length doc
+      in
+      match find_sub ~start:after_begin doc e with
+      | None -> Error (Fmt.str "section %S has no END marker" id)
+      | Some ei -> Ok (after_begin, ei))
+
+let sync mode ~path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | doc ->
+      let doc = ref doc in
+      let touched = ref [] in
+      let err = ref None in
+      List.iter
+        (fun (id, gen) ->
+          if !err = None then
+            match find_section !doc id with
+            | Error e -> err := Some e
+            | Ok (cs, ce) ->
+                let current = String.sub !doc cs (ce - cs) in
+                let fresh = gen () in
+                if current <> fresh then begin
+                  touched := id :: !touched;
+                  if mode = Write then
+                    doc :=
+                      String.sub !doc 0 cs ^ fresh
+                      ^ String.sub !doc ce (String.length !doc - ce)
+                end)
+        generators;
+      (match !err with
+      | Some e -> Error e
+      | None ->
+          if mode = Write && !touched <> [] then write_file path !doc;
+          Ok (List.rev !touched))

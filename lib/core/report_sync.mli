@@ -1,0 +1,29 @@
+(** Self-documenting reporting pipeline: keep the generated sections of
+    EXPERIMENTS.md in sync with what the code actually measures.
+
+    The document marks machine-owned regions with
+
+    {v
+    <!-- BEGIN GENERATED: <id> -->
+    ...
+    <!-- END GENERATED: <id> -->
+    v}
+
+    and this module renders each registered section from the live
+    experiment code (deterministically, so "in sync" is byte equality).
+    [ninja_cli report --check] gates CI on it; [--write] regenerates. *)
+
+type mode =
+  | Check  (** report drifted sections; never touch the file *)
+  | Write  (** splice fresh content between the markers *)
+
+val sections : string list
+(** Registered generated-section ids (currently ["t3"]; ["t4"]). Every one
+    must have a marker pair in the document. *)
+
+val sync : mode -> path:string -> (string list, string) result
+(** [sync mode ~path] renders every registered section and compares it to
+    what [path] currently holds between the markers. [Ok ids] lists the
+    drifted (Check) or rewritten (Write) sections — [Ok []] means the
+    document was already current. [Error] reports structural problems:
+    unreadable file or a missing/unterminated marker pair. *)

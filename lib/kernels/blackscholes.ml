@@ -156,6 +156,7 @@ let ninja ~machine =
         Builder.emit b (Vselectf (r, neg, flipped, c));
         r
       in
+      Builder.region b "option pricing loop" @@ fun () ->
       Builder.for_ b ~lo ~hi ~step:w (fun i ->
           let vload buf =
             let r = Builder.vf b in

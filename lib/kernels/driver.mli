@@ -58,8 +58,11 @@ val simple_step :
 (** A single-launch step with no pre-launch hook. *)
 
 val run_step :
+  ?trace:Ninja_vm.Trace.sink ->
   machine:Ninja_arch.Machine.t -> step -> Ninja_arch.Timing.report
-(** Simulate one step on [machine] (threads = cores when [parallel]). *)
+(** Simulate one step on [machine] (threads = cores when [parallel]).
+    [trace] forwards profiling events to the cycle-attribution profiler;
+    passing it changes no reported number. *)
 
 val validate_step :
   machine:Ninja_arch.Machine.t -> step -> (unit, string) result

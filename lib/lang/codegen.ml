@@ -989,6 +989,15 @@ let loop_label (loop : Ast.for_loop) =
   Fmt.str "for(%s=%a;%s<%a)" loop.index Ast.pp_expr loop.init loop.index
     Ast.pp_expr loop.limit
 
+(* Stable attribution label for the profiler: index variable plus the
+   source span the parser stamped. Keyed on the span (not the bounds) so
+   the label survives the parallelizer's `for(i=__my_lo;...)` chunk
+   rewrite and names the vector main loop, its remainder and the scalar
+   fallback identically. *)
+let region_label (loop : Ast.for_loop) =
+  if loop.span = Diag.no_span then Fmt.str "for(%s)" loop.index
+  else Fmt.str "for(%s) L%d-%d" loop.index loop.span.first_line loop.span.last_line
+
 (* Abstract taint-only walk of a block (no code emitted): used as a
    pre-pass before compiling loop bodies so that loop-carried pointer
    chasing (node = f(load); ...; load a[node] on the next iteration) is
@@ -1096,9 +1105,16 @@ and compile_stmt ctx env (s : Ast.stmt) : env =
       compile_for ctx env loop;
       env
 
-(* A for loop inside a phase: try the vectorizer first, fall back to the
-   scalar loop (recording why), recursing into the body either way. *)
+(* A for loop inside a phase: compile it (vectorized or scalar) inside a
+   zero-cost [Region] scope so the profiler can attribute its cycles back
+   to the source lines. *)
 and compile_for ctx env (loop : Ast.for_loop) : unit =
+  let body = in_block ctx (fun () -> compile_for_unregioned ctx env loop) in
+  stmt ctx (Isa.Region { label = region_label loop; body })
+
+(* Try the vectorizer first, fall back to the scalar loop (recording why),
+   recursing into the body either way. *)
+and compile_for_unregioned ctx env (loop : Ast.for_loop) : unit =
   let label = loop_label loop in
   if ctx.flags.vectorize then begin
     let force = List.mem Ast.Simd loop.pragmas in

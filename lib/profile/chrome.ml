@@ -1,0 +1,71 @@
+(* Chrome trace_event exporter (the JSON format chrome://tracing and
+   Perfetto read). Spans come from the profiler's per-thread virtual
+   clocks, so the trace is deterministic: cycles convert to microseconds
+   at the machine's frequency and every float is printed with a fixed
+   format. Complete ("X") events only — begin/end pairing is already done
+   by the collector. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let us_of_cycles ~freq_ghz cycles =
+  (* cycles / (GHz * 1e3) = microseconds *)
+  cycles /. (freq_ghz *. 1e3)
+
+let to_json (p : Profile.t) =
+  let freq_ghz = p.machine.Ninja_arch.Machine.freq_ghz in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let event s =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf "  ";
+    Buffer.add_string buf s
+  in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  event
+    (Fmt.str
+       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+        \"args\": {\"name\": \"%s/%s on %s\"}}"
+       (escape p.prog_name) (escape p.step_name)
+       (escape p.machine.Ninja_arch.Machine.name));
+  for t = 0 to p.n_threads - 1 do
+    event
+      (Fmt.str
+         "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %d, \
+          \"args\": {\"name\": \"hw thread %d\"}}"
+         t t)
+  done;
+  List.iter
+    (fun (sp : Profile.span) ->
+      let ts = us_of_cycles ~freq_ghz sp.sp_t0 in
+      let dur = us_of_cycles ~freq_ghz (sp.sp_t1 -. sp.sp_t0) in
+      let cat = match sp.sp_kind with Profile.Kloop -> "loop" | Profile.Kphase -> "phase" in
+      event
+        (Fmt.str
+           "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 0, \
+            \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}"
+           (escape sp.sp_label) cat sp.sp_thread ts dur))
+    p.spans;
+  Buffer.add_string buf "\n],\n";
+  Buffer.add_string buf
+    (Fmt.str
+       "\"displayTimeUnit\": \"ms\",\n\
+        \"otherData\": {\"machine\": \"%s\", \"benchmark\": \"%s\", \
+        \"variant\": \"%s\", \"threads\": %d, \"modeled_mcycles\": %.3f, \
+        \"bound\": \"%s\"}}\n"
+       (escape p.machine.Ninja_arch.Machine.name)
+       (escape p.prog_name) (escape p.step_name) p.n_threads
+       (p.report.Ninja_arch.Timing.cycles /. 1e6)
+       (Ninja_arch.Timing.bound_name p.bound));
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Chrome [trace_event] export of a profile's spans.
+
+    The output loads in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}: one track per hardware thread, one complete ("X") event per
+    loop/phase span, timestamps in microseconds derived from the profiler's
+    virtual cycle clocks at the machine's frequency. Deterministic — the
+    same profile always serializes to the same bytes (a golden test pins
+    the shape). *)
+
+val to_json : Profile.t -> string
+(** Serialize a profile as a Chrome trace_event JSON document (object form,
+    with [traceEvents], [displayTimeUnit] and an [otherData] block carrying
+    machine/benchmark metadata). *)

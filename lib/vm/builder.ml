@@ -112,6 +112,13 @@ let for_ b ~lo ~hi ~step f =
   let body = in_sub_block b (fun () -> f idx) in
   b.code <- Isa.For { idx; lo; hi; step; body } :: b.code
 
+(* Zero-cost profiling scope around a hand-written kernel's hot loop; the
+   profiler attributes the enclosed work to [label]. *)
+let region b label f =
+  if not b.in_phase then invalid_arg "Builder.region: outside a phase";
+  let body = in_sub_block b f in
+  b.code <- Isa.Region { label; body } :: b.code
+
 let while_ b ~cond f =
   if not b.in_phase then invalid_arg "Builder.while_: outside a phase";
   let cond_reg = si b in

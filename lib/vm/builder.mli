@@ -17,32 +17,48 @@
     ]} *)
 
 type t
+(** A program under construction (mutable). *)
 
 val create : name:string -> t
+(** Start an empty program named [name]. *)
 
 (** {1 Buffers and parameters} *)
 
 val buffer_f : t -> string -> Isa.buf
+(** Declare a float array parameter bound by name at run time. *)
+
 val buffer_i : t -> string -> Isa.buf
+(** Declare an int array parameter bound by name at run time. *)
 
 val param_cell_f : t -> string -> Isa.buf
 (** Declare the one-element cell backing scalar parameter [name]. *)
 
 val param_cell_i : t -> string -> Isa.buf
+(** As {!param_cell_f}, for an int scalar parameter. *)
 
 val load_param_f : t -> Isa.buf -> Isa.sf_reg
 (** Emit a load of a scalar parameter (call inside the phase using it —
     registers are thread-private). *)
 
 val load_param_i : t -> Isa.buf -> Isa.si_reg
+(** As {!load_param_f}, for an int scalar parameter. *)
 
 (** {1 Registers} *)
 
 val si : t -> Isa.si_reg
+(** Allocate a fresh scalar int register. *)
+
 val sf : t -> Isa.sf_reg
+(** Allocate a fresh scalar float register. *)
+
 val vf : t -> Isa.vf_reg
+(** Allocate a fresh vector float register. *)
+
 val vi : t -> Isa.vi_reg
+(** Allocate a fresh vector int register. *)
+
 val vm : t -> Isa.vm_reg
+(** Allocate a fresh vector mask register. *)
 
 (** {1 Emission} *)
 
@@ -51,12 +67,26 @@ val emit : t -> Isa.instr -> unit
     @raise Invalid_argument outside a phase. *)
 
 val iconst : t -> int -> Isa.si_reg
+(** Materialize an int constant into a fresh register. *)
+
 val fconst : t -> float -> Isa.sf_reg
+(** Materialize a float constant into a fresh register. *)
+
 val ibin : t -> Isa.ibin -> Isa.si_reg -> Isa.si_reg -> Isa.si_reg
+(** Emit a scalar int binop into a fresh destination register. *)
+
 val fbin : t -> Isa.fbin -> Isa.sf_reg -> Isa.sf_reg -> Isa.sf_reg
+(** Emit a scalar float binop into a fresh destination register. *)
+
 val vfbin : t -> Isa.fbin -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg
+(** Emit a vector float binop into a fresh destination register. *)
+
 val vibin : t -> Isa.ibin -> Isa.vi_reg -> Isa.vi_reg -> Isa.vi_reg
+(** Emit a vector int binop into a fresh destination register. *)
+
 val vfma : t -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg
+(** [vfma b x y z] emits a fused [x*y + z] (see {!vmuladd} for the
+    machine-portable form). *)
 
 val vmuladd :
   t -> fma:bool -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg -> Isa.vf_reg
@@ -64,8 +94,13 @@ val vmuladd :
     otherwise — Ninja code is machine-specific by definition. *)
 
 val vfunop : t -> Isa.funop -> Isa.vf_reg -> Isa.vf_reg
+(** Emit a vector float unop into a fresh destination register. *)
+
 val vbroadcastf : t -> Isa.sf_reg -> Isa.vf_reg
+(** Splat a scalar float across a fresh vector register. *)
+
 val vbroadcasti : t -> Isa.si_reg -> Isa.vi_reg
+(** Splat a scalar int across a fresh vector register. *)
 
 (** {1 Control flow} *)
 
@@ -80,6 +115,12 @@ val while_ : t -> cond:(unit -> Isa.si_reg) -> (unit -> unit) -> unit
     register tested against zero. *)
 
 val if_ : t -> cond:Isa.si_reg -> ?else_:(unit -> unit) -> (unit -> unit) -> unit
+(** Conditional on a scalar register ([<> 0] is true). *)
+
+val region : t -> string -> (unit -> unit) -> unit
+(** [region b label body]: wrap [body] in a zero-cost {!Isa.stmt.Region}
+    profiling scope — the cycle-attribution profiler charges the enclosed
+    work to [label]. Free when no profiler is attached. *)
 
 (** {1 Phases and threading} *)
 

@@ -8,6 +8,7 @@ val create : int -> t
 (** [create n_threads] with all counts zero. *)
 
 val add : t -> thread:int -> Isa.op_class -> int -> unit
+(** [add t ~thread cls n] bumps one thread's count of [cls] by [n]. *)
 
 val thread_count : t -> thread:int -> Isa.op_class -> int
 (** Count of one class on one thread. *)
@@ -16,7 +17,10 @@ val total : t -> Isa.op_class -> int
 (** Count of one class summed over threads. *)
 
 val grand_total : t -> int
+(** All instructions, all threads. *)
+
 val per_thread_total : t -> thread:int -> int
+(** All instructions executed by one thread. *)
 
 val merge_into : dst:t -> t -> unit
 (** Accumulate [src] into [dst] (equal thread counts required) — used when

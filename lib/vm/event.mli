@@ -15,5 +15,7 @@ type t = {
 }
 
 type sink = t -> unit
+(** Consumer of access events (the cache hierarchy walker). *)
 
 val pp : t Fmt.t
+(** Debug rendering of one access event. *)

@@ -115,7 +115,7 @@ let track_access rt ~thread ~addr ~(kind : Event.kind) =
 
 exception Race of string list
 
-let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
+let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
     (prog : Isa.program) (mem : Memory.t) =
   Isa.validate prog;
   if n_threads < 1 then invalid_arg "Interp.run: n_threads < 1";
@@ -133,7 +133,10 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
       Counts.add counts ~thread cls n;
       instructions := !instructions + n;
       remaining_fuel := !remaining_fuel - n;
-      if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name
+      if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name;
+      match trace with
+      | Some f -> for _ = 1 to n do f (Trace.Op { thread; cls }) done
+      | None -> ()
     in
     let emit ?(nt = false) ~buf ~idx ~bytes ~kind ~chain () =
       (match tracker with
@@ -158,6 +161,20 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
     let getvm (Isa.Vm r) = st.vm.(r) in
     let lane_active mask l =
       match mask with None -> true | Some m -> (getvm m).(l)
+    in
+    (* SIMD utilization of a masked vector memory access; only computed when
+       a profiler is listening. *)
+    let emit_lanes mask =
+      match trace with
+      | None -> ()
+      | Some f ->
+          let active =
+            match mask with
+            | None -> width
+            | Some m ->
+                Array.fold_left (fun a b -> if b then a + 1 else a) 0 (getvm m)
+          in
+          f (Trace.Lanes { thread; active; width })
     in
     let exec_instr instr =
       count (Isa.classify instr) 1;
@@ -290,6 +307,7 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
       | Mcount (d, a) ->
           seti d (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (getvm a))
       | Vloadf { dst; buf; idx; mask } ->
+          emit_lanes mask;
           let base = geti idx in
           let d = getvf dst in
           let any = ref false in
@@ -301,6 +319,7 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
           done;
           if !any then emit ~buf ~idx:base ~bytes:(width * 4) ~kind:Read ~chain:false ()
       | Vloadi { dst; buf; idx; mask } ->
+          emit_lanes mask;
           let base = geti idx in
           let d = getvi dst in
           let any = ref false in
@@ -320,6 +339,7 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
             emit ~buf ~idx:i ~bytes:4 ~kind:Read ~chain:false ()
           done
       | Vgatherf { dst; buf; idx; mask; chain } ->
+          emit_lanes mask;
           let d = getvf dst and ix = getvi idx in
           for l = 0 to width - 1 do
             if lane_active mask l then begin
@@ -328,6 +348,7 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
             end
           done
       | Vgatheri { dst; buf; idx; mask; chain } ->
+          emit_lanes mask;
           let d = getvi dst and ix = getvi idx in
           for l = 0 to width - 1 do
             if lane_active mask l then begin
@@ -336,6 +357,7 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
             end
           done
       | Vstoref { buf; idx; src; mask } ->
+          emit_lanes mask;
           let base = geti idx in
           let s = getvf src in
           let any = ref false in
@@ -347,6 +369,7 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
           done;
           if !any then emit ~buf ~idx:base ~bytes:(width * 4) ~kind:Write ~chain:false ()
       | Vstorei { buf; idx; src; mask } ->
+          emit_lanes mask;
           let base = geti idx in
           let s = getvi src in
           let any = ref false in
@@ -373,6 +396,7 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
             emit ~buf ~idx:i ~bytes:4 ~kind:Write ~chain:false ()
           done
       | Vscatterf { buf; idx; src; mask } ->
+          emit_lanes mask;
           let ix = getvi idx and s = getvf src in
           for l = 0 to width - 1 do
             if lane_active mask l then begin
@@ -381,6 +405,7 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
             end
           done
       | Vscatteri { buf; idx; src; mask } ->
+          emit_lanes mask;
           let ix = getvi idx and s = getvi src in
           for l = 0 to width - 1 do
             if lane_active mask l then begin
@@ -414,6 +439,14 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
       | Isa.If { cond; then_; else_ } ->
           count Branch 1;
           if geti cond <> 0 then exec_block then_ else exec_block else_
+      | Isa.Region { label; body } ->
+          (match trace with
+          | Some f -> f (Trace.Enter { thread; scope = Loop label })
+          | None -> ());
+          exec_block body;
+          (match trace with
+          | Some f -> f (Trace.Exit { thread; scope = Loop label })
+          | None -> ())
     in
     exec_block block
   in
@@ -427,22 +460,30 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?fuel ?(check_races = false)
     st.si.(n) <- n_threads;
     st.si.(w) <- width
   in
-  List.iter
-    (fun phase ->
+  List.iteri
+    (fun phase_idx phase ->
       (match tracker with
       | Some rt ->
           Hashtbl.reset rt.writes;
           Hashtbl.reset rt.reads
       | None -> ());
+      let run_thread ~parallel tid block =
+        init_thread tid;
+        let scope = Trace.Phase { index = phase_idx; parallel } in
+        (match trace with
+        | Some f -> f (Trace.Enter { thread = tid; scope })
+        | None -> ());
+        run_block ~thread:tid states.(tid) block;
+        match trace with
+        | Some f -> f (Trace.Exit { thread = tid; scope })
+        | None -> ()
+      in
       (match phase with
       | Isa.Par block ->
           for tid = 0 to n_threads - 1 do
-            init_thread tid;
-            run_block ~thread:tid states.(tid) block
+            run_thread ~parallel:true tid block
           done
-      | Isa.Seq block ->
-          init_thread 0;
-          run_block ~thread:0 states.(0) block);
+      | Isa.Seq block -> run_thread ~parallel:false 0 block);
       match tracker with
       | Some rt when rt.races <> [] -> raise (Race (List.rev rt.races))
       | _ -> ())

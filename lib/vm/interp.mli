@@ -26,6 +26,7 @@ val run :
   ?n_threads:int ->
   ?width:int ->
   ?sink:Event.sink ->
+  ?trace:Trace.sink ->
   ?fuel:int ->
   ?check_races:bool ->
   Isa.program ->
@@ -36,6 +37,10 @@ val run :
     @param n_threads SPMD thread count for [Par] phases (default 1).
     @param width vector lane count (default 4).
     @param sink receives every memory access event as it happens.
+    @param trace receives profiling events (scope enter/exit for phases and
+      [Region]s, one {!Trace.Op} per dynamic instruction, SIMD
+      lane-utilization per masked vector memory access). Adds no work when
+      absent.
     @param fuel optional dynamic-instruction budget; exceeding it traps
       (useful to bound buggy [While] loops in tests).
     @param check_races track per-phase read/write sets and raise {!Race}

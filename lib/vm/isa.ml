@@ -127,6 +127,12 @@ and stmt =
   | While of { cond_block : block; cond : si_reg; body : block }
     (* Evaluate [cond_block], loop while register [cond] <> 0. *)
   | If of { cond : si_reg; then_ : block; else_ : block }
+  | Region of { label : string; body : block }
+    (* Zero-cost attribution marker: executes [body], bounding a profiling
+       scope named [label]. The compiler wraps every source loop in one
+       (label = index variable + source span); Builder.region lets Ninja
+       kernels mark theirs. Contributes no instructions, cycles or program
+       size. *)
 
 type phase =
   | Par of block (* executed by every thread; barrier at the end *)
@@ -330,6 +336,7 @@ let validate (p : program) =
         check_block cond_block; check_si cond; check_block body
     | If { cond; then_; else_ } ->
         check_si cond; check_block then_; check_block else_
+    | Region { body; _ } -> check_block body
   in
   if p.regs.si < reserved_si_regs then
     invalid "programs must declare at least %d scalar int registers" reserved_si_regs;
@@ -499,6 +506,10 @@ let pp_program ppf (p : program) =
           pp_block (indent ^ "  ") ppf else_
         end;
         Fmt.pf ppf "%s}@." indent
+    | Region { label; body } ->
+        Fmt.pf ppf "%sregion %S {@." indent label;
+        pp_block (indent ^ "  ") ppf body;
+        Fmt.pf ppf "%s}@." indent
   in
   Fmt.pf ppf "program %s@." p.prog_name;
   Array.iter
@@ -527,5 +538,6 @@ let static_size (p : program) =
     | For { body; _ } -> 1 + block body
     | While { cond_block; body; _ } -> 1 + block cond_block + block body
     | If { then_; else_; _ } -> 1 + block then_ + block else_
+    | Region { body; _ } -> block body (* annotation only: free *)
   in
   List.fold_left (fun acc ph -> acc + match ph with Par b | Seq b -> block b) 0 p.phases

@@ -25,14 +25,22 @@ val create : Isa.program -> (string * buffer) list -> t
     missing bindings raise {!Bad_binding}. *)
 
 val get_f : t -> Isa.buf -> int -> float
+(** Read a float element (bounds- and type-checked; raises {!Trap}). *)
+
 val get_i : t -> Isa.buf -> int -> int
+(** Read an int element (bounds- and type-checked; raises {!Trap}). *)
+
 val set_f : t -> Isa.buf -> int -> float -> unit
+(** Write a float element (bounds- and type-checked; raises {!Trap}). *)
+
 val set_i : t -> Isa.buf -> int -> int -> unit
+(** Write an int element (bounds- and type-checked; raises {!Trap}). *)
 
 val address : t -> Isa.buf -> int -> int
 (** Modeled byte address of an element. *)
 
 val length : t -> Isa.buf -> int
+(** Element count of a buffer. *)
 
 val find : t -> string -> Isa.buf * buffer
 (** Look a buffer up by name (the live array, not a copy).

@@ -1,0 +1,60 @@
+(* Typed profiling events for the cycle-attribution profiler.
+
+   The interpreter emits scope (loop region / phase), per-instruction and
+   lane-utilization events; the timing model decorates every memory access
+   with the cache level it reached, the stall it was charged, and the DRAM
+   traffic it caused. A [sink] is an optional plain closure: when absent the
+   per-instruction cost is a single [match] on [None], so the profiler is a
+   no-op unless requested.
+
+   This module lives in the VM library (below both the timing model and the
+   profiler) so that every layer can emit into the same stream; [level] is
+   therefore a VM-local copy of the hierarchy's level type. *)
+
+type level = L1 | L2 | LLC | Dram
+
+let level_index = function L1 -> 0 | L2 -> 1 | LLC -> 2 | Dram -> 3
+let level_name = function L1 -> "L1" | L2 -> "L2" | LLC -> "LLC" | Dram -> "DRAM"
+let all_levels = [ L1; L2; LLC; Dram ]
+
+type scope =
+  | Loop of string (* a source loop (compiled code) or a Builder region *)
+  | Phase of { index : int; parallel : bool }
+
+let scope_label = function
+  | Loop l -> l
+  | Phase { index; parallel } ->
+      Fmt.str "phase %d (%s)" index (if parallel then "par" else "seq")
+
+type event =
+  | Enter of { thread : int; scope : scope }
+  | Exit of { thread : int; scope : scope }
+  | Op of { thread : int; cls : Isa.op_class }
+  | Lanes of { thread : int; active : int; width : int }
+  | Access of {
+      thread : int;
+      level : level;
+      covered : bool; (* missing lines were prefetch-covered *)
+      stall : float; (* cycles charged to the thread by the timing model *)
+      bytes : int;
+      write : bool;
+      dram_bytes : int; (* DRAM traffic (reads + writebacks) this access caused *)
+    }
+  | Drain of { dram_bytes : int }
+      (* end-of-run writeback drain: dirty lines still resident, counted as
+         DRAM write traffic by the timing model *)
+
+type sink = event -> unit
+
+let pp ppf = function
+  | Enter { thread; scope } -> Fmt.pf ppf "[t%d] enter %s" thread (scope_label scope)
+  | Exit { thread; scope } -> Fmt.pf ppf "[t%d] exit %s" thread (scope_label scope)
+  | Op { thread; cls } -> Fmt.pf ppf "[t%d] op %s" thread (Isa.op_class_name cls)
+  | Lanes { thread; active; width } -> Fmt.pf ppf "[t%d] lanes %d/%d" thread active width
+  | Access { thread; level; covered; stall; bytes; write; dram_bytes } ->
+      Fmt.pf ppf "[t%d] %s %s%s %dB stall %.2f dram %dB" thread
+        (if write then "W" else "R")
+        (level_name level)
+        (if covered then " covered" else "")
+        bytes stall dram_bytes
+  | Drain { dram_bytes } -> Fmt.pf ppf "drain %dB" dram_bytes

@@ -1,0 +1,63 @@
+(** Typed profiling events for the cycle-attribution profiler.
+
+    {!Interp.run} emits scope, instruction and lane-utilization events;
+    {!Ninja_arch.Timing.simulate} additionally decorates every memory access
+    with the cache level it reached, the stall cycles it was charged, and
+    the DRAM traffic it caused. Both take the sink as an option: when absent
+    the instrumentation is a no-op. [Ninja_profile.Profile] aggregates the
+    stream into attribution tables and a Chrome trace. *)
+
+(** Cache-hierarchy level reached by an access. A VM-local copy of
+    [Ninja_arch.Hierarchy.level] (this library sits below the
+    architecture model). *)
+type level = L1 | L2 | LLC | Dram
+
+val level_index : level -> int
+(** Dense index 0..3, in [L1]..[Dram] order (for accumulation arrays). *)
+
+val level_name : level -> string
+(** ["L1"], ["L2"], ["LLC"], ["DRAM"]. *)
+
+val all_levels : level list
+(** All levels, innermost first. *)
+
+(** An attribution scope: costs are charged to the innermost scope open on
+    the emitting thread. *)
+type scope =
+  | Loop of string
+      (** a compiled source loop (labeled with its source span by the
+          compiler) or a {!Builder.region} of a hand-written kernel *)
+  | Phase of { index : int; parallel : bool }  (** an SPMD program phase *)
+
+val scope_label : scope -> string
+(** Stable display label, e.g. ["for(i) L3-7"] or ["phase 0 (par)"]. *)
+
+(** One profiling event. Events of one thread are emitted in program
+    order; the interpreter runs threads one after another, so the stream
+    is deterministic. *)
+type event =
+  | Enter of { thread : int; scope : scope }  (** scope opened *)
+  | Exit of { thread : int; scope : scope }  (** scope closed *)
+  | Op of { thread : int; cls : Isa.op_class }
+      (** one dynamic instruction (loop bookkeeping included) *)
+  | Lanes of { thread : int; active : int; width : int }
+      (** SIMD utilization of one masked vector memory access: [active] of
+          [width] lanes enabled *)
+  | Access of {
+      thread : int;
+      level : level;  (** deepest level the access reached *)
+      covered : bool;  (** missing lines were prefetch-covered *)
+      stall : float;  (** cycles the timing model charged the thread *)
+      bytes : int;
+      write : bool;
+      dram_bytes : int;
+          (** DRAM traffic (line fills + evicted writebacks) caused *)
+    }  (** one priced memory access (emitted by the timing model) *)
+  | Drain of { dram_bytes : int }
+      (** end-of-run writeback drain of still-dirty cache lines *)
+
+type sink = event -> unit
+(** Event consumer. [None] everywhere means profiling is off. *)
+
+val pp : event Fmt.t
+(** Debug rendering of one event. *)

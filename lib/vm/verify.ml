@@ -371,6 +371,7 @@ let verify ?(width = 4) ?(n_threads = 4) ?(lengths = []) (p : Isa.program) :
       | If { then_; else_; _ } ->
           widen_block then_;
           widen_block else_
+      | Region { body; _ } -> widen_block body
     in
     let rec block_writes_si target b = List.exists (stmt_writes_si target) b
     and stmt_writes_si target (s : Isa.stmt) =
@@ -383,6 +384,7 @@ let verify ?(width = 4) ?(n_threads = 4) ?(lengths = []) (p : Isa.program) :
           block_writes_si target cond_block || block_writes_si target body
       | If { then_; else_; _ } ->
           block_writes_si target then_ || block_writes_si target else_
+      | Region { body; _ } -> block_writes_si target body
     in
     let rec exec_block ~mode b = List.iter (exec_stmt ~mode) b
     and exec_stmt ~mode (s : Isa.stmt) =
@@ -430,6 +432,7 @@ let verify ?(width = 4) ?(n_threads = 4) ?(lengths = []) (p : Isa.program) :
           Array.blit saved.vm_def 0 st.vm_def 0 (Array.length st.vm_def);
           exec_block ~mode else_;
           merge_into st st_then (copy_st st)
+      | Region { body; _ } -> exec_block ~mode body
     in
     List.iteri
       (fun n ph ->

@@ -23,8 +23,11 @@
     ([Vinsertf]) are treated as definitions, not reads. *)
 
 type issue = { where : string; what : string }
+(** One finding: [where] locates it (phase/statement path), [what] says
+    what is wrong. *)
 
 val pp_issue : issue Fmt.t
+(** ["<where>: <what>"]. *)
 
 val verify :
   ?width:int ->

@@ -10,4 +10,5 @@ let () =
       Test_analysis.suite;
       Test_report.suite;
       Test_kernels.suite;
+      Test_profile.suite;
       Test_core.suite ]

@@ -1,0 +1,117 @@
+(* Interface documentation linter.
+
+   odoc is not part of the build environment, so `dune build @doc` cannot
+   render HTML; this tool keeps the documentation *contract* checkable
+   anyway: every public `.mli` passed on the command line must carry a
+   module-header doc comment, and every `val` / `exception` / `external`
+   it declares must have a doc comment attached (OCaml attaches either the
+   `(** ... *)` immediately before the item or the one immediately after
+   it). The check is line-based and deliberately conservative: it only
+   ever demands a comment, never parses one.
+
+   Exit status: 0 when every item is documented, 1 otherwise (one line of
+   diagnosis per undocumented item — file:line, clickable in editors). *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_blank s = String.trim s = ""
+
+(* A top-level declaration we require documentation for. *)
+let decl_start line =
+  starts_with "val " line || starts_with "exception " line
+  || starts_with "external " line
+
+(* Any top-level item: ends the forward search for a trailing doc comment. *)
+let item_start line =
+  decl_start line || starts_with "type " line || starts_with "and " line
+  || starts_with "module " line || starts_with "open " line
+  || starts_with "include " line
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let ends_with_close_comment s =
+  let t = String.trim s in
+  let n = String.length t in
+  n >= 2 && String.sub t (n - 2) 2 = "*)"
+
+(* Documented-before: the nearest non-blank line above ends a comment. *)
+let doc_before lines i =
+  let rec up j =
+    if j < 0 then false
+    else if is_blank lines.(j) then up (j - 1)
+    else ends_with_close_comment lines.(j)
+  in
+  up (i - 1)
+
+(* Documented-after: between this declaration and the next top-level item
+   or blank line there is a doc-comment opener (continuation lines of the
+   declaration are indented, so they never terminate the search early; a
+   blank line does — OCaml only attaches a trailing doc comment that
+   directly follows the item). *)
+let doc_after lines i =
+  let n = Array.length lines in
+  let rec down j =
+    if j >= n then false
+    else if contains_sub lines.(j) "(**" then true
+    else if item_start lines.(j) || is_blank lines.(j) then false
+    else down (j + 1)
+  in
+  down (i + 1)
+
+let lint path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = Array.of_list (List.rev !lines) in
+  let problems = ref [] in
+  let fail i msg = problems := (i + 1, msg) :: !problems in
+  (* module header: the first non-blank line must open a doc comment *)
+  let rec first_content j =
+    if j >= Array.length lines then None
+    else if is_blank lines.(j) then first_content (j + 1)
+    else Some j
+  in
+  (match first_content 0 with
+  | Some j when starts_with "(**" (String.trim lines.(j)) -> ()
+  | Some j -> fail j "missing module-header doc comment (file must open with (** ... *))"
+  | None -> fail 0 "empty interface");
+  Array.iteri
+    (fun i line ->
+      if decl_start line && (not (doc_before lines i)) && not (doc_after lines i)
+      then
+        let name =
+          match String.split_on_char ' ' line with
+          | _ :: n :: _ -> String.trim (List.hd (String.split_on_char ':' n))
+          | _ -> "?"
+        in
+        fail i (Fmt.str "undocumented declaration %S" name))
+    lines;
+  List.rev !problems
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  let bad = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun path ->
+      incr checked;
+      List.iter
+        (fun (line, msg) ->
+          incr bad;
+          Fmt.epr "%s:%d: %s@." path line msg)
+        (lint path))
+    files;
+  if !bad > 0 then begin
+    Fmt.epr "doc-lint: %d undocumented item(s) across %d interface file(s)@." !bad !checked;
+    exit 1
+  end
+  else Fmt.pr "doc-lint: %d interface file(s) fully documented@." !checked

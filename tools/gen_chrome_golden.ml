@@ -1,0 +1,19 @@
+(* Regenerate the Chrome-trace golden file:
+     dune exec tools/gen_chrome_golden.exe > test/golden_chrome_trace.json
+   Prints the profile of scale-1 BlackScholes (ninja variant, Westmere) —
+   exactly what test/test_profile.ml's golden test recomputes. The output
+   is deterministic, so this only needs re-running when the profiler's
+   export format, the timing model, or the kernel itself changes. *)
+
+let () =
+  let b = Ninja_kernels.Registry.find "blackscholes" in
+  let step =
+    List.find
+      (fun (s : Ninja_kernels.Driver.step) -> s.step_name = "ninja")
+      (b.steps ~scale:1)
+  in
+  let p =
+    Ninja_profile.Profile.of_step ~machine:Ninja_arch.Machine.westmere
+      ~prog_name:b.b_name step
+  in
+  print_string (Ninja_profile.Chrome.to_json p)
