@@ -1,16 +1,24 @@
 (* The benchmark harness.
 
-   Section 1 regenerates every table and figure of the reproduced
+   `main.exe` regenerates every table and figure of the reproduced
    evaluation (experiments T1, F1..F8, T2, A1 — see DESIGN.md for the
-   mapping to the paper's claims). These numbers are *modeled* machine
-   results and are deterministic.
+   mapping to the paper's claims; these numbers are *modeled* machine
+   results and are deterministic), then uses Bechamel to measure the
+   wall-clock throughput of the simulator itself (one Test.make per
+   experiment family), so regressions in the simulation infrastructure
+   show up here.
 
-   Section 2 uses Bechamel to measure the wall-clock throughput of the
-   simulator itself (one Test.make per experiment family), so regressions
-   in the simulation infrastructure show up here. *)
+   `main.exe simulate [--smoke] [--out FILE] [-j N]` instead runs the
+   simulator self-benchmark (Ninja_core.Selfbench): simulated-ops/s of
+   the fast path against the reference baseline over the benchmark
+   suite on both machines, written as a JSON report
+   (BENCH_simulator.json by default). `--smoke` shrinks the grid to one
+   job and re-parses the written report as a schema check. *)
 
 module E = Ninja_core.Experiments
 module Jobs = Ninja_core.Jobs
+module Selfbench = Ninja_core.Selfbench
+module Json = Ninja_report.Json
 module Driver = Ninja_kernels.Driver
 module Machine = Ninja_arch.Machine
 
@@ -33,8 +41,7 @@ let print_experiments () =
   Fmt.pr "==================================================================@.";
   Fmt.pr " Reproduced evaluation (modeled results; see EXPERIMENTS.md)@.";
   Fmt.pr "==================================================================@.";
-  let summary = Jobs.prefill ?domains:(domains_of_argv ()) () in
-  Fmt.epr "%a@." Jobs.pp_summary summary;
+  ignore (Jobs.prefill ?domains:(domains_of_argv ()) ~verbose:true () : Jobs.summary);
   List.iter
     (fun (e : E.experiment) ->
       Fmt.pr "@.## %s — %s (%s)@.@." (String.uppercase_ascii e.id) e.title e.claim;
@@ -96,7 +103,60 @@ let run_bechamel () =
       | _ -> Fmt.pr "%-40s (no estimate)@." name)
     results
 
+(* ---- the simulator self-benchmark (`main.exe simulate`) ---- *)
+
+let flag_value name =
+  let rec go = function
+    | a :: v :: _ when a = name -> Some v
+    | _ :: tl -> go tl
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+let validate_report path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  let j = Json.parse raw in
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  if str "schema" <> Some Selfbench.schema_version then
+    failwith (path ^ ": bad or missing schema field");
+  (match num "geomean_ops_per_s" with
+  | Some x when x > 0. -> ()
+  | _ -> failwith (path ^ ": geomean_ops_per_s missing or not positive"));
+  match Option.bind (Json.member "benchmarks" j) Json.to_list with
+  | Some (_ :: _) -> ()
+  | _ -> failwith (path ^ ": empty benchmarks list")
+
+let run_simulate () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out = Option.value (flag_value "--out") ~default:"BENCH_simulator.json" in
+  let domains = Option.value (domains_of_argv ()) ~default:1 in
+  let r =
+    if smoke then
+      Selfbench.run ~domains
+        ~benchmarks:[ Ninja_kernels.Registry.find "BlackScholes" ]
+        ~machines:[ Machine.westmere ] ~steps:[ "ninja" ] ()
+    else
+      Selfbench.run ~domains
+        ~progress:(fun j ->
+          Fmt.epr "  %-16s %-14s %-14s %8.1fs fast %8.1fs baseline@."
+            j.Selfbench.j_bench j.Selfbench.j_machine j.Selfbench.j_step
+            j.Selfbench.j_fast_s j.Selfbench.j_baseline_s)
+        ()
+  in
+  Selfbench.write_json ~path:out r;
+  Fmt.epr "%a@." Selfbench.pp_result r;
+  validate_report out;
+  Fmt.pr "wrote %s (%d jobs, geomean %.0f ops/s, %.2fx over baseline)@." out
+    (List.length r.jobs) r.geomean_ops_per_s r.speedup
+
 let () =
-  print_experiments ();
-  run_bechamel ();
-  Fmt.pr "@.done.@."
+  if Array.exists (( = ) "simulate") Sys.argv then run_simulate ()
+  else begin
+    print_experiments ();
+    run_bechamel ();
+    Fmt.pr "@.done.@."
+  end

@@ -62,8 +62,9 @@ let experiments_cmd =
     (* precompute the whole simulation grid on the domain pool; the
        summary carries wall-clock times, so it goes to stderr to keep
        stdout deterministic across -j values *)
-    let summary = Ninja_core.Jobs.prefill ?domains:jobs ~experiments () in
-    Fmt.epr "%a@." Ninja_core.Jobs.pp_summary summary;
+    ignore
+      (Ninja_core.Jobs.prefill ?domains:jobs ~experiments ~verbose:true ()
+        : Ninja_core.Jobs.summary);
     List.iter (run_experiment csv) experiments
   in
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
@@ -376,6 +377,55 @@ let verify_cmd =
           register discipline, reserved registers, provable out-of-bounds)")
     Term.(const run $ bench_arg)
 
+(* ---- bench (simulator self-benchmark) ---- *)
+
+let bench_cmd =
+  let module S = Ninja_core.Selfbench in
+  let mode_arg =
+    let doc = "What to benchmark; only $(b,simulate) exists today." in
+    Arg.(value & pos 0 string "simulate" & info [] ~doc ~docv:"MODE")
+  in
+  let out_arg =
+    let doc = "Output file for the JSON report." in
+    Arg.(value & opt string "BENCH_simulator.json" & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let smoke_arg =
+    let doc =
+      "Tiny run (one benchmark, one machine, one step) to validate the \
+       harness, not to produce meaningful numbers."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run mode out smoke jobs =
+    if mode <> "simulate" then begin
+      Fmt.epr "unknown bench mode %S (try: simulate)@." mode;
+      exit 1
+    end;
+    let domains = Option.value jobs ~default:1 in
+    let r =
+      if smoke then
+        S.run ~domains
+          ~benchmarks:[ Ninja_kernels.Registry.find "BlackScholes" ]
+          ~machines:[ Ninja_arch.Machine.westmere ]
+          ~steps:[ "ninja" ] ()
+      else
+        S.run ~domains
+          ~progress:(fun j ->
+            Fmt.epr "  %-16s %-14s %-14s %8.1fs fast %8.1fs baseline@."
+              j.S.j_bench j.S.j_machine j.S.j_step j.S.j_fast_s j.S.j_baseline_s)
+          ()
+    in
+    S.write_json ~path:out r;
+    Fmt.epr "%a@." S.pp_result r;
+    Fmt.pr "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark the simulator itself (simulated ops/s, fast path vs \
+          reference baseline) and write a JSON report")
+    Term.(const run $ mode_arg $ out_arg $ smoke_arg $ jobs_arg)
+
 let main_cmd =
   let info =
     Cmd.info "ninja"
@@ -384,6 +434,6 @@ let main_cmd =
   in
   Cmd.group info
     [ experiments_cmd; ladder_cmd; list_cmd; compile_cmd; profile_cmd;
-      report_cmd; vec_report_cmd; analyze_cmd; verify_cmd ]
+      report_cmd; vec_report_cmd; analyze_cmd; verify_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

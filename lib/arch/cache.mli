@@ -13,8 +13,15 @@ type outcome = {
       (** line address of a dirty line displaced by the fill, if any *)
 }
 
-val create : cfg -> t
-(** An empty cache with the configuration's geometry. *)
+val create : ?fast_path:bool -> cfg -> t
+(** An empty cache with the configuration's geometry.
+
+    @param fast_path enable the MRU fast-hit path (default [true]): a
+      repeat access to the line touched by the immediately preceding
+      access is serviced without the way scan. Behaviour (outcomes, LRU
+      order, statistics) is bit-identical either way — the most recently
+      touched line holds the newest LRU stamp so it cannot have been
+      evicted; [false] exists for differential testing. *)
 
 val line_bytes : t -> int
 (** Line size in bytes. *)

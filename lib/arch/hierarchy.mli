@@ -13,8 +13,12 @@ type result = {
   covered : bool;  (** all missing lines were prefetch-covered *)
 }
 
-val create : Machine.t -> t
-(** A cold hierarchy shaped by the machine's cache configurations. *)
+val create : ?fast_path:bool -> Machine.t -> t
+(** A cold hierarchy shaped by the machine's cache configurations.
+
+    @param fast_path forwarded to every {!Cache.create} (default [true]):
+      enables the per-cache MRU fast-hit path. Results are bit-identical
+      either way; [false] exists for differential testing. *)
 
 val access :
   t -> core:int -> addr:int -> bytes:int -> write:bool -> nt:bool -> result

@@ -11,8 +11,12 @@
 
 type t
 
-val create : streams:int -> t
-(** [streams] is the table capacity (typically 16). *)
+val create : ?fast_path:bool -> streams:int -> unit -> t
+(** [streams] is the table capacity (typically 16). [fast_path] (default
+    [true]) selects a hand-rolled early-exit table scan over the closure
+    based reference walk; both produce identical training decisions, the
+    reference scan exists as the honest pre-optimization baseline for the
+    self-benchmark ({!Hierarchy.create} forwards its own [?fast_path]). *)
 
 val observe : t -> line_addr:int -> bool
 (** Feed one access; returns [true] if the access was covered by an

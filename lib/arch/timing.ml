@@ -49,13 +49,14 @@ let trace_level : Hierarchy.level -> Trace.level = function
   | LLC -> Trace.LLC
   | Dram -> Trace.Dram
 
-let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare ?trace prog mem =
+let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare ?trace ?strategy ?fast_path prog
+    mem =
   let m : Machine.t = machine in
   if n_threads > m.cores then
     invalid_arg
       (Fmt.str "Timing.simulate: %d threads on %d cores (%s)" n_threads m.cores m.name);
   if runs < 1 then invalid_arg "Timing.simulate: runs < 1";
-  let hier = Hierarchy.create m in
+  let hier = Hierarchy.create ?fast_path m in
   let stalls = Array.make n_threads 0. in
   let mlp = float_of_int m.mlp in
   let level_penalty (level : Hierarchy.level) =
@@ -66,7 +67,13 @@ let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare ?trace prog mem =
     | Dram -> float_of_int m.dram_latency
   in
   let dram_total () = Hierarchy.dram_read_bytes hier + Hierarchy.dram_write_bytes hier in
-  let sink (e : Event.t) =
+  (* The fast event sink is selected once on trace presence: the untraced
+     (common) variant carries no dram-delta bookkeeping and no per-event
+     option matches, so profiling costs nothing when it is off. With
+     [~fast_path:false] the original sink — one closure matching [trace]
+     per event — is used instead, keeping the baseline configuration's
+     costs faithful to the pre-fast-path simulator. *)
+  let reference_sink (e : Event.t) =
     let core = e.thread mod m.cores in
     let write = e.kind = Event.Write in
     let dram_before = match trace with None -> 0 | Some _ -> dram_total () in
@@ -88,11 +95,45 @@ let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare ?trace prog mem =
              { thread = e.thread; level = trace_level r.level; covered = r.covered;
                stall; bytes = e.bytes; write; dram_bytes = dram_total () - dram_before })
   in
+  let sink =
+    if fast_path = Some false then reference_sink
+    else
+      match trace with
+      | None ->
+          fun (e : Event.t) ->
+          let core = e.thread in (* n_threads <= m.cores is enforced above *)
+          let write = match e.kind with Event.Write -> true | Event.Read -> false in
+          let r = Hierarchy.access hier ~core ~addr:e.addr ~bytes:e.bytes ~write ~nt:e.nt in
+          if not r.covered then begin
+            let p = level_penalty r.level in
+            let s = if e.chain then p else p /. mlp in
+            stalls.(e.thread) <- stalls.(e.thread) +. s
+          end
+      | Some f ->
+          fun (e : Event.t) ->
+          let core = e.thread in (* n_threads <= m.cores is enforced above *)
+          let write = match e.kind with Event.Write -> true | Event.Read -> false in
+          let dram_before = dram_total () in
+          let r = Hierarchy.access hier ~core ~addr:e.addr ~bytes:e.bytes ~write ~nt:e.nt in
+          let stall =
+            if r.covered then 0.
+            else begin
+              let p = level_penalty r.level in
+              let s = if e.chain then p else p /. mlp in
+              stalls.(e.thread) <- stalls.(e.thread) +. s;
+              s
+            end
+          in
+          f
+            (Trace.Access
+               { thread = e.thread; level = trace_level r.level; covered = r.covered;
+                 stall; bytes = e.bytes; write; dram_bytes = dram_total () - dram_before })
+  in
   let counts = Counts.create n_threads in
   let instructions = ref 0 in
   for run = 0 to runs - 1 do
     (match prepare with Some f -> f run mem | None -> ());
-    let r = Interp.run ~n_threads ~width:m.simd_width ~sink ?trace prog mem in
+    let r = Interp.run ~n_threads ~width:m.simd_width ~sink ?trace ?strategy prog mem in
     Counts.merge_into ~dst:counts r.counts;
     instructions := !instructions + r.instructions
   done;

@@ -32,12 +32,19 @@ val simulate :
   ?runs:int ->
   ?prepare:(int -> Ninja_vm.Memory.t -> unit) ->
   ?trace:Ninja_vm.Trace.sink ->
+  ?strategy:Ninja_vm.Interp.strategy ->
+  ?fast_path:bool ->
   Ninja_vm.Isa.program ->
   Ninja_vm.Memory.t ->
   report
 (** Run [program] on [machine] with [n_threads] threads (default 1; must
     not exceed the machine's cores) and report modeled time. The memory is
     mutated exactly as by {!Ninja_vm.Interp.run}.
+
+    [strategy] selects the interpreter dispatch (default [Decoded]) and
+    [fast_path] the cache-simulation fast-hit path (default on); both are
+    pure performance knobs with bit-identical reports, exposed so the
+    self-benchmark and differential tests can run the reference paths.
 
     [runs] (default 1) executes the program that many times against the same
     memory and cache state, summing the modeled time — this models repeated

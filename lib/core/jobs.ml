@@ -50,7 +50,16 @@ let aggregate timed =
   Hashtbl.fold (fun step_name (jobs, wall_s) acc -> { step_name; jobs; wall_s } :: acc) tbl []
   |> List.sort (fun a b -> compare (class_rank a.step_name) (class_rank b.step_name))
 
-let prefill ?domains ?experiments () =
+let pp_summary ppf s =
+  Fmt.pf ppf "job grid: %d jobs on %d domain%s in %.1fs (%d simulated, %d cache hits)"
+    s.total_jobs s.domains
+    (if s.domains = 1 then "" else "s")
+    s.wall_s s.executed s.hits;
+  List.iter
+    (fun c -> Fmt.pf ppf "@.  %-14s %3d jobs %8.1fs" c.step_name c.jobs c.wall_s)
+    s.per_class
+
+let prefill ?domains ?experiments ?(verbose = false) () =
   let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
   let jobs = all_jobs ?experiments () in
   let hits0, misses0 = E.cache_stats () in
@@ -65,20 +74,17 @@ let prefill ?domains ?experiments () =
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let hits1, misses1 = E.cache_stats () in
-  {
-    domains;
-    total_jobs = List.length jobs;
-    executed = misses1 - misses0;
-    hits = hits1 - hits0;
-    wall_s;
-    per_class = aggregate timed;
-  }
-
-let pp_summary ppf s =
-  Fmt.pf ppf "job grid: %d jobs on %d domain%s in %.1fs (%d simulated, %d cache hits)"
-    s.total_jobs s.domains
-    (if s.domains = 1 then "" else "s")
-    s.wall_s s.executed s.hits;
-  List.iter
-    (fun c -> Fmt.pf ppf "@.  %-14s %3d jobs %8.1fs" c.step_name c.jobs c.wall_s)
-    s.per_class
+  let summary =
+    {
+      domains;
+      total_jobs = List.length jobs;
+      executed = misses1 - misses0;
+      hits = hits1 - hits0;
+      wall_s;
+      per_class = aggregate timed;
+    }
+  in
+  (* Quiet by default so library callers (tests, golden generation) get a
+     clean stderr; the CLI and the bench harness opt in. *)
+  if verbose then Fmt.epr "%a@." pp_summary summary;
+  summary

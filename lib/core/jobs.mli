@@ -33,12 +33,19 @@ type summary = {
   per_class : class_stat list;  (** by ladder step, fixed ladder order *)
 }
 
-val prefill : ?domains:int -> ?experiments:Experiments.experiment list -> unit -> summary
+val prefill :
+  ?domains:int ->
+  ?experiments:Experiments.experiment list ->
+  ?verbose:bool ->
+  unit ->
+  summary
 (** Run the grid on [domains] workers (default
     {!Ninja_util.Pool.default_domains}; [1] = serial in the calling
     domain) and populate {!Experiments.run_step_cached}'s memo cache.
     After a prefill, running the covered experiments performs no further
-    simulation. *)
+    simulation. With [~verbose:true] the summary is also printed to
+    stderr; the default is quiet, so library callers keep a clean error
+    stream. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** Multi-line, human-oriented; contains wall-clock times, so callers keep

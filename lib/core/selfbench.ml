@@ -1,0 +1,219 @@
+(* The simulator self-benchmark: how fast is the simulator itself?
+
+   Every experiment number in this repository is deterministic, so the
+   only performance that can regress is the wall-clock cost of producing
+   them. This module measures simulated-ops-per-second over a grid of
+   (benchmark, machine, ladder step) jobs, running each job twice:
+
+   - the *fast* configuration — the pre-decoded [Interp.Decoded] executor
+     over the fast-path cache hierarchy (the defaults); and
+   - the *baseline* configuration — [Interp.Tree] over the reference
+     hierarchy ([~fast_path:false]), i.e. the simulator as it was before
+     the fast path existed.
+
+   Both produce bit-identical reports; the per-job instruction counts are
+   asserted equal, so the ops/s ratio is a pure like-for-like measure of
+   the interpreter and cache-model overhead. Results aggregate per
+   benchmark (summing ops and seconds across machines and steps) and the
+   headline number is the geometric mean of per-benchmark ops/s, matching
+   how the paper reports performance summaries. *)
+
+module Machine = Ninja_arch.Machine
+module Driver = Ninja_kernels.Driver
+module Registry = Ninja_kernels.Registry
+module Stats = Ninja_util.Stats
+module Pool = Ninja_util.Pool
+module Json = Ninja_report.Json
+
+let schema_version = "ninja-selfbench/v1"
+
+type job = { bench : Driver.benchmark; machine : Machine.t; step : Driver.step }
+
+type job_result = {
+  j_bench : string;
+  j_machine : string;
+  j_step : string;
+  j_ops : int;  (** simulated instructions, identical in both configurations *)
+  j_fast_s : float;
+  j_baseline_s : float;
+}
+
+type bench_result = {
+  b_name : string;
+  b_ops : int;
+  b_fast_s : float;
+  b_baseline_s : float;
+  b_ops_per_s : float;
+  b_baseline_ops_per_s : float;
+}
+
+type result = {
+  domains : int;
+  wall_s : float;
+  jobs : job_result list;
+  benchmarks : bench_result list;
+  geomean_ops_per_s : float;
+  baseline_geomean_ops_per_s : float;
+  speedup : float;
+}
+
+(* Both ladder endpoints: "naive serial" exercises the scalar instruction
+   mix, "ninja" the vector/intrinsics mix (every benchmark has both). *)
+let default_steps = [ "naive serial"; "ninja" ]
+let default_machines = [ Machine.westmere; Machine.knights_ferry ]
+
+let jobs_of ~benchmarks ~machines ~steps =
+  List.concat_map
+    (fun (b : Driver.benchmark) ->
+      let ladder = b.steps ~scale:b.default_scale in
+      List.concat_map
+        (fun machine ->
+          List.filter_map
+            (fun step_name ->
+              List.find_opt
+                (fun (s : Driver.step) -> s.step_name = step_name)
+                ladder
+              |> Option.map (fun step -> { bench = b; machine; step }))
+            steps)
+        machines)
+    benchmarks
+
+(* Best-of-[repeats] timing: each job is tens of milliseconds, so a
+   single sample is at the mercy of the scheduler; the minimum over a few
+   repetitions is the standard low-noise estimator for deterministic
+   work. The simulated result is identical across repetitions. *)
+let time ~repeats f =
+  let r = ref (f ()) in (* untimed warm-up run; also the returned report *)
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    r := f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  (!r, !best)
+
+let run_job ~repeats { bench; machine; step } =
+  let fast, j_fast_s = time ~repeats (fun () -> Driver.run_step ~machine step) in
+  let baseline, j_baseline_s =
+    time ~repeats (fun () ->
+        Driver.run_step ~strategy:Ninja_vm.Interp.Tree ~fast_path:false ~machine
+          step)
+  in
+  if fast.Ninja_arch.Timing.instructions <> baseline.Ninja_arch.Timing.instructions
+  then
+    invalid_arg
+      (Fmt.str "Selfbench: %s/%s/%s: fast path simulated %d ops, baseline %d"
+         bench.Driver.b_name machine.Machine.name step.Driver.step_name
+         fast.Ninja_arch.Timing.instructions
+         baseline.Ninja_arch.Timing.instructions);
+  {
+    j_bench = bench.Driver.b_name;
+    j_machine = machine.Machine.name;
+    j_step = step.Driver.step_name;
+    j_ops = fast.Ninja_arch.Timing.instructions;
+    j_fast_s;
+    j_baseline_s;
+  }
+
+let aggregate ~benchmarks jobs =
+  List.filter_map
+    (fun (b : Driver.benchmark) ->
+      match List.filter (fun j -> j.j_bench = b.Driver.b_name) jobs with
+      | [] -> None
+      | mine ->
+          let sum f = List.fold_left (fun acc j -> acc +. f j) 0. mine in
+          let ops =
+            List.fold_left (fun acc j -> acc + j.j_ops) 0 mine
+          in
+          let fast_s = sum (fun j -> j.j_fast_s) in
+          let baseline_s = sum (fun j -> j.j_baseline_s) in
+          Some
+            {
+              b_name = b.Driver.b_name;
+              b_ops = ops;
+              b_fast_s = fast_s;
+              b_baseline_s = baseline_s;
+              b_ops_per_s = Stats.ratio (float_of_int ops) fast_s;
+              b_baseline_ops_per_s = Stats.ratio (float_of_int ops) baseline_s;
+            })
+    benchmarks
+
+let run ?(domains = 1) ?(repeats = 2) ?(benchmarks = Registry.all)
+    ?(machines = default_machines) ?(steps = default_steps)
+    ?(progress = fun _ -> ()) () =
+  let domains = max 1 domains in
+  let repeats = max 1 repeats in
+  let jobs = jobs_of ~benchmarks ~machines ~steps in
+  if jobs = [] then invalid_arg "Selfbench.run: empty job grid";
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Pool.map_list ~domains
+      (fun j ->
+        let r = run_job ~repeats j in
+        progress r;
+        r)
+      jobs
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let per_bench = aggregate ~benchmarks results in
+  let geomean_ops_per_s =
+    Stats.geomean (List.map (fun b -> b.b_ops_per_s) per_bench)
+  in
+  let baseline_geomean_ops_per_s =
+    Stats.geomean (List.map (fun b -> b.b_baseline_ops_per_s) per_bench)
+  in
+  {
+    domains;
+    wall_s;
+    jobs = results;
+    benchmarks = per_bench;
+    geomean_ops_per_s;
+    baseline_geomean_ops_per_s;
+    speedup = Stats.ratio geomean_ops_per_s baseline_geomean_ops_per_s;
+  }
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("jobs", Json.Num (float_of_int (List.length r.jobs)));
+      ("domains", Json.Num (float_of_int r.domains));
+      ("wall_s", Json.Num r.wall_s);
+      ("geomean_ops_per_s", Json.Num r.geomean_ops_per_s);
+      ("baseline_geomean_ops_per_s", Json.Num r.baseline_geomean_ops_per_s);
+      ("speedup", Json.Num r.speedup);
+      ( "benchmarks",
+        Json.List
+          (List.map
+             (fun b ->
+               Json.Obj
+                 [
+                   ("name", Json.Str b.b_name);
+                   ("ops", Json.Num (float_of_int b.b_ops));
+                   ("ops_per_s", Json.Num b.b_ops_per_s);
+                   ("baseline_ops_per_s", Json.Num b.b_baseline_ops_per_s);
+                   ("wall_s", Json.Num (b.b_fast_s +. b.b_baseline_s));
+                 ])
+             r.benchmarks) );
+    ]
+
+let write_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_json r)))
+
+let pp_result ppf r =
+  Fmt.pf ppf "self-benchmark: %d jobs on %d domain%s in %.1fs@."
+    (List.length r.jobs) r.domains
+    (if r.domains = 1 then "" else "s")
+    r.wall_s;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "  %-16s %10.0f ops/s  (baseline %10.0f, %.2fx)@." b.b_name
+        b.b_ops_per_s b.b_baseline_ops_per_s
+        (b.b_ops_per_s /. b.b_baseline_ops_per_s))
+    r.benchmarks;
+  Fmt.pf ppf "  geomean: %.0f ops/s over %.0f baseline — %.2fx"
+    r.geomean_ops_per_s r.baseline_geomean_ops_per_s r.speedup

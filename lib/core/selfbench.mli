@@ -1,0 +1,78 @@
+(** The simulator self-benchmark.
+
+    Measures the simulator's own wall-clock throughput — simulated
+    instructions per second — over a grid of (benchmark, machine, ladder
+    step) jobs, in two configurations: the default fast path (pre-decoded
+    dispatch over the fast cache hierarchy) and the reference baseline
+    (tree-walking interpreter over the reference hierarchy). The two
+    produce bit-identical simulation reports; their instruction counts
+    are asserted equal per job, so the ratio is a pure measure of
+    simulator overhead. Results are written as [BENCH_simulator.json]
+    (schema {!schema_version}) by the [bench simulate] harness mode. *)
+
+type job_result = {
+  j_bench : string;
+  j_machine : string;
+  j_step : string;
+  j_ops : int;  (** simulated instructions (identical in both configurations) *)
+  j_fast_s : float;  (** wall seconds, fast configuration *)
+  j_baseline_s : float;  (** wall seconds, baseline configuration *)
+}
+
+type bench_result = {
+  b_name : string;
+  b_ops : int;  (** summed over the benchmark's jobs *)
+  b_fast_s : float;
+  b_baseline_s : float;
+  b_ops_per_s : float;
+  b_baseline_ops_per_s : float;
+}
+
+type result = {
+  domains : int;  (** pool size used (the [-j] value) *)
+  wall_s : float;  (** whole-run wall clock, seconds *)
+  jobs : job_result list;
+  benchmarks : bench_result list;  (** aggregated across machines and steps *)
+  geomean_ops_per_s : float;
+  baseline_geomean_ops_per_s : float;
+  speedup : float;  (** fast over baseline geomean *)
+}
+
+val schema_version : string
+(** ["ninja-selfbench/v1"], the ["schema"] field of the JSON report. *)
+
+val default_steps : string list
+(** Both ladder endpoints, ["naive serial"] and ["ninja"] — the scalar and
+    the vector instruction mix. *)
+
+val default_machines : Ninja_arch.Machine.t list
+(** Westmere and Knights Ferry, the paper's two evaluation machines. *)
+
+val run :
+  ?domains:int ->
+  ?repeats:int ->
+  ?benchmarks:Ninja_kernels.Driver.benchmark list ->
+  ?machines:Ninja_arch.Machine.t list ->
+  ?steps:string list ->
+  ?progress:(job_result -> unit) ->
+  unit ->
+  result
+(** Run the grid. [domains] defaults to 1 — timing jobs serially keeps
+    per-job seconds meaningful on any host; larger values trade accuracy
+    of attribution for wall-clock. Each configuration of each job runs
+    once untimed (warm-up) plus [repeats] timed times (default 2); the
+    reported seconds are the minimum, the standard low-noise estimator
+    for deterministic work. Steps a benchmark does not have are skipped.
+    [progress] is called once per finished job (from worker domains when
+    [domains > 1]).
+    @raise Invalid_argument on an empty grid or a fast/baseline
+    instruction-count mismatch (which would mean the two interpreter
+    strategies diverged — a bug). *)
+
+val to_json : result -> Ninja_report.Json.t
+
+val write_json : path:string -> result -> unit
+(** Serialize {!to_json} to [path]. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** Human-oriented summary (goes to stderr in the harness). *)

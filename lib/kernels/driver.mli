@@ -59,10 +59,15 @@ val simple_step :
 
 val run_step :
   ?trace:Ninja_vm.Trace.sink ->
+  ?strategy:Ninja_vm.Interp.strategy ->
+  ?fast_path:bool ->
   machine:Ninja_arch.Machine.t -> step -> Ninja_arch.Timing.report
 (** Simulate one step on [machine] (threads = cores when [parallel]).
     [trace] forwards profiling events to the cycle-attribution profiler;
-    passing it changes no reported number. *)
+    passing it changes no reported number. [strategy] and [fast_path]
+    forward to {!Ninja_arch.Timing.simulate} — pure performance knobs
+    with bit-identical reports, used by the self-benchmark to measure
+    the reference paths. *)
 
 val validate_step :
   machine:Ninja_arch.Machine.t -> step -> (unit, string) result

@@ -12,6 +12,8 @@ let add t ~thread cls n =
   let i = Isa.op_class_index cls in
   row.(i) <- row.(i) + n
 
+let thread_row t ~thread = t.table.(thread)
+
 let thread_count t ~thread cls = t.table.(thread).(Isa.op_class_index cls)
 
 let total t cls =

@@ -10,6 +10,12 @@ val create : int -> t
 val add : t -> thread:int -> Isa.op_class -> int -> unit
 (** [add t ~thread cls n] bumps one thread's count of [cls] by [n]. *)
 
+val thread_row : t -> thread:int -> int array
+(** One thread's mutable count row, indexed by {!Isa.op_class_index} —
+    the interpreter's fast dispatch loop counts directly into it, skipping
+    the per-instruction class-to-index translation. Writes through the row
+    are equivalent to {!add}. *)
+
 val thread_count : t -> thread:int -> Isa.op_class -> int
 (** Count of one class on one thread. *)
 

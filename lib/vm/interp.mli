@@ -6,7 +6,12 @@
 
     [Par] phases execute thread-after-thread, which equals true parallel
     execution for race-free programs; [~check_races:true] verifies that
-    property at element granularity and raises {!Race} otherwise. *)
+    property at element granularity and raises {!Race} otherwise.
+
+    Two execution strategies share one instruction executor and produce
+    bit-identical results: [Tree] walks the structured program (the
+    reference), [Decoded] — the default — runs {!Decode}'s flat op arrays
+    with an indexed dispatch loop. *)
 
 exception Trap of string
 (** Runtime fault: out-of-bounds access, division by zero, bad lane index,
@@ -22,6 +27,25 @@ type result = {
   instructions : int;  (** total dynamic instructions *)
 }
 
+type strategy =
+  | Tree  (** walk the structured statement tree (reference walker) *)
+  | Decoded
+      (** run the {!Decode}d flat form with indexed dispatch (default;
+          bit-identical results, several times faster) *)
+
+(** Final architectural state of one thread: scalar int/float files and
+    vector float/int/mask files (one array per register, one slot per
+    lane). Exposed read-only via [on_states] so differential tests can
+    compare strategies; aliasing the arrays after [run] returns is
+    unspecified. *)
+type thread_state = {
+  si : int array;  (** scalar integer registers *)
+  sf : float array;  (** scalar float registers *)
+  vf : float array array;  (** vector float registers *)
+  vi : int array array;  (** vector integer registers *)
+  vm : bool array array;  (** vector mask registers *)
+}
+
 val run :
   ?n_threads:int ->
   ?width:int ->
@@ -29,6 +53,8 @@ val run :
   ?trace:Trace.sink ->
   ?fuel:int ->
   ?check_races:bool ->
+  ?strategy:strategy ->
+  ?on_states:(thread_state array -> unit) ->
   Isa.program ->
   Memory.t ->
   result
@@ -44,4 +70,8 @@ val run :
     @param fuel optional dynamic-instruction budget; exceeding it traps
       (useful to bound buggy [While] loops in tests).
     @param check_races track per-phase read/write sets and raise {!Race}
-      on cross-thread conflicts (costly; meant for tests). *)
+      on cross-thread conflicts (costly; meant for tests).
+    @param strategy execution strategy (default [Decoded]).
+    @param on_states called once after the last phase with the final
+      per-thread register state (index = thread id); meant for
+      differential tests. *)

@@ -36,6 +36,23 @@ val set_f : t -> Isa.buf -> int -> float -> unit
 val set_i : t -> Isa.buf -> int -> int -> unit
 (** Write an int element (bounds- and type-checked; raises {!Trap}). *)
 
+val get_f_block : t -> Isa.buf -> int -> float array -> int -> unit
+(** [get_f_block t buf base dst w] reads the [w] contiguous elements
+    starting at [base] into [dst.(0..w-1)] with a single bounds/type
+    check, falling back to per-lane {!get_f} (identical traps and partial
+    writes) when the range is not fully in bounds. *)
+
+val get_i_block : t -> Isa.buf -> int -> int array -> int -> unit
+(** Int counterpart of {!get_f_block}. *)
+
+val set_f_block : t -> Isa.buf -> int -> float array -> int -> unit
+(** [set_f_block t buf base src w] writes [src.(0..w-1)] to the [w]
+    contiguous elements starting at [base]; same fallback contract as
+    {!get_f_block}. *)
+
+val set_i_block : t -> Isa.buf -> int -> int array -> int -> unit
+(** Int counterpart of {!set_f_block}. *)
+
 val address : t -> Isa.buf -> int -> int
 (** Modeled byte address of an element. *)
 

@@ -2,6 +2,8 @@ let () =
   Alcotest.run "ninja"
     [ Test_util.suite;
       Test_vm.suite;
+      Test_fastpath.suite;
+      Test_fuzz_cee.suite;
       Test_arch.suite;
       Test_lang.suite;
       Test_lang2.suite;

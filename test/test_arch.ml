@@ -50,7 +50,7 @@ let test_cache_non_pow2_sets () =
   Alcotest.(check bool) "hit after fill" true (Cache.probe c ~line_addr:123456)
 
 let test_prefetch_stream_detected () =
-  let p = Prefetch.create ~streams:4 in
+  let p = Prefetch.create ~streams:4 () in
   (* constant stride 1: covered from the third access on *)
   ignore (Prefetch.observe p ~line_addr:100);
   ignore (Prefetch.observe p ~line_addr:101);
@@ -58,7 +58,7 @@ let test_prefetch_stream_detected () =
   Alcotest.(check bool) "covered" true (Prefetch.observe p ~line_addr:103)
 
 let test_prefetch_random_not_covered () =
-  let p = Prefetch.create ~streams:4 in
+  let p = Prefetch.create ~streams:4 () in
   let covered = ref 0 in
   List.iter
     (fun a -> if Prefetch.observe p ~line_addr:a then incr covered)

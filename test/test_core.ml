@@ -120,9 +120,36 @@ let render_all () =
   @ [ diag_dump () ]
   |> String.concat "\n"
 
+(* Run [f] with stderr redirected to a temp file; return its output.
+   [Jobs.prefill] must be silent unless [~verbose:true] is passed — its
+   stats chatter used to leak into every harness run. *)
+let capture_stderr f =
+  let tmp = Filename.temp_file "ninja_stderr" ".txt" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stderr in
+  flush Stdlib.stderr;
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  let restore () =
+    Format.pp_print_flush Format.err_formatter ();
+    flush Stdlib.stderr;
+    Unix.dup2 saved Unix.stderr;
+    Unix.close saved
+  in
+  let r = Fun.protect ~finally:restore f in
+  let ic = open_in_bin tmp in
+  let err =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove tmp;
+  (r, err)
+
 let test_differential_j1_vs_j4 () =
   E.reset_cache ();
-  let s1 = Jobs.prefill ~domains:1 () in
+  let s1, err = capture_stderr (fun () -> Jobs.prefill ~domains:1 ()) in
+  Alcotest.(check string) "prefill is quiet by default" "" err;
   Alcotest.(check int) "serial prefill simulates every job" s1.total_jobs s1.executed;
   let out1 = render_all () in
   E.reset_cache ();
@@ -138,6 +165,37 @@ let test_differential_j1_vs_j4 () =
   (* on mismatch, the bool check above keeps the failure readable; this
      one would print the full diff *)
   if out1 <> out4 then Alcotest.(check string) "diff" out1 out4
+
+(* ---- the experiment golden ----
+   Every experiment table, rendered exactly as
+   tools/gen_experiments_golden.ml renders it, byte-compared against the
+   checked-in transcript. This is what pins the simulator's fast paths
+   (pre-decoded dispatch, cache fast hits): an optimization that changes
+   any reported number fails here. Runs after the differential test, so
+   the job cache is warm and no new simulation happens. *)
+
+let test_golden_experiments () =
+  let got =
+    E.all
+    |> List.concat_map (fun (e : E.experiment) ->
+           Fmt.str "## %s — %s (%s)@." (String.uppercase_ascii e.id) e.title
+             e.claim
+           :: List.map (Fmt.str "%a" Ninja_report.Table.render) (e.run ()))
+    |> String.concat "\n"
+  in
+  let path =
+    if Sys.file_exists "golden_experiments.txt" then "golden_experiments.txt"
+    else Filename.concat "test" "golden_experiments.txt"
+  in
+  let ic = open_in_bin path in
+  let want =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check bool) "experiment tables match the golden byte-for-byte" true
+    (want = got);
+  if want <> got then Alcotest.(check string) "diff" want got
 
 (* ---- DESIGN.md success criteria ----
    (cache is warm here: the differential test prefilled the full grid) *)
@@ -198,6 +256,7 @@ let suite =
       Alcotest.test_case "job grid subset" `Quick test_grid_subset;
       Alcotest.test_case "job grid covers experiments" `Quick test_grid_covers_every_experiment;
       Alcotest.test_case "differential -j1 vs -j4" `Slow test_differential_j1_vs_j4;
+      Alcotest.test_case "golden experiment tables" `Slow test_golden_experiments;
       Alcotest.test_case "criterion F1 band" `Slow test_criterion_f1_band;
       Alcotest.test_case "criterion F4 bridged" `Slow test_criterion_f4_bridged;
       Alcotest.test_case "criterion F2 monotone" `Slow test_criterion_f2_monotone ] )

@@ -1,0 +1,20 @@
+(* Regenerate test/golden_experiments.txt: every experiment table (T1,
+   F1..F8, T2, T3, T4, A1) rendered exactly as test/test_core.ml's golden
+   test renders them. The golden pins the experiment output bytes across
+   simulator refactors (pre-decoded dispatch, cache fast paths): a
+   performance change must never change a reported number.
+
+   Usage: dune exec tools/gen_experiments_golden.exe > test/golden_experiments.txt *)
+
+module E = Ninja_core.Experiments
+
+let render_all_experiments () =
+  E.all
+  |> List.concat_map (fun (e : E.experiment) ->
+         Fmt.str "## %s — %s (%s)@." (String.uppercase_ascii e.id) e.title e.claim
+         :: List.map (Fmt.str "%a" Ninja_report.Table.render) (e.run ()))
+  |> String.concat "\n"
+
+let () =
+  ignore (Ninja_core.Jobs.prefill () : Ninja_core.Jobs.summary);
+  print_string (render_all_experiments ())

@@ -1,0 +1,57 @@
+(* Scratch microbenchmark: ns/op for Cache.access and Hierarchy.access
+   under repeat / sequential / random address patterns. *)
+
+module Machine = Ninja_arch.Machine
+module Cache = Ninja_arch.Cache
+module Hierarchy = Ninja_arch.Hierarchy
+
+let bench name n f =
+  let t0 = Unix.gettimeofday () in
+  f n;
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%-36s %8.1f ns/op@." name (dt /. float_of_int n *. 1e9)
+
+let () =
+  let m = Machine.westmere in
+  Fmt.pr "westmere L1 %dB/%d-way, L2 %dB/%d-way, LLC %dB/%d-way@." m.l1.size_bytes
+    m.l1.assoc m.l2.size_bytes m.l2.assoc m.llc.size_bytes m.llc.assoc;
+  let n = 2_000_000 in
+  List.iter
+    (fun fast_path ->
+      let tag = if fast_path then "fast" else "slow" in
+      let c = Cache.create ~fast_path m.l1 in
+      bench (Fmt.str "cache %s: same line" tag) n (fun n ->
+          for _ = 1 to n do
+            ignore (Cache.access c ~line_addr:42 ~write:false : Cache.outcome)
+          done);
+      let c = Cache.create ~fast_path m.l1 in
+      bench (Fmt.str "cache %s: sequential" tag) n (fun n ->
+          for i = 1 to n do
+            ignore (Cache.access c ~line_addr:i ~write:false : Cache.outcome)
+          done);
+      let h = Hierarchy.create ~fast_path m in
+      bench (Fmt.str "hier %s: same addr" tag) n (fun n ->
+          for _ = 1 to n do
+            ignore
+              (Hierarchy.access h ~core:0 ~addr:0x100000 ~bytes:4 ~write:false ~nt:false
+                : Hierarchy.result)
+          done);
+      let h = Hierarchy.create ~fast_path m in
+      bench (Fmt.str "hier %s: sequential 4B" tag) n (fun n ->
+          for i = 1 to n do
+            ignore
+              (Hierarchy.access h ~core:0 ~addr:(0x100000 + (i * 4)) ~bytes:4 ~write:false
+                 ~nt:false
+                : Hierarchy.result)
+          done);
+      let h = Hierarchy.create ~fast_path m in
+      let r = ref 12345 in
+      bench (Fmt.str "hier %s: random 64MiB" tag) n (fun n ->
+          for _ = 1 to n do
+            r := (!r * 1103515245) + 12345;
+            let a = !r land 0x3FFFFFF in
+            ignore
+              (Hierarchy.access h ~core:0 ~addr:a ~bytes:4 ~write:false ~nt:false
+                : Hierarchy.result)
+          done))
+    [ false; true ]

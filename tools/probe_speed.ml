@@ -1,0 +1,72 @@
+(* Scratch probe: time one benchmark step under each interpreter strategy
+   and cache fast-path setting. Not part of any alias. *)
+
+module Machine = Ninja_arch.Machine
+module Driver = Ninja_kernels.Driver
+module Registry = Ninja_kernels.Registry
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%-28s %8.3fs  (%d instrs, %.2f Mops/s)@." name dt
+    r.Ninja_arch.Timing.instructions
+    (float_of_int r.Ninja_arch.Timing.instructions /. dt /. 1e6);
+  (dt, r)
+
+let time_i name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%-28s %8.3fs  (%d instrs, %.2f Mops/s)@." name dt
+    r.Ninja_vm.Interp.instructions
+    (float_of_int r.Ninja_vm.Interp.instructions /. dt /. 1e6);
+  dt
+
+let () =
+  let bname = try Sys.argv.(1) with _ -> "BlackScholes" in
+  let sname = try Sys.argv.(2) with _ -> "ninja" in
+  let bench = Registry.find bname in
+  let step =
+    List.find
+      (fun (s : Driver.step) -> s.step_name = sname)
+      (bench.steps ~scale:bench.default_scale)
+  in
+  let mname = try Sys.argv.(3) with _ -> "westmere" in
+  let m = if mname = "kf" then Machine.knights_ferry else Machine.westmere in
+  (* interpreter-only decomposition *)
+  let prog = step.make ~machine:m in
+  let n_threads = if step.parallel then m.cores else 1 in
+  let interp ?sink ~strategy () =
+    let mem = Driver.memory_for prog (step.bindings ()) in
+    Ninja_vm.Interp.run ~n_threads ~width:m.simd_width ?sink ~strategy prog mem
+  in
+  ignore (time_i "warmup" (interp ~strategy:Decoded));
+  let ti_tree = time_i "interp tree, no sink" (interp ~strategy:Tree) in
+  let ti_dec = time_i "interp decoded, no sink" (interp ~strategy:Decoded) in
+  ignore (time_i "interp decoded, null sink" (interp ~sink:(fun _ -> ()) ~strategy:Decoded));
+  Fmt.pr "interp-only speedup: %.2fx@." (ti_tree /. ti_dec);
+  let events = ref 0 in
+  ignore
+    (time_i "interp + count events"
+       (interp ~sink:(fun _ -> incr events) ~strategy:Decoded));
+  Fmt.pr "memory events: %d@." !events;
+  let hier_sink ~fast_path () =
+    let hier = Ninja_arch.Hierarchy.create ~fast_path m in
+    interp
+      ~sink:(fun (e : Ninja_vm.Event.t) ->
+        ignore
+          (Ninja_arch.Hierarchy.access hier ~core:(e.thread mod m.cores) ~addr:e.addr
+             ~bytes:e.bytes ~write:(e.kind = Ninja_vm.Event.Write) ~nt:e.nt
+            : Ninja_arch.Hierarchy.result))
+      ~strategy:Decoded ()
+  in
+  ignore (time_i "interp + hier slow" (hier_sink ~fast_path:false));
+  ignore (time_i "interp + hier fast" (hier_sink ~fast_path:true));
+  let run ~strategy ~fast_path () = Driver.run_step ~machine:m ~strategy ~fast_path step in
+  let t_tree, r1 = time "tree + slow cache" (run ~strategy:Tree ~fast_path:false) in
+  let t_fast, r2 = time "decoded + fast cache" (run ~strategy:Decoded ~fast_path:true) in
+  let _ = time "decoded + slow cache" (run ~strategy:Decoded ~fast_path:false) in
+  let _ = time "tree + fast cache" (run ~strategy:Tree ~fast_path:true) in
+  assert (r1.Ninja_arch.Timing.cycles = r2.Ninja_arch.Timing.cycles);
+  Fmt.pr "speedup: %.2fx@." (t_tree /. t_fast)
