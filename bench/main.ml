@@ -8,12 +8,16 @@
    experiment family), so regressions in the simulation infrastructure
    show up here.
 
-   `main.exe simulate [--smoke] [--out FILE] [-j N]` instead runs the
-   simulator self-benchmark (Ninja_core.Selfbench): simulated-ops/s of
-   the fast path against the reference baseline over the benchmark
-   suite on both machines, written as a JSON report
-   (BENCH_simulator.json by default). `--smoke` shrinks the grid to one
-   job and re-parses the written report as a schema check. *)
+   `main.exe simulate [--smoke] [--out FILE] [-j N] [--cache-dir DIR |
+   --no-cache]` instead runs the simulator self-benchmark
+   (Ninja_core.Selfbench): simulated-ops/s of the fast path against the
+   reference baseline over the benchmark suite on both machines, plus a
+   cold-then-warm timing of the experiment grid against the persistent
+   result store, written as a JSON report (BENCH_simulator.json by
+   default). `--smoke` shrinks the throughput grid to one job and the
+   store grid to experiment F1 against a throwaway cache directory, then
+   asserts the warm pass executed zero simulations at least 5x faster
+   than cold — the @bench-smoke CI gate. *)
 
 module E = Ninja_core.Experiments
 module Jobs = Ninja_core.Jobs
@@ -37,10 +41,34 @@ let domains_of_argv () =
   in
   go (Array.to_list Sys.argv)
 
+let flag_value name =
+  let rec go = function
+    | a :: v :: _ when a = name -> Some v
+    | _ :: tl -> go tl
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+(* --cache-dir DIR / --no-cache: the persistent result store. On by
+   default (at Store.default_dir) so a second harness run reloads every
+   report from disk instead of re-simulating. *)
+let install_store () =
+  if Array.exists (( = ) "--no-cache") Sys.argv then None
+  else begin
+    let dir =
+      Option.value (flag_value "--cache-dir")
+        ~default:Ninja_core.Store.default_dir
+    in
+    let st = Ninja_core.Store.open_ ~dir () in
+    E.set_store (Some st);
+    Some st
+  end
+
 let print_experiments () =
   Fmt.pr "==================================================================@.";
   Fmt.pr " Reproduced evaluation (modeled results; see EXPERIMENTS.md)@.";
   Fmt.pr "==================================================================@.";
+  ignore (install_store () : Ninja_core.Store.t option);
   ignore (Jobs.prefill ?domains:(domains_of_argv ()) ~verbose:true () : Jobs.summary);
   List.iter
     (fun (e : E.experiment) ->
@@ -105,15 +133,7 @@ let run_bechamel () =
 
 (* ---- the simulator self-benchmark (`main.exe simulate`) ---- *)
 
-let flag_value name =
-  let rec go = function
-    | a :: v :: _ when a = name -> Some v
-    | _ :: tl -> go tl
-    | [] -> None
-  in
-  go (Array.to_list Sys.argv)
-
-let validate_report path =
+let validate_report ~expect_grid path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let raw = really_input_string ic len in
@@ -126,30 +146,104 @@ let validate_report path =
   (match num "geomean_ops_per_s" with
   | Some x when x > 0. -> ()
   | _ -> failwith (path ^ ": geomean_ops_per_s missing or not positive"));
-  match Option.bind (Json.member "benchmarks" j) Json.to_list with
+  (match Option.bind (Json.member "benchmarks" j) Json.to_list with
   | Some (_ :: _) -> ()
-  | _ -> failwith (path ^ ": empty benchmarks list")
+  | _ -> failwith (path ^ ": empty benchmarks list"));
+  (* v2: scheduler stats always present; the grid object whenever the
+     store ran, with a warm pass that loaded everything from disk *)
+  (match
+     Option.bind (Json.member "sched" j) (fun s ->
+         Option.bind (Json.member "steals" s) Json.to_float)
+   with
+  | Some _ -> ()
+  | None -> failwith (path ^ ": missing sched.steals"));
+  match Json.member "grid" j with
+  | None -> if expect_grid then failwith (path ^ ": missing grid object")
+  | Some g -> (
+      match Option.bind (Json.member "warm_executed" g) Json.to_float with
+      | Some 0. -> ()
+      | _ -> failwith (path ^ ": grid.warm_executed missing or nonzero"))
+
+(* A fresh scratch directory for the smoke run's store, so cold means
+   cold whatever state the build directory is in. *)
+let fresh_cache_dir () =
+  let f = Filename.temp_file "ninja-smoke-cache" "" in
+  Sys.remove f;
+  Unix.mkdir f 0o755;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
 
 let run_simulate () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let out = Option.value (flag_value "--out") ~default:"BENCH_simulator.json" in
-  let domains = Option.value (domains_of_argv ()) ~default:1 in
+  let domains = domains_of_argv () in
   let r =
     if smoke then
-      Selfbench.run ~domains
+      Selfbench.run ?domains
         ~benchmarks:[ Ninja_kernels.Registry.find "BlackScholes" ]
         ~machines:[ Machine.westmere ] ~steps:[ "ninja" ] ()
     else
-      Selfbench.run ~domains
+      Selfbench.run ?domains
         ~progress:(fun j ->
           Fmt.epr "  %-16s %-14s %-14s %8.1fs fast %8.1fs baseline@."
             j.Selfbench.j_bench j.Selfbench.j_machine j.Selfbench.j_step
             j.Selfbench.j_fast_s j.Selfbench.j_baseline_s)
         ()
   in
-  Selfbench.write_json ~path:out r;
+  let no_cache = Array.exists (( = ) "--no-cache") Sys.argv in
+  let grid =
+    if no_cache then None
+    else if smoke then begin
+      (* cold-then-warm over the F1 grid against a throwaway store; the
+         warm pass must be pure disk reads, and decisively faster *)
+      let dir = fresh_cache_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let store = Ninja_core.Store.open_ ~dir () in
+          let g =
+            Selfbench.run_grid ?domains ~experiments:[ E.find "f1" ] ~store ()
+          in
+          Fmt.epr "%a@." Selfbench.pp_grid g;
+          if g.Selfbench.g_cold_executed <> g.Selfbench.g_jobs then
+            failwith
+              (Fmt.str "cold grid run simulated %d of %d jobs"
+                 g.Selfbench.g_cold_executed g.Selfbench.g_jobs);
+          if g.Selfbench.g_warm_executed <> 0 then
+            failwith
+              (Fmt.str "warm grid rerun simulated %d jobs; store failed"
+                 g.Selfbench.g_warm_executed);
+          if g.Selfbench.g_warm_store_hits <> g.Selfbench.g_jobs then
+            failwith
+              (Fmt.str "warm grid rerun served %d of %d jobs from the store"
+                 g.Selfbench.g_warm_store_hits g.Selfbench.g_jobs);
+          if g.Selfbench.g_warm_speedup < 5. then
+            failwith
+              (Fmt.str "warm grid rerun only %.1fx faster than cold (need 5x)"
+                 g.Selfbench.g_warm_speedup);
+          Some g)
+    end
+    else
+      match install_store () with
+      | None -> None
+      | Some store ->
+          let g = Selfbench.run_grid ?domains ~store () in
+          Fmt.epr "%a@." Selfbench.pp_grid g;
+          if g.Selfbench.g_warm_executed <> 0 then
+            failwith
+              (Fmt.str "warm grid rerun simulated %d jobs; store failed"
+                 g.Selfbench.g_warm_executed);
+          Some g
+  in
+  Selfbench.write_json ?grid ~path:out r;
   Fmt.epr "%a@." Selfbench.pp_result r;
-  validate_report out;
+  validate_report ~expect_grid:(grid <> None) out;
   Fmt.pr "wrote %s (%d jobs, geomean %.0f ops/s, %.2fx over baseline)@." out
     (List.length r.jobs) r.geomean_ops_per_s r.speedup
 

@@ -29,6 +29,44 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
 
+(* Persistent result store: shared by `experiments` and `bench`. The store
+   is content-addressed (program + machine + step + simulator version), so
+   reusing a cache directory across code changes is always sound — stale
+   entries simply miss. *)
+
+let cache_dir_arg =
+  let doc =
+    "Directory of the persistent result store: simulation reports are \
+     written there once and reloaded on later runs, so a warm rerun \
+     executes zero simulations. Entries are content-addressed; stale or \
+     corrupt ones are silently re-simulated."
+  in
+  Arg.(
+    value
+    & opt string Ninja_core.Store.default_dir
+    & info [ "cache-dir" ] ~doc ~docv:"DIR")
+
+let no_cache_arg =
+  let doc = "Disable the persistent result store; simulate everything." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let install_store ~cache_dir ~no_cache =
+  if no_cache then begin
+    Ninja_core.Experiments.set_store None;
+    None
+  end
+  else begin
+    let st = Ninja_core.Store.open_ ~dir:cache_dir () in
+    Ninja_core.Experiments.set_store (Some st);
+    Some st
+  end
+
+let pp_store_stats ppf st =
+  let s = Ninja_core.Store.stats st in
+  Fmt.pf ppf "store %s: %d hits, %d misses (%d corrupt dropped), %d writes"
+    (Ninja_core.Store.dir st) s.Ninja_core.Store.hits s.Ninja_core.Store.misses
+    s.Ninja_core.Store.errors s.Ninja_core.Store.writes
+
 let run_experiment csv (e : Ninja_core.Experiments.experiment) =
   Fmt.pr "## %s — %s (%s)@.@." (String.uppercase_ascii e.id) e.title e.claim;
   List.iter
@@ -46,7 +84,14 @@ let experiments_cmd =
     let doc = "Emit CSV instead of aligned tables." in
     Arg.(value & flag & info [ "csv" ] ~doc)
   in
-  let run csv jobs ids =
+  let sched_trace =
+    let doc =
+      "Write the realized grid schedule (one span per job per domain) as \
+       Chrome trace_event JSON to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "sched-trace" ] ~doc ~docv:"FILE")
+  in
+  let run csv jobs cache_dir no_cache sched_trace ids =
     let experiments =
       if ids = [] then Ninja_core.Experiments.all
       else
@@ -59,16 +104,23 @@ let experiments_cmd =
                 exit 1)
           ids
     in
+    let store = install_store ~cache_dir ~no_cache in
     (* precompute the whole simulation grid on the domain pool; the
        summary carries wall-clock times, so it goes to stderr to keep
-       stdout deterministic across -j values *)
+       stdout deterministic across -j values and cache states *)
     ignore
-      (Ninja_core.Jobs.prefill ?domains:jobs ~experiments ~verbose:true ()
+      (Ninja_core.Jobs.prefill ?domains:jobs ~experiments ~verbose:true
+         ?sched_trace ()
         : Ninja_core.Jobs.summary);
+    (match store with
+    | Some st -> Fmt.epr "%a@." pp_store_stats st
+    | None -> ());
     List.iter (run_experiment csv) experiments
   in
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ csv $ jobs_arg $ ids)
+    Term.(
+      const run $ csv $ jobs_arg $ cache_dir_arg $ no_cache_arg $ sched_trace
+      $ ids)
 
 (* ---- ladder ---- *)
 
@@ -396,26 +448,44 @@ let bench_cmd =
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run mode out smoke jobs =
+  let run mode out smoke jobs cache_dir no_cache =
     if mode <> "simulate" then begin
       Fmt.epr "unknown bench mode %S (try: simulate)@." mode;
       exit 1
     end;
-    let domains = Option.value jobs ~default:1 in
     let r =
       if smoke then
-        S.run ~domains
+        S.run ?domains:jobs
           ~benchmarks:[ Ninja_kernels.Registry.find "BlackScholes" ]
           ~machines:[ Ninja_arch.Machine.westmere ]
           ~steps:[ "ninja" ] ()
       else
-        S.run ~domains
+        S.run ?domains:jobs
           ~progress:(fun j ->
             Fmt.epr "  %-16s %-14s %-14s %8.1fs fast %8.1fs baseline@."
               j.S.j_bench j.S.j_machine j.S.j_step j.S.j_fast_s j.S.j_baseline_s)
           ()
     in
-    S.write_json ~path:out r;
+    (* cold/warm experiment-grid timing against the persistent store
+       (skipped under --no-cache); the smoke run uses the F1 grid only *)
+    let grid =
+      match install_store ~cache_dir ~no_cache with
+      | None -> None
+      | Some st ->
+          let experiments =
+            if smoke then [ Ninja_core.Experiments.find "f1" ]
+            else Ninja_core.Experiments.all
+          in
+          let g = S.run_grid ?domains:jobs ~experiments ~store:st () in
+          Fmt.epr "%a@." S.pp_grid g;
+          Fmt.epr "%a@." pp_store_stats st;
+          if g.S.g_warm_executed <> 0 then
+            failwith
+              (Fmt.str "warm grid rerun simulated %d jobs; store failed"
+                 g.S.g_warm_executed);
+          Some g
+    in
+    S.write_json ?grid ~path:out r;
     Fmt.epr "%a@." S.pp_result r;
     Fmt.pr "wrote %s@." out
   in
@@ -423,8 +493,11 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:
          "Benchmark the simulator itself (simulated ops/s, fast path vs \
-          reference baseline) and write a JSON report")
-    Term.(const run $ mode_arg $ out_arg $ smoke_arg $ jobs_arg)
+          reference baseline; cold vs warm result store) and write a JSON \
+          report")
+    Term.(
+      const run $ mode_arg $ out_arg $ smoke_arg $ jobs_arg $ cache_dir_arg
+      $ no_cache_arg)
 
 let main_cmd =
   let info =

@@ -40,6 +40,13 @@ val find : string -> experiment
 val gap : Ninja_arch.Timing.report -> Ninja_arch.Timing.report -> float
 (** [gap naive best] = modeled-seconds ratio (how much faster [best] is). *)
 
+val ladder :
+  Ninja_kernels.Driver.benchmark -> scale:int -> Ninja_kernels.Driver.step list
+(** [bench.steps ~scale], memoized per process. Building a ladder runs
+    the compiler pipeline over every variant (~0.5s per benchmark) and
+    is a pure function of its arguments, so all callers share one
+    construction. Domain-safe. *)
+
 val run_step_cached :
   machine:Ninja_arch.Machine.t ->
   Ninja_kernels.Driver.benchmark ->
@@ -51,7 +58,22 @@ val run_step_cached :
 
 val cache_stats : unit -> int * int
 (** [(hits, misses)] since start / the last {!reset_cache}. A miss is a
-    simulation actually executed; a hit is a memoized read. *)
+    simulation actually executed; a hit is a memoized read. Jobs served
+    by the persistent store count as neither (see {!store_hit_count}). *)
+
+val store_hit_count : unit -> int
+(** Jobs served by the persistent {!Store} (no simulation, no memo hit)
+    since start / the last {!reset_cache}. *)
 
 val reset_cache : unit -> unit
-(** Drop all memoized reports and zero the hit/miss counters (tests). *)
+(** Drop all memoized reports and zero the hit/miss/store counters
+    (tests). The persistent store, if set, is untouched. *)
+
+val set_store : Store.t option -> unit
+(** Install (or clear) the persistent result store consulted below the
+    in-memory memo: on a memo miss, a verified disk entry replaces the
+    simulation; every simulation that does run is written back with its
+    measured cost. Set once at startup, before parallel work begins. *)
+
+val store : unit -> Store.t option
+(** The currently installed store. *)

@@ -1,6 +1,7 @@
 module Machine = Ninja_arch.Machine
 module Driver = Ninja_kernels.Driver
 module Pool = Ninja_util.Pool
+module Json = Ninja_report.Json
 module E = Experiments
 
 type job = { machine : Machine.t; bench : Driver.benchmark; step : string }
@@ -25,8 +26,10 @@ type summary = {
   total_jobs : int;
   executed : int;
   hits : int;
+  store_hits : int;
   wall_s : float;
   per_class : class_stat list;
+  sched : Pool.stats;
 }
 
 (* Fixed presentation order for per-class stats; unknown steps (none
@@ -40,6 +43,38 @@ let class_rank s =
   in
   go 0 ladder_order
 
+(* ------------------------------------------------------------------ *)
+(* Cost estimates for longest-expected-first seeding                    *)
+
+(* Fallback when the store has no recorded costs yet: a static rank of
+   how expensive each ladder step is to *simulate*. The hand-tuned ninja
+   variants and the +algorithmic rewrites run big vector workloads (and
+   on MIC, many modeled threads); naive serial executes the most dynamic
+   instructions per element; the compiler steps sit between. The exact
+   numbers only matter relative to each other. *)
+let static_cost = function
+  | "ninja" -> 5.
+  | "+algorithmic" -> 4.
+  | "naive serial" -> 3.
+  | "+parallel" -> 2.
+  | "+autovec" -> 1.
+  | _ -> 0.5
+
+let estimate step_costs j =
+  match List.assoc_opt j.step step_costs with
+  | Some c when c > 0. -> c
+  | _ -> static_cost j.step
+
+(* Descending expected cost, stable on the deterministic enumeration
+   order — with round-robin deque seeding this is the LPT heuristic, and
+   work stealing absorbs estimate error. The *results* are independent of
+   this order (each job is pure and keyed), so -j N output stays
+   byte-identical to -j 1. *)
+let schedule_order step_costs jobs =
+  List.stable_sort
+    (fun a b -> compare (estimate step_costs b) (estimate step_costs a))
+    jobs
+
 let aggregate timed =
   let tbl = Hashtbl.create 8 in
   List.iter
@@ -51,37 +86,143 @@ let aggregate timed =
   |> List.sort (fun a b -> compare (class_rank a.step_name) (class_rank b.step_name))
 
 let pp_summary ppf s =
-  Fmt.pf ppf "job grid: %d jobs on %d domain%s in %.1fs (%d simulated, %d cache hits)"
+  Fmt.pf ppf
+    "job grid: %d jobs on %d domain%s in %.1fs (%d simulated, %d memo hits, %d store hits)"
     s.total_jobs s.domains
     (if s.domains = 1 then "" else "s")
-    s.wall_s s.executed s.hits;
+    s.wall_s s.executed s.hits s.store_hits;
   List.iter
     (fun c -> Fmt.pf ppf "@.  %-14s %3d jobs %8.1fs" c.step_name c.jobs c.wall_s)
-    s.per_class
+    s.per_class;
+  Fmt.pf ppf "@.%a" Pool.pp_stats s.sched
 
-let prefill ?domains ?experiments ?(verbose = false) () =
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export of the grid schedule                             *)
+
+(* One complete ("X") event per job on its executing domain's track, in
+   the same trace_event dialect as Ninja_profile.Chrome — so a grid run
+   can be inspected in chrome://tracing / Perfetto next to simulated-
+   cycle profiles. Wall-clock based and therefore non-deterministic;
+   never part of checked output. *)
+type span = { s_label : string; s_domain : int; s_t0 : float; s_t1 : float }
+
+let spans_to_chrome spans =
+  let t_base =
+    List.fold_left (fun acc s -> Float.min acc s.s_t0) Float.infinity spans
+  in
+  let events =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("name", Json.Str s.s_label);
+            ("cat", Json.Str "grid-job");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (Float.round ((s.s_t0 -. t_base) *. 1e6)));
+            ("dur", Json.Num (Float.round ((s.s_t1 -. s.s_t0) *. 1e6)));
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num (float_of_int s.s_domain));
+          ])
+      (List.sort (fun a b -> compare (a.s_t0, a.s_label) (b.s_t0, b.s_label)) spans)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List events);
+         ("displayTimeUnit", Json.Str "ms");
+         ( "otherData",
+           Json.Obj [ ("source", Json.Str "ninja job grid scheduler") ] );
+       ])
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* ------------------------------------------------------------------ *)
+
+let prefill ?domains ?experiments ?(verbose = false) ?sched_trace () =
   let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
   let jobs = all_jobs ?experiments () in
+  let store = E.store () in
+  let step_costs = match store with Some st -> Store.step_costs st | None -> [] in
+  let ordered = schedule_order step_costs jobs in
   let hits0, misses0 = E.cache_stats () in
+  let store0 = E.store_hit_count () in
+  let sched = ref None in
+  let spans_mu = Mutex.create () in
+  let spans = ref [] in
+  (* Domain.self () is an opaque unique id; number domains by first
+     appearance for compact trace tracks. *)
+  let domain_ids = Hashtbl.create 8 in
+  let domain_index id =
+    Mutex.lock spans_mu;
+    let i =
+      match Hashtbl.find_opt domain_ids id with
+      | Some i -> i
+      | None ->
+          let i = Hashtbl.length domain_ids in
+          Hashtbl.add domain_ids id i;
+          i
+    in
+    Mutex.unlock spans_mu;
+    i
+  in
   let t0 = Unix.gettimeofday () in
   let timed =
     Pool.map_list ~domains
+      ~on_stats:(fun s -> sched := Some s)
       (fun j ->
         let s = Unix.gettimeofday () in
         ignore (E.run_step_cached ~machine:j.machine j.bench j.step);
-        (j.step, Unix.gettimeofday () -. s))
-      jobs
+        let e = Unix.gettimeofday () in
+        (if sched_trace <> None then
+           let span =
+             {
+               s_label =
+                 Fmt.str "%s/%s/%s" j.machine.Machine.name j.bench.Driver.b_name
+                   j.step;
+               s_domain = domain_index (Domain.self () :> int);
+               s_t0 = s;
+               s_t1 = e;
+             }
+           in
+           Mutex.lock spans_mu;
+           spans := span :: !spans;
+           Mutex.unlock spans_mu);
+        (j.step, e -. s))
+      ordered
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let hits1, misses1 = E.cache_stats () in
+  let store1 = E.store_hit_count () in
+  (match store with Some st -> Store.flush_costs st | None -> ());
+  (match sched_trace with
+  | Some path -> write_file path (spans_to_chrome !spans)
+  | None -> ());
   let summary =
     {
       domains;
       total_jobs = List.length jobs;
       executed = misses1 - misses0;
       hits = hits1 - hits0;
+      store_hits = store1 - store0;
       wall_s;
       per_class = aggregate timed;
+      sched =
+        (match !sched with
+        | Some s -> s
+        | None ->
+            (* map_list always reports stats on success; synthesize an
+               empty snapshot if a future path skips it *)
+            {
+              Pool.domains;
+              tasks_run = List.length jobs;
+              steals = 0;
+              cancelled = 0;
+              busy_s = [| wall_s |];
+              run_per_domain = [| List.length jobs |];
+              max_depth = [| 0 |];
+            });
     }
   in
   (* Quiet by default so library callers (tests, golden generation) get a

@@ -6,7 +6,13 @@
     (experiment presentation order, first occurrence wins on duplicates)
     and each job is an independent pure simulation, so the memoized
     reports — and therefore every rendered table — are byte-identical
-    whatever the domain count or scheduling interleaving. *)
+    whatever the domain count or scheduling interleaving.
+
+    Scheduling is cost-aware: jobs are seeded across the pool's deques
+    longest-expected-first (LPT), using per-step mean simulation costs
+    recorded in the persistent {!Store} by prior runs when one is
+    installed ({!Experiments.set_store}), and a static ladder-rank
+    heuristic otherwise; work stealing absorbs estimation error. *)
 
 type job = {
   machine : Ninja_arch.Machine.t;
@@ -17,6 +23,13 @@ type job = {
 val all_jobs : ?experiments:Experiments.experiment list -> unit -> job list
 (** The deduplicated grid for the given experiments (default: all of
     {!Experiments.all}), in deterministic enumeration order. *)
+
+val schedule_order : (string * float) list -> job list -> job list
+(** [schedule_order step_costs jobs]: [jobs] stably sorted by descending
+    expected cost — [step_costs] (per-step mean seconds, see
+    {!Store.step_costs}) where available, a static ladder-rank heuristic
+    for steps never measured. Exposed for tests; {!prefill} applies it
+    automatically. *)
 
 type class_stat = {
   step_name : string;  (** ladder step ("naive serial" ... "ninja") *)
@@ -29,23 +42,34 @@ type summary = {
   total_jobs : int;  (** grid size after dedup *)
   executed : int;  (** simulations actually run (cache misses) *)
   hits : int;  (** jobs already present in the memo cache *)
+  store_hits : int;  (** jobs served from the persistent store *)
   wall_s : float;  (** whole-prefill wall clock, seconds *)
   per_class : class_stat list;  (** by ladder step, fixed ladder order *)
+  sched : Ninja_util.Pool.stats;
+      (** scheduler counters: steals, per-domain busy time and task
+          counts, peak queue depths (synthetic single-domain snapshot
+          when the serial path ran) *)
 }
 
 val prefill :
   ?domains:int ->
   ?experiments:Experiments.experiment list ->
   ?verbose:bool ->
+  ?sched_trace:string ->
   unit ->
   summary
 (** Run the grid on [domains] workers (default
     {!Ninja_util.Pool.default_domains}; [1] = serial in the calling
     domain) and populate {!Experiments.run_step_cached}'s memo cache.
     After a prefill, running the covered experiments performs no further
-    simulation. With [~verbose:true] the summary is also printed to
-    stderr; the default is quiet, so library callers keep a clean error
-    stream. *)
+    simulation. When a persistent store is installed, jobs hit it before
+    simulating, every executed simulation is written back, and the
+    measured per-step costs are flushed for the next run's scheduling.
+    With [~verbose:true] the summary is also printed to stderr; the
+    default is quiet, so library callers keep a clean error stream.
+    [sched_trace], if given, writes a Chrome trace_event JSON of the
+    realized schedule (one span per job on its executing domain's track,
+    same dialect as {!Ninja_profile.Chrome}) to that path. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** Multi-line, human-oriented; contains wall-clock times, so callers keep

@@ -25,7 +25,7 @@ module Stats = Ninja_util.Stats
 module Pool = Ninja_util.Pool
 module Json = Ninja_report.Json
 
-let schema_version = "ninja-selfbench/v1"
+let schema_version = "ninja-selfbench/v2"
 
 type job = { bench : Driver.benchmark; machine : Machine.t; step : Driver.step }
 
@@ -50,11 +50,25 @@ type bench_result = {
 type result = {
   domains : int;
   wall_s : float;
+  sched : Pool.stats;
   jobs : job_result list;
   benchmarks : bench_result list;
   geomean_ops_per_s : float;
   baseline_geomean_ops_per_s : float;
   speedup : float;
+}
+
+type grid_result = {
+  g_domains : int;
+  g_jobs : int;
+  g_cold_wall_s : float;
+  g_cold_executed : int;
+  g_cold_store_hits : int;
+  g_cold_steals : int;
+  g_warm_wall_s : float;
+  g_warm_executed : int;
+  g_warm_store_hits : int;
+  g_warm_speedup : float;
 }
 
 (* Both ladder endpoints: "naive serial" exercises the scalar instruction
@@ -65,7 +79,7 @@ let default_machines = [ Machine.westmere; Machine.knights_ferry ]
 let jobs_of ~benchmarks ~machines ~steps =
   List.concat_map
     (fun (b : Driver.benchmark) ->
-      let ladder = b.steps ~scale:b.default_scale in
+      let ladder = Experiments.ladder b ~scale:b.default_scale in
       List.concat_map
         (fun machine ->
           List.filter_map
@@ -139,16 +153,20 @@ let aggregate ~benchmarks jobs =
             })
     benchmarks
 
-let run ?(domains = 1) ?(repeats = 2) ?(benchmarks = Registry.all)
+let run ?domains ?(repeats = 2) ?(benchmarks = Registry.all)
     ?(machines = default_machines) ?(steps = default_steps)
     ?(progress = fun _ -> ()) () =
-  let domains = max 1 domains in
+  let domains =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
   let repeats = max 1 repeats in
   let jobs = jobs_of ~benchmarks ~machines ~steps in
   if jobs = [] then invalid_arg "Selfbench.run: empty job grid";
+  let sched = ref None in
   let t0 = Unix.gettimeofday () in
   let results =
     Pool.map_list ~domains
+      ~on_stats:(fun s -> sched := Some s)
       (fun j ->
         let r = run_job ~repeats j in
         progress r;
@@ -166,6 +184,19 @@ let run ?(domains = 1) ?(repeats = 2) ?(benchmarks = Registry.all)
   {
     domains;
     wall_s;
+    sched =
+      (match !sched with
+      | Some s -> s
+      | None ->
+          {
+            Pool.domains;
+            tasks_run = List.length results;
+            steals = 0;
+            cancelled = 0;
+            busy_s = [| wall_s |];
+            run_per_domain = [| List.length results |];
+            max_depth = [| 0 |];
+          });
     jobs = results;
     benchmarks = per_bench;
     geomean_ops_per_s;
@@ -173,12 +204,76 @@ let run ?(domains = 1) ?(repeats = 2) ?(benchmarks = Registry.all)
     speedup = Stats.ratio geomean_ops_per_s baseline_geomean_ops_per_s;
   }
 
-let to_json r =
+(* Cold-vs-warm persistent-store benchmark: run the experiment grid twice
+   against [store] — once with an empty memo (cold: simulates and writes
+   entries) and once more with the memo dropped again (warm: every job
+   must come back from disk). The in-process memo and any previously
+   installed store are saved and restored, so this is safe to run from
+   the harness without perturbing later work. *)
+let run_grid ?domains ?experiments ~store () =
+  let saved_store = Experiments.store () in
+  Fun.protect
+    ~finally:(fun () ->
+      Experiments.set_store saved_store;
+      Experiments.reset_cache ())
+    (fun () ->
+      Experiments.set_store (Some store);
+      Experiments.reset_cache ();
+      let cold = Jobs.prefill ?domains ?experiments () in
+      Experiments.reset_cache ();
+      let warm = Jobs.prefill ?domains ?experiments () in
+      {
+        g_domains = cold.Jobs.domains;
+        g_jobs = cold.Jobs.total_jobs;
+        g_cold_wall_s = cold.Jobs.wall_s;
+        g_cold_executed = cold.Jobs.executed;
+        g_cold_store_hits = cold.Jobs.store_hits;
+        g_cold_steals = cold.Jobs.sched.Pool.steals;
+        g_warm_wall_s = warm.Jobs.wall_s;
+        g_warm_executed = warm.Jobs.executed;
+        g_warm_store_hits = warm.Jobs.store_hits;
+        g_warm_speedup = Stats.ratio cold.Jobs.wall_s warm.Jobs.wall_s;
+      })
+
+let num_i i = Json.Num (float_of_int i)
+
+let sched_to_json (s : Pool.stats) =
   Json.Obj
     [
+      ("domains", num_i s.Pool.domains);
+      ("tasks_run", num_i s.Pool.tasks_run);
+      ("steals", num_i s.Pool.steals);
+      ("cancelled", num_i s.Pool.cancelled);
+      ( "busy_s",
+        Json.List (Array.to_list (Array.map (fun x -> Json.Num x) s.Pool.busy_s))
+      );
+      ( "run_per_domain",
+        Json.List (Array.to_list (Array.map num_i s.Pool.run_per_domain)) );
+      ("max_depth", Json.List (Array.to_list (Array.map num_i s.Pool.max_depth)));
+    ]
+
+let grid_to_json g =
+  Json.Obj
+    [
+      ("domains", num_i g.g_domains);
+      ("jobs", num_i g.g_jobs);
+      ("cold_wall_s", Json.Num g.g_cold_wall_s);
+      ("cold_executed", num_i g.g_cold_executed);
+      ("cold_store_hits", num_i g.g_cold_store_hits);
+      ("cold_steals", num_i g.g_cold_steals);
+      ("warm_wall_s", Json.Num g.g_warm_wall_s);
+      ("warm_executed", num_i g.g_warm_executed);
+      ("warm_store_hits", num_i g.g_warm_store_hits);
+      ("warm_speedup", Json.Num g.g_warm_speedup);
+    ]
+
+let to_json ?grid r =
+  Json.Obj
+    ([
       ("schema", Json.Str schema_version);
       ("jobs", Json.Num (float_of_int (List.length r.jobs)));
       ("domains", Json.Num (float_of_int r.domains));
+      ("sched", sched_to_json r.sched);
       ("wall_s", Json.Num r.wall_s);
       ("geomean_ops_per_s", Json.Num r.geomean_ops_per_s);
       ("baseline_geomean_ops_per_s", Json.Num r.baseline_geomean_ops_per_s);
@@ -197,12 +292,13 @@ let to_json r =
                  ])
              r.benchmarks) );
     ]
+    @ match grid with None -> [] | Some g -> [ ("grid", grid_to_json g) ])
 
-let write_json ~path r =
+let write_json ?grid ~path r =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Json.to_string (to_json r)))
+    (fun () -> output_string oc (Json.to_string (to_json ?grid r)))
 
 let pp_result ppf r =
   Fmt.pf ppf "self-benchmark: %d jobs on %d domain%s in %.1fs@."
@@ -215,5 +311,15 @@ let pp_result ppf r =
         b.b_ops_per_s b.b_baseline_ops_per_s
         (b.b_ops_per_s /. b.b_baseline_ops_per_s))
     r.benchmarks;
-  Fmt.pf ppf "  geomean: %.0f ops/s over %.0f baseline — %.2fx"
-    r.geomean_ops_per_s r.baseline_geomean_ops_per_s r.speedup
+  Fmt.pf ppf "  geomean: %.0f ops/s over %.0f baseline — %.2fx@."
+    r.geomean_ops_per_s r.baseline_geomean_ops_per_s r.speedup;
+  Fmt.pf ppf "  %a" Pool.pp_stats r.sched
+
+let pp_grid ppf g =
+  Fmt.pf ppf
+    "store grid: %d jobs on %d domain%s: cold %.1fs (%d simulated, %d steals) \
+     -> warm %.2fs (%d simulated, %d store hits) — %.1fx"
+    g.g_jobs g.g_domains
+    (if g.g_domains = 1 then "" else "s")
+    g.g_cold_wall_s g.g_cold_executed g.g_cold_steals g.g_warm_wall_s
+    g.g_warm_executed g.g_warm_store_hits g.g_warm_speedup

@@ -31,6 +31,9 @@ type bench_result = {
 type result = {
   domains : int;  (** pool size used (the [-j] value) *)
   wall_s : float;  (** whole-run wall clock, seconds *)
+  sched : Ninja_util.Pool.stats;
+      (** work-stealing scheduler counters for the run (synthetic
+          single-domain snapshot when the serial path ran) *)
   jobs : job_result list;
   benchmarks : bench_result list;  (** aggregated across machines and steps *)
   geomean_ops_per_s : float;
@@ -38,8 +41,25 @@ type result = {
   speedup : float;  (** fast over baseline geomean *)
 }
 
+type grid_result = {
+  g_domains : int;
+  g_jobs : int;  (** grid size after dedup *)
+  g_cold_wall_s : float;
+  g_cold_executed : int;  (** simulations run cold (= [g_jobs] on a fresh store) *)
+  g_cold_store_hits : int;  (** nonzero when the store was already partly warm *)
+  g_cold_steals : int;
+  g_warm_wall_s : float;
+  g_warm_executed : int;  (** must be 0: every job served from disk *)
+  g_warm_store_hits : int;  (** must equal [g_jobs] *)
+  g_warm_speedup : float;  (** cold wall over warm wall *)
+}
+(** Cold-vs-warm timing of the experiment grid against a persistent
+    {!Store} (see {!run_grid}). *)
+
 val schema_version : string
-(** ["ninja-selfbench/v1"], the ["schema"] field of the JSON report. *)
+(** ["ninja-selfbench/v2"], the ["schema"] field of the JSON report.
+    v2 added ["domains"]-aware defaults, the ["sched"] scheduler-stats
+    object, and the optional ["grid"] cold/warm store object. *)
 
 val default_steps : string list
 (** Both ladder endpoints, ["naive serial"] and ["ninja"] — the scalar and
@@ -57,22 +77,41 @@ val run :
   ?progress:(job_result -> unit) ->
   unit ->
   result
-(** Run the grid. [domains] defaults to 1 — timing jobs serially keeps
-    per-job seconds meaningful on any host; larger values trade accuracy
-    of attribution for wall-clock. Each configuration of each job runs
-    once untimed (warm-up) plus [repeats] timed times (default 2); the
-    reported seconds are the minimum, the standard low-noise estimator
-    for deterministic work. Steps a benchmark does not have are skipped.
-    [progress] is called once per finished job (from worker domains when
-    [domains > 1]).
+(** Run the grid. [domains] defaults to
+    {!Ninja_util.Pool.default_domains} — on a multi-core host jobs time
+    in parallel (minimum-of-repeats absorbs most of the interference;
+    pass [~domains:1] when per-job seconds must be maximally clean).
+    Each configuration of each job runs once untimed (warm-up) plus
+    [repeats] timed times (default 2); the reported seconds are the
+    minimum, the standard low-noise estimator for deterministic work.
+    Steps a benchmark does not have are skipped. [progress] is called
+    once per finished job (from worker domains when [domains > 1]).
     @raise Invalid_argument on an empty grid or a fast/baseline
     instruction-count mismatch (which would mean the two interpreter
     strategies diverged — a bug). *)
 
-val to_json : result -> Ninja_report.Json.t
+val run_grid :
+  ?domains:int ->
+  ?experiments:Experiments.experiment list ->
+  store:Store.t ->
+  unit ->
+  grid_result
+(** Time the experiment grid cold then warm against [store]: install it,
+    drop the in-process memo, {!Jobs.prefill} (cold — simulates and
+    writes entries), drop the memo again, prefill once more (warm —
+    every job must load from disk, zero simulations). The previously
+    installed store and the memo cache are restored/reset on exit, even
+    on exceptions. *)
 
-val write_json : path:string -> result -> unit
+val to_json : ?grid:grid_result -> result -> Ninja_report.Json.t
+(** The JSON report; [grid], when given, is embedded as the ["grid"]
+    object. *)
+
+val write_json : ?grid:grid_result -> path:string -> result -> unit
 (** Serialize {!to_json} to [path]. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** Human-oriented summary (goes to stderr in the harness). *)
+
+val pp_grid : Format.formatter -> grid_result -> unit
+(** One-line cold/warm summary (stderr). *)

@@ -1,0 +1,99 @@
+(** Persistent content-addressed result store for simulation reports.
+
+    Simulations are pure functions of (compiled program, machine
+    configuration, step, simulator version), so their
+    {!Ninja_arch.Timing.report}s are cached on disk (default
+    [_ninja_cache/]) across processes: a warm rerun of the full
+    experiment grid executes zero simulations. Keys are digests over the
+    {e decoded} program ({!Ninja_vm.Decode.fingerprint}), a canonical
+    fingerprint of every machine parameter (including the issue-cost
+    vector), the step name, and a version salt; values are full reports
+    serialized via {!Ninja_report.Json}, whose shortest-round-trip
+    number printing makes reloaded reports bit-identical to freshly
+    simulated ones — warm tables render byte-for-byte the same.
+
+    Writes are atomic (unique temp file + rename), so concurrent writers
+    of one key are safe. Loads re-verify the key digest and a payload
+    checksum; {e any} corruption, truncation or version skew makes
+    {!load} return [None] and the caller re-simulates — the store can
+    miss, but never return wrong data.
+
+    The store also aggregates per-ladder-step simulation costs
+    ([costs.json]) that {!Jobs.prefill} uses to seed the work-stealing
+    scheduler longest-expected-first. *)
+
+type t
+
+type stats = {
+  hits : int;  (** entries loaded and verified *)
+  misses : int;  (** lookups that fell through to simulation *)
+  errors : int;  (** corrupt/stale entries dropped (subset of misses) *)
+  writes : int;  (** entries written *)
+}
+
+val version_salt : string
+(** The simulator-version salt mixed into every key. Bump it whenever
+    the timing model or interpreter semantics change in a way the
+    program/machine fingerprints cannot see; old entries then miss and
+    are re-simulated. *)
+
+val default_dir : string
+(** ["_ninja_cache"], the CLI default for [--cache-dir]. *)
+
+val open_ : ?salt:string -> dir:string -> unit -> t
+(** Open (creating directories as needed) a store rooted at [dir].
+    [salt] defaults to {!version_salt}; tests override it to prove that
+    a salt bump invalidates old entries. *)
+
+val dir : t -> string
+
+val key :
+  t -> machine:Ninja_arch.Machine.t -> step_name:string ->
+  Ninja_vm.Isa.program -> string
+(** The content address of one simulation: a hex digest over the store's
+    salt, the machine fingerprint, [step_name], and the decoded
+    program's fingerprint. *)
+
+val load :
+  t -> key:string -> machine:Ninja_arch.Machine.t ->
+  Ninja_arch.Timing.report option
+(** Look [key] up. [Some report] only when the entry exists, its stored
+    key and payload checksum verify, and its machine name matches
+    [machine] (the returned report carries the caller's [machine] value);
+    every failure mode is a silent [None]. *)
+
+val save :
+  t -> key:string -> machine:Ninja_arch.Machine.t -> step_name:string ->
+  cost_s:float -> Ninja_arch.Timing.report -> unit
+(** Write one entry atomically and fold [cost_s] (the measured
+    simulation wall time) into the pending per-step cost estimates
+    (flushed by {!flush_costs}). *)
+
+val entry_cost : t -> key:string -> float option
+(** The stored per-key simulation cost, without deserializing the whole
+    report; [None] on any missing or unreadable entry. *)
+
+val step_costs : t -> (string * float) list
+(** Per-ladder-step mean simulation seconds from [costs.json], recorded
+    by prior runs — the scheduler's cost estimates. Empty when the store
+    is fresh or the file is unreadable. *)
+
+val flush_costs : t -> unit
+(** Blend the costs accumulated by {!save} since the last flush into
+    [costs.json] (atomic replace; 50/50 exponential blend with the
+    previous estimate). *)
+
+val stats : t -> stats
+
+(** {1 Report serialization}
+
+    Exposed for the round-trip property tests; {!save}/{!load} are the
+    production path. *)
+
+val report_to_json : Ninja_arch.Timing.report -> Ninja_report.Json.t
+
+val report_of_json :
+  machine:Ninja_arch.Machine.t -> Ninja_report.Json.t ->
+  Ninja_arch.Timing.report
+(** Strict: raises [Failure] on any missing field, shape violation, or
+    machine-name mismatch. *)

@@ -1,33 +1,135 @@
+(* A fixed-size pool of worker domains over per-worker deques with
+   random-victim work stealing.
+
+   Scheduling structure (see pool.mli for the contract):
+
+   - Every worker owns a deque ({!Wsdeque}) guarded by its own mutex, so
+     two workers touching different deques never contend. Owners take
+     from the front; thieves take from the back.
+   - [submit] distributes tasks round-robin across the deques. Callers
+     that seed the whole batch up front in descending expected-cost
+     order therefore give every deque a longest-first (LPT-style)
+     schedule, and stealing rebalances whatever the estimates got wrong.
+   - A single global mutex guards only the small shared state: the
+     pending/queued counters, the stop flag, the error list, and the two
+     condition variables (task-available for sleeping workers, pool-idle
+     for [wait]). It is never held while a task runs.
+
+   Lock order: the global mutex may be taken first and a slot mutex
+   inside it ([submit]); workers take slot mutexes and the global mutex
+   only separately, never nested — so there is no lock-order cycle.
+
+   Error handling: the first task exception flips the pool into draining
+   mode — queued tasks are cancelled (popped and dropped without
+   running), tasks already in flight finish, and every exception raised
+   is kept in order. [wait] re-raises a lone exception as-is and wraps
+   two or more in [Task_errors]. *)
+
+type stats = {
+  domains : int;
+  tasks_run : int;
+  steals : int;
+  cancelled : int;
+  busy_s : float array;
+  run_per_domain : int array;
+  max_depth : int array;
+}
+
+exception Task_errors of exn list
+
+type slot = {
+  smu : Mutex.t;
+  deque : (unit -> unit) Wsdeque.t;
+  rng : Rng.t;  (* victim selection; only its owner worker touches it *)
+  mutable busy_s : float;
+  mutable ran : int;
+  mutable stolen : int;  (* tasks this worker took from another deque *)
+  mutable max_depth : int;
+}
+
 type t = {
   mu : Mutex.t;
   nonempty : Condition.t;  (* signaled when a task is enqueued / on shutdown *)
   idle : Condition.t;  (* broadcast when [pending] drops to 0 *)
-  tasks : (unit -> unit) Queue.t;
+  slots : slot array;
+  mutable next : int;  (* round-robin submit cursor *)
   mutable pending : int;  (* enqueued + currently running *)
+  mutable queued : int;  (* enqueued, not yet popped *)
   mutable stopping : bool;
-  mutable error : exn option;  (* first task exception, for [wait] *)
+  mutable errors : exn list;  (* reverse chronological *)
+  mutable cancelled : int;
   mutable workers : unit Domain.t list;
 }
 
 let default_domains () = Domain.recommended_domain_count ()
 
-let rec worker_loop p =
-  Mutex.lock p.mu;
-  while Queue.is_empty p.tasks && not p.stopping do
-    Condition.wait p.nonempty p.mu
-  done;
-  if Queue.is_empty p.tasks then Mutex.unlock p.mu (* stopping: exit *)
-  else begin
-    let task = Queue.pop p.tasks in
-    Mutex.unlock p.mu;
-    let err = (try task (); None with e -> Some e) in
-    Mutex.lock p.mu;
-    (match (err, p.error) with Some e, None -> p.error <- Some e | _ -> ());
-    p.pending <- p.pending - 1;
-    if p.pending = 0 then Condition.broadcast p.idle;
-    Mutex.unlock p.mu;
-    worker_loop p
-  end
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* Pop from the worker's own deque (front) or steal from a random victim
+   (back), sweeping every other deque once so a lone task anywhere is
+   always found. Returns the task and whether it was stolen. *)
+let find_task p me =
+  let n = Array.length p.slots in
+  let mine = p.slots.(me) in
+  match locked mine.smu (fun () -> Wsdeque.pop_front mine.deque) with
+  | Some task -> Some (task, false)
+  | None ->
+      let start = if n > 1 then Rng.int mine.rng n else 0 in
+      let rec sweep i =
+        if i >= n then None
+        else
+          let v = (start + i) mod n in
+          if v = me then sweep (i + 1)
+          else
+            let s = p.slots.(v) in
+            match locked s.smu (fun () -> Wsdeque.pop_back s.deque) with
+            | Some task -> Some (task, true)
+            | None -> sweep (i + 1)
+      in
+      sweep 0
+
+let rec worker_loop p me =
+  match find_task p me with
+  | Some (task, stolen) ->
+      let run =
+        locked p.mu (fun () ->
+            p.queued <- p.queued - 1;
+            if p.errors <> [] then begin
+              (* draining after a failure: cancel instead of running *)
+              p.cancelled <- p.cancelled + 1;
+              false
+            end
+            else true)
+      in
+      if run then begin
+        let t0 = Unix.gettimeofday () in
+        let err = (try task (); None with e -> Some e) in
+        let dt = Unix.gettimeofday () -. t0 in
+        let mine = p.slots.(me) in
+        locked mine.smu (fun () ->
+            mine.busy_s <- mine.busy_s +. dt;
+            mine.ran <- mine.ran + 1;
+            if stolen then mine.stolen <- mine.stolen + 1);
+        locked p.mu (fun () ->
+            (match err with Some e -> p.errors <- e :: p.errors | None -> ()))
+      end;
+      locked p.mu (fun () ->
+          p.pending <- p.pending - 1;
+          if p.pending = 0 then Condition.broadcast p.idle);
+      worker_loop p me
+  | None ->
+      let continue =
+        locked p.mu (fun () ->
+            if p.queued > 0 then true (* raced with a submit: sweep again *)
+            else if p.stopping then false
+            else begin
+              Condition.wait p.nonempty p.mu;
+              true
+            end)
+      in
+      if continue then worker_loop p me
 
 let create ~domains =
   if domains < 1 then invalid_arg "Pool.create: domains < 1";
@@ -36,38 +138,72 @@ let create ~domains =
       mu = Mutex.create ();
       nonempty = Condition.create ();
       idle = Condition.create ();
-      tasks = Queue.create ();
+      slots =
+        Array.init domains (fun i ->
+            {
+              smu = Mutex.create ();
+              deque = Wsdeque.create ();
+              rng = Rng.create (0x5eed + i);
+              busy_s = 0.;
+              ran = 0;
+              stolen = 0;
+              max_depth = 0;
+            });
+      next = 0;
       pending = 0;
+      queued = 0;
       stopping = false;
-      error = None;
+      errors = [];
+      cancelled = 0;
       workers = [];
     }
   in
-  p.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p.workers <- List.init domains (fun i -> Domain.spawn (fun () -> worker_loop p i));
   p
 
-let size p = List.length p.workers
+let size p = Array.length p.slots
 
-let submit p task =
+let submit_on p i task =
+  let n = Array.length p.slots in
+  if i < 0 || i >= n then invalid_arg "Pool.submit_on: bad worker index";
   Mutex.lock p.mu;
   if p.stopping then begin
     Mutex.unlock p.mu;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Queue.push task p.tasks;
   p.pending <- p.pending + 1;
+  p.queued <- p.queued + 1;
+  let s = p.slots.(i) in
+  locked s.smu (fun () ->
+      Wsdeque.push_back s.deque task;
+      let d = Wsdeque.length s.deque in
+      if d > s.max_depth then s.max_depth <- d);
   Condition.signal p.nonempty;
   Mutex.unlock p.mu
+
+let submit p task =
+  (* the cursor is read/advanced under the global mutex inside submit_on's
+     critical section only for [pending]; racing on [next] itself would
+     only skew the distribution, but keep it exact: *)
+  let i = locked p.mu (fun () ->
+      let i = p.next in
+      p.next <- (i + 1) mod Array.length p.slots;
+      i)
+  in
+  submit_on p i task
 
 let wait p =
   Mutex.lock p.mu;
   while p.pending > 0 do
     Condition.wait p.idle p.mu
   done;
-  let err = p.error in
-  p.error <- None;
+  let errs = List.rev p.errors in
+  p.errors <- [];
   Mutex.unlock p.mu;
-  match err with Some e -> raise e | None -> ()
+  match errs with
+  | [] -> ()
+  | [ e ] -> raise e
+  | es -> raise (Task_errors es)
 
 let shutdown p =
   Mutex.lock p.mu;
@@ -77,10 +213,66 @@ let shutdown p =
   List.iter Domain.join p.workers;
   p.workers <- []
 
-let map_list ?domains f xs =
+let stats p =
+  let n = Array.length p.slots in
+  let busy_s = Array.make n 0. in
+  let run_per_domain = Array.make n 0 in
+  let max_depth = Array.make n 0 in
+  let steals = ref 0 in
+  Array.iteri
+    (fun i s ->
+      locked s.smu (fun () ->
+          busy_s.(i) <- s.busy_s;
+          run_per_domain.(i) <- s.ran;
+          max_depth.(i) <- s.max_depth;
+          steals := !steals + s.stolen))
+    p.slots;
+  locked p.mu (fun () ->
+      {
+        domains = n;
+        tasks_run = Array.fold_left ( + ) 0 run_per_domain;
+        steals = !steals;
+        cancelled = p.cancelled;
+        busy_s;
+        run_per_domain;
+        max_depth;
+      })
+
+let pp_stats ppf s =
+  let fsum = Array.fold_left ( +. ) 0. in
+  Fmt.pf ppf "scheduler: %d tasks on %d domain%s, %d steal%s, %.1fs busy"
+    s.tasks_run s.domains
+    (if s.domains = 1 then "" else "s")
+    s.steals
+    (if s.steals = 1 then "" else "s")
+    (fsum s.busy_s);
+  if s.cancelled > 0 then Fmt.pf ppf ", %d cancelled" s.cancelled;
+  Array.iteri
+    (fun i b ->
+      Fmt.pf ppf "@.  domain %d: %4d run %8.1fs busy  peak queue %d" i
+        s.run_per_domain.(i) b s.max_depth.(i))
+    s.busy_s
+
+let map_list ?domains ?on_stats f xs =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let n = List.length xs in
-  if domains <= 1 || n <= 1 then List.map f xs
+  if domains <= 1 || n <= 1 then begin
+    let out = List.map f xs in
+    (match on_stats with
+    | Some k ->
+        k
+          {
+            domains = 1;
+            tasks_run = n;
+            steals = 0;
+            cancelled = 0;
+            busy_s = [| 0. |];
+            run_per_domain = [| n |];
+            max_depth = [| 0 |];
+          }
+    | None -> ());
+    out
+  end
   else begin
     let arr = Array.of_list xs in
     let out = Array.make n None in
@@ -91,6 +283,7 @@ let map_list ?domains f xs =
      with e ->
        fin ();
        raise e);
+    (match on_stats with Some k -> k (stats p) | None -> ());
     fin ();
     Array.to_list
       (Array.map (function Some v -> v | None -> assert false) out)

@@ -1,40 +1,90 @@
-(** A fixed-size pool of worker domains fed from a shared work queue.
+(** A fixed-size pool of worker domains scheduled by work stealing.
 
-    Workers are OCaml 5 [Domain]s; the queue is protected by a [Mutex] and
-    two [Condition]s (queue-nonempty for workers, pool-idle for waiters).
+    Workers are OCaml 5 [Domain]s. Each worker owns a private deque
+    ({!Wsdeque}) guarded by its own mutex; {!submit} distributes tasks
+    round-robin across the deques, owners execute from the front of their
+    deque, and an idle worker steals from the back of a random victim's
+    deque (sweeping every deque, so a lone task anywhere is always
+    found). Callers that submit a whole batch in descending
+    expected-cost order thereby give every deque a longest-first
+    schedule — the LPT heuristic — and stealing rebalances whatever the
+    estimates got wrong.
+
     Tasks are independent thunks; the pool makes no ordering guarantee
-    between tasks, so callers that need deterministic output must key their
-    results (see {!map_list}, which preserves input order regardless of
-    execution order). *)
+    between tasks, so callers that need deterministic output must key
+    their results (see {!map_list}, which preserves input order
+    regardless of execution order). *)
 
 type t
+
+(** Scheduler counters, snapshot by {!stats}. All numbers are cumulative
+    over the pool's lifetime. *)
+type stats = {
+  domains : int;  (** worker count *)
+  tasks_run : int;  (** tasks executed (excludes cancelled) *)
+  steals : int;  (** tasks executed from another worker's deque *)
+  cancelled : int;  (** tasks drained without running after a failure *)
+  busy_s : float array;  (** per-domain wall seconds spent inside tasks *)
+  run_per_domain : int array;  (** per-domain tasks executed *)
+  max_depth : int array;  (** per-domain deque high-water mark *)
+}
+
+exception Task_errors of exn list
+(** Raised by {!wait} when two or more tasks failed, carrying every task
+    exception in the order they occurred. A lone failure is re-raised
+    as itself. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the [-j] default. *)
 
 val create : domains:int -> t
-(** Spawn [domains] worker domains (at least 1) blocked on an empty queue. *)
+(** Spawn [domains] worker domains (at least 1), each with an empty
+    deque. *)
 
 val size : t -> int
 (** Number of worker domains. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue a task. Tasks must not themselves call {!wait} or {!shutdown}.
-    If a task raises, the first such exception is kept and re-raised by the
-    next {!wait}; remaining tasks still run. *)
+(** Enqueue a task, round-robin across the worker deques. Tasks must not
+    themselves call {!wait} or {!shutdown}. On the first task exception
+    the pool drains: queued tasks are cancelled without running, and
+    {!wait} reports every exception raised (see {!Task_errors}). *)
+
+val submit_on : t -> int -> (unit -> unit) -> unit
+(** [submit_on p i task] enqueues onto worker [i]'s deque specifically —
+    for callers that plan their own distribution, and for tests that
+    construct deliberate imbalance to exercise stealing. *)
 
 val wait : t -> unit
-(** Block until every submitted task has finished, then re-raise the first
-    task exception, if any. *)
+(** Block until every submitted task has finished or been cancelled,
+    then re-raise a lone task exception as itself, or two or more as
+    {!Task_errors} (chronological order). The error state is cleared, so
+    the pool remains usable. *)
 
 val shutdown : t -> unit
-(** Drain remaining tasks, then join all worker domains. The pool must not
-    be used afterwards. *)
+(** Drain remaining tasks, then join all worker domains. The pool must
+    not be used afterwards. *)
 
-val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val stats : t -> stats
+(** Snapshot the scheduler counters. Call after {!wait} for quiescent
+    numbers; calling mid-flight is safe but yields an instantaneous
+    mixture. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Multi-line, human-oriented (steal totals plus a per-domain line);
+    contains wall-clock times, so keep it out of deterministic output
+    streams. *)
+
+val map_list :
+  ?domains:int -> ?on_stats:(stats -> unit) -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~domains f xs] applies [f] to every element across a
     temporary pool of [domains] workers and returns results in input order
     ([List.map] observational equivalence, whatever the interleaving).
-    [domains <= 1] (or a short list) degenerates to plain [List.map] in the
-    calling domain — no domains are spawned, so [-j 1] is exactly the
-    serial path. Default: {!default_domains}. *)
+    Elements are submitted in list order, so passing a list sorted by
+    descending expected cost yields a longest-first schedule on every
+    deque. [domains <= 1] (or a short list) degenerates to plain
+    [List.map] in the calling domain — no domains are spawned, so [-j 1]
+    is exactly the serial path. Default: {!default_domains}.
+    [on_stats] receives the pool's scheduler counters after all tasks
+    finish (a synthetic all-serial snapshot on the degenerate path); it
+    is not called when a task failed. *)

@@ -1,0 +1,55 @@
+(* A growable circular-buffer deque. Not thread-safe on its own: the pool
+   guards each worker's deque with that worker's mutex, which keeps this
+   module trivially correct and keeps the locking policy in one place
+   (Pool). Elements are stored in an ['a option array] so no dummy value
+   is needed; slots are cleared on removal to avoid retaining closures. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* index of the front element when len > 0 *)
+  mutable len : int;
+}
+
+let create () = { buf = Array.make 8 None; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    x
+  end
+
+let pop_back t =
+  if t.len = 0 then None
+  else begin
+    let i = (t.head + t.len - 1) mod Array.length t.buf in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.len <- t.len - 1;
+    x
+  end
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,29 @@
+(** A growable double-ended queue backed by a circular buffer.
+
+    This is the per-worker deque of the work-stealing {!Pool}: the owning
+    worker takes from the front, thieves take from the back. The structure
+    itself is {e not} thread-safe — the pool serializes access with one
+    mutex per deque — so it stays a dozen lines of plainly-auditable code.
+    Removal clears the vacated slot, so finished task closures are not
+    retained. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty deque (initial capacity 8, doubling as needed). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+(** Append at the back. Amortized O(1). *)
+
+val pop_front : 'a t -> 'a option
+(** Remove the front element — the owner's end. *)
+
+val pop_back : 'a t -> 'a option
+(** Remove the back element — the thieves' end. *)
+
+val clear : 'a t -> unit
+(** Drop every element (used when a pool drains after a task failure). *)

@@ -106,3 +106,16 @@ let decode (p : Isa.program) : t =
 
 let size t =
   Array.fold_left (fun acc ph -> acc + Array.length ph.code) 0 t.phases
+
+(* The decoded form is pure data (variants, ints, floats, strings,
+   arrays — no closures), so a no-sharing Marshal of it is a canonical
+   byte string: the content-addressed result store digests exactly what
+   the interpreter will execute. Buffer declarations and register counts
+   are included because they shape memory binding and validation. *)
+let fingerprint t =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (t.prog.Isa.prog_name, t.prog.Isa.buffers, t.prog.Isa.regs,
+           t.n_fors, t.phases)
+          [ Marshal.No_sharing ]))

@@ -46,3 +46,10 @@ val decode : Isa.program -> t
 
 val size : t -> int
 (** Total decoded ops across phases (for tests and diagnostics). *)
+
+val fingerprint : t -> string
+(** Hex digest of the decoded program — a canonical content address over
+    exactly what the interpreter executes (flattened op arrays, buffer
+    declarations, register counts). Two programs with equal fingerprints
+    simulate identically on the same machine; the persistent result
+    store keys on this. *)

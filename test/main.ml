@@ -13,4 +13,6 @@ let () =
       Test_report.suite;
       Test_kernels.suite;
       Test_profile.suite;
+      Test_sched.suite;
+      Test_store.suite;
       Test_core.suite ]
