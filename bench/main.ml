@@ -10,8 +10,9 @@
 
    `main.exe simulate [--smoke] [--out FILE] [-j N] [--cache-dir DIR |
    --no-cache]` instead runs the simulator self-benchmark
-   (Ninja_core.Selfbench): simulated-ops/s of the fast path against the
-   reference baseline over the benchmark suite on both machines, plus a
+   (Ninja_core.Selfbench): simulated-ops/s of the fast path and of the
+   optimizer pass pipeline against the reference baseline over the
+   benchmark suite on both machines, plus a
    cold-then-warm timing of the experiment grid against the persistent
    result store, written as a JSON report (BENCH_simulator.json by
    default). `--smoke` shrinks the throughput grid to one job and the
@@ -146,6 +147,18 @@ let validate_report ~expect_grid path =
   (match num "geomean_ops_per_s" with
   | Some x when x > 0. -> ()
   | _ -> failwith (path ^ ": geomean_ops_per_s missing or not positive"));
+  (* v3: the optimized pipeline must be present and at least as fast as
+     the tree-walking baseline — the @bench-smoke regression gate for
+     the optimizer *)
+  (match (num "opt_geomean_ops_per_s", num "baseline_geomean_ops_per_s") with
+  | Some o, Some b when o > 0. && b > 0. ->
+      if o < b then
+        failwith
+          (Fmt.str "%s: optimized geomean %.0f ops/s below baseline %.0f" path
+             o b)
+  | _ ->
+      failwith
+        (path ^ ": opt/baseline geomean_ops_per_s missing or not positive"));
   (match Option.bind (Json.member "benchmarks" j) Json.to_list with
   | Some (_ :: _) -> ()
   | _ -> failwith (path ^ ": empty benchmarks list"));
@@ -191,9 +204,9 @@ let run_simulate () =
     else
       Selfbench.run ?domains
         ~progress:(fun j ->
-          Fmt.epr "  %-16s %-14s %-14s %8.1fs fast %8.1fs baseline@."
+          Fmt.epr "  %-16s %-14s %-14s %8.1fs fast %8.1fs opt %8.1fs baseline@."
             j.Selfbench.j_bench j.Selfbench.j_machine j.Selfbench.j_step
-            j.Selfbench.j_fast_s j.Selfbench.j_baseline_s)
+            j.Selfbench.j_fast_s j.Selfbench.j_opt_s j.Selfbench.j_baseline_s)
         ()
   in
   let no_cache = Array.exists (( = ) "--no-cache") Sys.argv in
@@ -244,8 +257,10 @@ let run_simulate () =
   Selfbench.write_json ?grid ~path:out r;
   Fmt.epr "%a@." Selfbench.pp_result r;
   validate_report ~expect_grid:(grid <> None) out;
-  Fmt.pr "wrote %s (%d jobs, geomean %.0f ops/s, %.2fx over baseline)@." out
-    (List.length r.jobs) r.geomean_ops_per_s r.speedup
+  Fmt.pr
+    "wrote %s (%d jobs, geomean %.0f ops/s, %.2fx over baseline; optimized \
+     %.2fx)@."
+    out (List.length r.jobs) r.geomean_ops_per_s r.speedup r.opt_speedup
 
 let () =
   if Array.exists (( = ) "simulate") Sys.argv then run_simulate ()

@@ -19,6 +19,47 @@ let machine_arg =
   let doc = "Machine preset (westmere, mic, kentsfield, nehalem, future1..3)." in
   Arg.(value & opt string "westmere" & info [ "m"; "machine" ] ~doc)
 
+(* ---- optimizer pass selection (ladder, bench) ---- *)
+
+(* The pass pipeline changes no reported number (the simulated machine
+   is oblivious to it), so the flags only pick which host executor runs:
+   plain decoded arrays or decoded-then-optimized ones. *)
+
+let opt_arg =
+  let doc =
+    "Run the optimizer pass pipeline over the decoded op arrays before \
+     interpretation (the default). Reported numbers are identical either \
+     way; only the simulator's own speed changes."
+  in
+  Arg.(value & flag & info [ "opt" ] ~doc)
+
+let no_opt_arg =
+  let doc = "Interpret the plain decoded arrays; disables the optimizer." in
+  Arg.(value & flag & info [ "no-opt" ] ~doc)
+
+let passes_arg =
+  let doc =
+    "Comma-separated optimizer pass list, applied in the given order \
+     (fold, moves, imm, dce, peephole; $(b,all) and $(b,none) are \
+     accepted). Overrides $(b,--opt)/$(b,--no-opt)."
+  in
+  Arg.(value & opt (some string) None & info [ "passes" ] ~doc ~docv:"LIST")
+
+let opt_config_of_flags ~opt:_ ~no_opt ~passes =
+  match passes with
+  | Some spec -> (
+      match Ninja_vm.Optimize.parse_passes spec with
+      | Ok c -> Some c
+      | Error msg ->
+          Fmt.epr "--passes: %s@." msg;
+          exit 1)
+  | None -> if no_opt then None else Some Ninja_vm.Optimize.default
+
+let strategy_of_flags ~opt ~no_opt ~passes =
+  match opt_config_of_flags ~opt ~no_opt ~passes with
+  | Some c -> Ninja_vm.Interp.Optimized c
+  | None -> Ninja_vm.Interp.Decoded
+
 (* ---- experiments ---- *)
 
 let jobs_arg =
@@ -137,10 +178,15 @@ let ladder_cmd =
     let doc = "Also run each variant functionally and check its output." in
     Arg.(value & flag & info [ "validate" ] ~doc)
   in
-  let run machine bench scale validate =
+  let opt_report_arg =
+    let doc = "Print each variant's per-pass optimizer rewrite report." in
+    Arg.(value & flag & info [ "opt-report" ] ~doc)
+  in
+  let run machine bench scale validate opt no_opt passes opt_report =
     let machine = machine_of_name machine in
     let b = Ninja_kernels.Registry.find bench in
     let scale = Option.value scale ~default:b.default_scale in
+    let strategy = strategy_of_flags ~opt ~no_opt ~passes in
     Fmt.pr "%s at scale %d on %a@.@." b.b_name scale Ninja_arch.Machine.pp machine;
     let steps = b.steps ~scale in
     let baseline = ref None in
@@ -151,17 +197,29 @@ let ladder_cmd =
           | Ok () -> Fmt.pr "[check ok] "
           | Error e -> Fmt.pr "[CHECK FAILED: %s] " e
         end;
-        let r = Ninja_kernels.Driver.run_step ~machine step in
+        let r = Ninja_kernels.Driver.run_step ~strategy ~machine step in
         (match !baseline with None -> baseline := Some r | Some _ -> ());
         Fmt.pr "%-14s %10.3f Mcycles  %7.2fx  (%s-bound)@." step.step_name
           (r.cycles /. 1e6)
           (Ninja_arch.Timing.speedup ~baseline:(Option.get !baseline) r)
-          (Ninja_arch.Timing.bound_name r.bound))
+          (Ninja_arch.Timing.bound_name r.bound);
+        if opt_report then begin
+          let config =
+            match strategy with
+            | Ninja_vm.Interp.Optimized c -> c
+            | Tree | Decoded -> Ninja_vm.Optimize.default
+          in
+          let d = Ninja_vm.Decode.decode (step.make ~machine) in
+          let _, rep = Ninja_vm.Optimize.run_report ~config d in
+          Fmt.pr "%a@." Ninja_vm.Optimize.pp_report rep
+        end)
       steps
   in
   Cmd.v
     (Cmd.info "ladder" ~doc:"Run one benchmark's naive-to-ninja performance ladder")
-    Term.(const run $ machine_arg $ bench_arg $ scale_arg $ validate_arg)
+    Term.(
+      const run $ machine_arg $ bench_arg $ scale_arg $ validate_arg $ opt_arg
+      $ no_opt_arg $ passes_arg $ opt_report_arg)
 
 (* ---- list ---- *)
 
@@ -448,22 +506,32 @@ let bench_cmd =
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run mode out smoke jobs cache_dir no_cache =
+  let run mode out smoke jobs cache_dir no_cache opt no_opt passes =
     if mode <> "simulate" then begin
       Fmt.epr "unknown bench mode %S (try: simulate)@." mode;
       exit 1
     end;
+    (* the self-benchmark always times all three configurations; the
+       flags pick which pass list the *optimized* one runs (--no-opt
+       degenerates it to the plain decoded executor) *)
+    let opt =
+      Option.value
+        (opt_config_of_flags ~opt ~no_opt ~passes)
+        ~default:Ninja_vm.Optimize.none
+    in
     let r =
       if smoke then
-        S.run ?domains:jobs
+        S.run ?domains:jobs ~opt
           ~benchmarks:[ Ninja_kernels.Registry.find "BlackScholes" ]
           ~machines:[ Ninja_arch.Machine.westmere ]
           ~steps:[ "ninja" ] ()
       else
-        S.run ?domains:jobs
+        S.run ?domains:jobs ~opt
           ~progress:(fun j ->
-            Fmt.epr "  %-16s %-14s %-14s %8.1fs fast %8.1fs baseline@."
-              j.S.j_bench j.S.j_machine j.S.j_step j.S.j_fast_s j.S.j_baseline_s)
+            Fmt.epr
+              "  %-16s %-14s %-14s %8.1fs fast %8.1fs opt %8.1fs baseline@."
+              j.S.j_bench j.S.j_machine j.S.j_step j.S.j_fast_s j.S.j_opt_s
+              j.S.j_baseline_s)
           ()
     in
     (* cold/warm experiment-grid timing against the persistent store
@@ -497,7 +565,7 @@ let bench_cmd =
           report")
     Term.(
       const run $ mode_arg $ out_arg $ smoke_arg $ jobs_arg $ cache_dir_arg
-      $ no_cache_arg)
+      $ no_cache_arg $ opt_arg $ no_opt_arg $ passes_arg)
 
 let main_cmd =
   let info =

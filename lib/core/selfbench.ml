@@ -6,14 +6,19 @@
    (benchmark, machine, ladder step) jobs, running each job twice:
 
    - the *fast* configuration — the pre-decoded [Interp.Decoded] executor
-     over the fast-path cache hierarchy (the defaults); and
+     over the fast-path cache hierarchy (the defaults);
+   - the *optimized* configuration — [Interp.Optimized], the fast path
+     plus the {!Ninja_vm.Optimize} pass pipeline over the decoded
+     arrays; and
    - the *baseline* configuration — [Interp.Tree] over the reference
      hierarchy ([~fast_path:false]), i.e. the simulator as it was before
      the fast path existed.
 
-   Both produce bit-identical reports; the per-job instruction counts are
-   asserted equal, so the ops/s ratio is a pure like-for-like measure of
-   the interpreter and cache-model overhead. Results aggregate per
+   All three produce bit-identical reports (the optimized one is checked
+   structurally against the fast one on every job); the per-job
+   instruction counts are asserted equal, so the ops/s ratios are a pure
+   like-for-like measure of the interpreter and cache-model overhead.
+   Results aggregate per
    benchmark (summing ops and seconds across machines and steps) and the
    headline number is the geometric mean of per-benchmark ops/s, matching
    how the paper reports performance summaries. *)
@@ -25,7 +30,7 @@ module Stats = Ninja_util.Stats
 module Pool = Ninja_util.Pool
 module Json = Ninja_report.Json
 
-let schema_version = "ninja-selfbench/v2"
+let schema_version = "ninja-selfbench/v3"
 
 type job = { bench : Driver.benchmark; machine : Machine.t; step : Driver.step }
 
@@ -33,8 +38,9 @@ type job_result = {
   j_bench : string;
   j_machine : string;
   j_step : string;
-  j_ops : int;  (** simulated instructions, identical in both configurations *)
+  j_ops : int;  (** simulated instructions, identical in all configurations *)
   j_fast_s : float;
+  j_opt_s : float;
   j_baseline_s : float;
 }
 
@@ -42,8 +48,10 @@ type bench_result = {
   b_name : string;
   b_ops : int;
   b_fast_s : float;
+  b_opt_s : float;
   b_baseline_s : float;
   b_ops_per_s : float;
+  b_opt_ops_per_s : float;
   b_baseline_ops_per_s : float;
 }
 
@@ -54,8 +62,10 @@ type result = {
   jobs : job_result list;
   benchmarks : bench_result list;
   geomean_ops_per_s : float;
+  opt_geomean_ops_per_s : float;
   baseline_geomean_ops_per_s : float;
   speedup : float;
+  opt_speedup : float;
 }
 
 type grid_result = {
@@ -107,8 +117,12 @@ let time ~repeats f =
   done;
   (!r, !best)
 
-let run_job ~repeats { bench; machine; step } =
+let run_job ~opt ~repeats { bench; machine; step } =
   let fast, j_fast_s = time ~repeats (fun () -> Driver.run_step ~machine step) in
+  let optimized, j_opt_s =
+    time ~repeats (fun () ->
+        Driver.run_step ~strategy:(Ninja_vm.Interp.Optimized opt) ~machine step)
+  in
   let baseline, j_baseline_s =
     time ~repeats (fun () ->
         Driver.run_step ~strategy:Ninja_vm.Interp.Tree ~fast_path:false ~machine
@@ -121,12 +135,21 @@ let run_job ~repeats { bench; machine; step } =
          bench.Driver.b_name machine.Machine.name step.Driver.step_name
          fast.Ninja_arch.Timing.instructions
          baseline.Ninja_arch.Timing.instructions);
+  (* the optimizer must not move a single reported number: the whole
+     timing report — cycles, stalls, DRAM traffic, per-class counts —
+     is compared structurally, not just the instruction total *)
+  if compare optimized fast <> 0 then
+    invalid_arg
+      (Fmt.str
+         "Selfbench: %s/%s/%s: optimized pipeline changed the timing report"
+         bench.Driver.b_name machine.Machine.name step.Driver.step_name);
   {
     j_bench = bench.Driver.b_name;
     j_machine = machine.Machine.name;
     j_step = step.Driver.step_name;
     j_ops = fast.Ninja_arch.Timing.instructions;
     j_fast_s;
+    j_opt_s;
     j_baseline_s;
   }
 
@@ -141,21 +164,24 @@ let aggregate ~benchmarks jobs =
             List.fold_left (fun acc j -> acc + j.j_ops) 0 mine
           in
           let fast_s = sum (fun j -> j.j_fast_s) in
+          let opt_s = sum (fun j -> j.j_opt_s) in
           let baseline_s = sum (fun j -> j.j_baseline_s) in
           Some
             {
               b_name = b.Driver.b_name;
               b_ops = ops;
               b_fast_s = fast_s;
+              b_opt_s = opt_s;
               b_baseline_s = baseline_s;
               b_ops_per_s = Stats.ratio (float_of_int ops) fast_s;
+              b_opt_ops_per_s = Stats.ratio (float_of_int ops) opt_s;
               b_baseline_ops_per_s = Stats.ratio (float_of_int ops) baseline_s;
             })
     benchmarks
 
-let run ?domains ?(repeats = 2) ?(benchmarks = Registry.all)
-    ?(machines = default_machines) ?(steps = default_steps)
-    ?(progress = fun _ -> ()) () =
+let run ?domains ?(repeats = 2) ?(opt = Ninja_vm.Optimize.default)
+    ?(benchmarks = Registry.all) ?(machines = default_machines)
+    ?(steps = default_steps) ?(progress = fun _ -> ()) () =
   let domains =
     match domains with Some d -> max 1 d | None -> Pool.default_domains ()
   in
@@ -168,7 +194,7 @@ let run ?domains ?(repeats = 2) ?(benchmarks = Registry.all)
     Pool.map_list ~domains
       ~on_stats:(fun s -> sched := Some s)
       (fun j ->
-        let r = run_job ~repeats j in
+        let r = run_job ~opt ~repeats j in
         progress r;
         r)
       jobs
@@ -177,6 +203,9 @@ let run ?domains ?(repeats = 2) ?(benchmarks = Registry.all)
   let per_bench = aggregate ~benchmarks results in
   let geomean_ops_per_s =
     Stats.geomean (List.map (fun b -> b.b_ops_per_s) per_bench)
+  in
+  let opt_geomean_ops_per_s =
+    Stats.geomean (List.map (fun b -> b.b_opt_ops_per_s) per_bench)
   in
   let baseline_geomean_ops_per_s =
     Stats.geomean (List.map (fun b -> b.b_baseline_ops_per_s) per_bench)
@@ -200,8 +229,10 @@ let run ?domains ?(repeats = 2) ?(benchmarks = Registry.all)
     jobs = results;
     benchmarks = per_bench;
     geomean_ops_per_s;
+    opt_geomean_ops_per_s;
     baseline_geomean_ops_per_s;
     speedup = Stats.ratio geomean_ops_per_s baseline_geomean_ops_per_s;
+    opt_speedup = Stats.ratio opt_geomean_ops_per_s baseline_geomean_ops_per_s;
   }
 
 (* Cold-vs-warm persistent-store benchmark: run the experiment grid twice
@@ -276,8 +307,10 @@ let to_json ?grid r =
       ("sched", sched_to_json r.sched);
       ("wall_s", Json.Num r.wall_s);
       ("geomean_ops_per_s", Json.Num r.geomean_ops_per_s);
+      ("opt_geomean_ops_per_s", Json.Num r.opt_geomean_ops_per_s);
       ("baseline_geomean_ops_per_s", Json.Num r.baseline_geomean_ops_per_s);
       ("speedup", Json.Num r.speedup);
+      ("opt_speedup", Json.Num r.opt_speedup);
       ( "benchmarks",
         Json.List
           (List.map
@@ -287,8 +320,9 @@ let to_json ?grid r =
                    ("name", Json.Str b.b_name);
                    ("ops", Json.Num (float_of_int b.b_ops));
                    ("ops_per_s", Json.Num b.b_ops_per_s);
+                   ("opt_ops_per_s", Json.Num b.b_opt_ops_per_s);
                    ("baseline_ops_per_s", Json.Num b.b_baseline_ops_per_s);
-                   ("wall_s", Json.Num (b.b_fast_s +. b.b_baseline_s));
+                   ("wall_s", Json.Num (b.b_fast_s +. b.b_opt_s +. b.b_baseline_s));
                  ])
              r.benchmarks) );
     ]
@@ -307,12 +341,16 @@ let pp_result ppf r =
     r.wall_s;
   List.iter
     (fun b ->
-      Fmt.pf ppf "  %-16s %10.0f ops/s  (baseline %10.0f, %.2fx)@." b.b_name
-        b.b_ops_per_s b.b_baseline_ops_per_s
-        (b.b_ops_per_s /. b.b_baseline_ops_per_s))
+      Fmt.pf ppf "  %-16s %10.0f ops/s  opt %10.0f  (baseline %10.0f, %.2fx/%.2fx)@."
+        b.b_name b.b_ops_per_s b.b_opt_ops_per_s b.b_baseline_ops_per_s
+        (b.b_ops_per_s /. b.b_baseline_ops_per_s)
+        (b.b_opt_ops_per_s /. b.b_baseline_ops_per_s))
     r.benchmarks;
-  Fmt.pf ppf "  geomean: %.0f ops/s over %.0f baseline — %.2fx@."
-    r.geomean_ops_per_s r.baseline_geomean_ops_per_s r.speedup;
+  Fmt.pf ppf
+    "  geomean: %.0f ops/s (optimized %.0f) over %.0f baseline — %.2fx, \
+     optimized %.2fx@."
+    r.geomean_ops_per_s r.opt_geomean_ops_per_s r.baseline_geomean_ops_per_s
+    r.speedup r.opt_speedup;
   Fmt.pf ppf "  %a" Pool.pp_stats r.sched
 
 let pp_grid ppf g =

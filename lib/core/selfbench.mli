@@ -2,11 +2,14 @@
 
     Measures the simulator's own wall-clock throughput — simulated
     instructions per second — over a grid of (benchmark, machine, ladder
-    step) jobs, in two configurations: the default fast path (pre-decoded
-    dispatch over the fast cache hierarchy) and the reference baseline
-    (tree-walking interpreter over the reference hierarchy). The two
-    produce bit-identical simulation reports; their instruction counts
-    are asserted equal per job, so the ratio is a pure measure of
+    step) jobs, in three configurations: the default fast path
+    (pre-decoded dispatch over the fast cache hierarchy), the optimized
+    pipeline (fast path plus the {!Ninja_vm.Optimize} passes over the
+    decoded arrays), and the reference baseline (tree-walking
+    interpreter over the reference hierarchy). All three produce
+    bit-identical simulation reports — the optimized report is compared
+    structurally against the fast one on every job, and instruction
+    counts are asserted equal — so the ratios are a pure measure of
     simulator overhead. Results are written as [BENCH_simulator.json]
     (schema {!schema_version}) by the [bench simulate] harness mode. *)
 
@@ -14,8 +17,9 @@ type job_result = {
   j_bench : string;
   j_machine : string;
   j_step : string;
-  j_ops : int;  (** simulated instructions (identical in both configurations) *)
+  j_ops : int;  (** simulated instructions (identical in all configurations) *)
   j_fast_s : float;  (** wall seconds, fast configuration *)
+  j_opt_s : float;  (** wall seconds, optimized configuration *)
   j_baseline_s : float;  (** wall seconds, baseline configuration *)
 }
 
@@ -23,8 +27,10 @@ type bench_result = {
   b_name : string;
   b_ops : int;  (** summed over the benchmark's jobs *)
   b_fast_s : float;
+  b_opt_s : float;
   b_baseline_s : float;
   b_ops_per_s : float;
+  b_opt_ops_per_s : float;
   b_baseline_ops_per_s : float;
 }
 
@@ -37,8 +43,10 @@ type result = {
   jobs : job_result list;
   benchmarks : bench_result list;  (** aggregated across machines and steps *)
   geomean_ops_per_s : float;
+  opt_geomean_ops_per_s : float;
   baseline_geomean_ops_per_s : float;
   speedup : float;  (** fast over baseline geomean *)
+  opt_speedup : float;  (** optimized over baseline geomean *)
 }
 
 type grid_result = {
@@ -57,9 +65,11 @@ type grid_result = {
     {!Store} (see {!run_grid}). *)
 
 val schema_version : string
-(** ["ninja-selfbench/v2"], the ["schema"] field of the JSON report.
+(** ["ninja-selfbench/v3"], the ["schema"] field of the JSON report.
     v2 added ["domains"]-aware defaults, the ["sched"] scheduler-stats
-    object, and the optional ["grid"] cold/warm store object. *)
+    object, and the optional ["grid"] cold/warm store object; v3 added
+    the optimized-pipeline configuration (["opt_geomean_ops_per_s"],
+    ["opt_speedup"], per-benchmark ["opt_ops_per_s"]). *)
 
 val default_steps : string list
 (** Both ladder endpoints, ["naive serial"] and ["ninja"] — the scalar and
@@ -71,6 +81,7 @@ val default_machines : Ninja_arch.Machine.t list
 val run :
   ?domains:int ->
   ?repeats:int ->
+  ?opt:Ninja_vm.Optimize.config ->
   ?benchmarks:Ninja_kernels.Driver.benchmark list ->
   ?machines:Ninja_arch.Machine.t list ->
   ?steps:string list ->
@@ -81,14 +92,17 @@ val run :
     {!Ninja_util.Pool.default_domains} — on a multi-core host jobs time
     in parallel (minimum-of-repeats absorbs most of the interference;
     pass [~domains:1] when per-job seconds must be maximally clean).
+    [opt] is the pass list the optimized configuration runs (default
+    {!Ninja_vm.Optimize.default}, all passes).
     Each configuration of each job runs once untimed (warm-up) plus
     [repeats] timed times (default 2); the reported seconds are the
     minimum, the standard low-noise estimator for deterministic work.
     Steps a benchmark does not have are skipped. [progress] is called
     once per finished job (from worker domains when [domains > 1]).
-    @raise Invalid_argument on an empty grid or a fast/baseline
-    instruction-count mismatch (which would mean the two interpreter
-    strategies diverged — a bug). *)
+    @raise Invalid_argument on an empty grid, a fast/baseline
+    instruction-count mismatch, or an optimized timing report that is
+    not structurally identical to the fast one (either would mean the
+    interpreter strategies diverged — a bug). *)
 
 val run_grid :
   ?domains:int ->

@@ -40,8 +40,10 @@ module Decode = Ninja_vm.Decode
 module Json = Ninja_report.Json
 
 (* Bump whenever the timing model or interpreter semantics change in a
-   way the program/machine fingerprints cannot see. *)
-let version_salt = "ninja-store/v1"
+   way the program/machine fingerprints cannot see.
+   v2: keys gained an optimizer-pass-list component, so entries produced
+   by optimized op arrays can never alias unoptimized ones. *)
+let version_salt = "ninja-store/v2"
 
 let default_dir = "_ninja_cache"
 
@@ -111,12 +113,18 @@ let machine_fingerprint (m : Machine.t) =
     m.dram_latency m.dram_bw_gbs m.barrier_cycles m.spawn_cycles costs
     (Machine.gather_cost m)
 
-let key t ~machine ~step_name prog =
+let key ?(opt = "") t ~machine ~step_name prog =
+  (* [opt] is the {!Ninja_vm.Optimize.tag} of the pass list the
+     interpreter ran ("" = plain decoded arrays). The fingerprint hashes
+     the *unoptimized* decode, so without this component an entry
+     simulated through a buggy pass could satisfy a later unoptimized
+     lookup (and vice versa); mixing the tag in keeps the two key
+     spaces disjoint. *)
   let prog_fp = Decode.fingerprint (Decode.decode prog) in
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
-          [ t.salt; machine_fingerprint machine; step_name; prog_fp ]))
+          [ t.salt; machine_fingerprint machine; step_name; prog_fp; opt ]))
 
 (* ------------------------------------------------------------------ *)
 (* Report (de)serialization                                            *)

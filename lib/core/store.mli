@@ -48,11 +48,16 @@ val open_ : ?salt:string -> dir:string -> unit -> t
 val dir : t -> string
 
 val key :
+  ?opt:string ->
   t -> machine:Ninja_arch.Machine.t -> step_name:string ->
   Ninja_vm.Isa.program -> string
 (** The content address of one simulation: a hex digest over the store's
-    salt, the machine fingerprint, [step_name], and the decoded
-    program's fingerprint. *)
+    salt, the machine fingerprint, [step_name], the decoded program's
+    fingerprint, and [opt] — the {!Ninja_vm.Optimize.tag} of the pass
+    list the interpreter ran (default [""], plain decoded arrays).
+    Because the program fingerprint always hashes the unoptimized
+    decode, the tag is what keeps optimized-run entries from aliasing
+    unoptimized ones. *)
 
 val load :
   t -> key:string -> machine:Ninja_arch.Machine.t ->

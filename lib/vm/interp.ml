@@ -35,7 +35,7 @@ exception Trap = Memory.Trap
 
 type result = { counts : Counts.t; instructions : int }
 
-type strategy = Tree | Decoded
+type strategy = Tree | Decoded | Optimized of Optimize.config
 
 type thread_state = {
   si : int array;
@@ -144,9 +144,13 @@ type work = Wtree of Isa.block | Wflat of Decode.dop array
 (* Pre-resolved count-row indices for the decoded loop's bookkeeping. *)
 let salu_idx = Isa.op_class_index Isa.Salu
 let branch_idx = Isa.op_class_index Isa.Branch
+let sfp_idx = Isa.op_class_index Isa.Sfp
+let vfp_idx = Isa.op_class_index Isa.Vfp
+let sload_idx = Isa.op_class_index Isa.Sload
+let sstore_idx = Isa.op_class_index Isa.Sstore
 
 let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
-    ?(strategy = Decoded) ?on_states (prog : Isa.program) (mem : Memory.t) =
+    ?(strategy = Decoded) ?decoded ?on_states (prog : Isa.program) (mem : Memory.t) =
   Isa.validate prog;
   if n_threads < 1 then invalid_arg "Interp.run: n_threads < 1";
   if width < 1 then invalid_arg "Interp.run: width < 1";
@@ -161,6 +165,15 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
      per-loop slots are safe as plain arrays: threads run one after
      another and a [Dfor] cannot be re-entered before it exits. *)
   let phase_work, n_fors =
+    match decoded with
+    | Some (d : Decode.t) ->
+        (* pre-supplied flat form (possibly hand-transformed): the
+           substrate for the optimizer's mutation tests, which must
+           execute deliberately broken arrays *)
+        ( Array.to_list
+            (Array.map (fun (ph : Decode.phase) -> (ph.parallel, Wflat ph.code)) d.phases),
+          d.n_fors )
+    | None ->
     match strategy with
     | Tree ->
         ( List.map
@@ -169,8 +182,13 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
               | Isa.Seq b -> (false, Wtree b))
             prog.phases,
           0 )
-    | Decoded ->
+    | Decoded | Optimized _ ->
         let d = Decode.decode prog in
+        let d =
+          match strategy with
+          | Optimized config -> Optimize.run ~config d
+          | _ -> d
+        in
         ( Array.to_list
             (Array.map (fun (ph : Decode.phase) -> (ph.parallel, Wflat ph.code)) d.phases),
           d.n_fors )
@@ -1021,6 +1039,132 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
           (match trace with
           | Some f -> f (Trace.Exit { thread; scope })
           | None -> ());
+          incr pc
+      (* ---- optimizer-specialized forms (Optimize). Each arm keeps the
+         counts, fuel, Trace.Op emission and memory events of the ops it
+         replaces, in the same order. ---- *)
+      | Decode.Daddi { d; a; imm } ->
+          row.(salu_idx) <- row.(salu_idx) + 1;
+          instructions := !instructions + 1;
+          remaining_fuel := !remaining_fuel - 1;
+          if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name;
+          (match trace with
+          | Some f -> f (Trace.Op { thread; cls = Isa.Salu })
+          | None -> ());
+          si.(d) <- si.(a) + imm;
+          incr pc
+      | Decode.Dmuli { d; a; imm } ->
+          row.(salu_idx) <- row.(salu_idx) + 1;
+          instructions := !instructions + 1;
+          remaining_fuel := !remaining_fuel - 1;
+          if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name;
+          (match trace with
+          | Some f -> f (Trace.Op { thread; cls = Isa.Salu })
+          | None -> ());
+          si.(d) <- si.(a) * imm;
+          incr pc
+      | Decode.Dloadf_at { dst; buf; imm; chain } ->
+          row.(sload_idx) <- row.(sload_idx) + 1;
+          instructions := !instructions + 1;
+          remaining_fuel := !remaining_fuel - 1;
+          if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name;
+          (match trace with
+          | Some f -> f (Trace.Op { thread; cls = Isa.Sload })
+          | None -> ());
+          sf.(dst) <- Memory.get_f mem buf imm;
+          emit ~nt:false ~buf ~idx:imm ~bytes:4 ~kind:Read ~chain;
+          incr pc
+      | Decode.Dloadi_at { dst; buf; imm; chain } ->
+          row.(sload_idx) <- row.(sload_idx) + 1;
+          instructions := !instructions + 1;
+          remaining_fuel := !remaining_fuel - 1;
+          if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name;
+          (match trace with
+          | Some f -> f (Trace.Op { thread; cls = Isa.Sload })
+          | None -> ());
+          si.(dst) <- Memory.get_i mem buf imm;
+          emit ~nt:false ~buf ~idx:imm ~bytes:4 ~kind:Read ~chain;
+          incr pc
+      | Decode.Dstoref_at { buf; imm; src } ->
+          row.(sstore_idx) <- row.(sstore_idx) + 1;
+          instructions := !instructions + 1;
+          remaining_fuel := !remaining_fuel - 1;
+          if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name;
+          (match trace with
+          | Some f -> f (Trace.Op { thread; cls = Isa.Sstore })
+          | None -> ());
+          Memory.set_f mem buf imm sf.(src);
+          emit ~nt:false ~buf ~idx:imm ~bytes:4 ~kind:Write ~chain:false;
+          incr pc
+      | Decode.Dstorei_at { buf; imm; src } ->
+          row.(sstore_idx) <- row.(sstore_idx) + 1;
+          instructions := !instructions + 1;
+          remaining_fuel := !remaining_fuel - 1;
+          if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name;
+          (match trace with
+          | Some f -> f (Trace.Op { thread; cls = Isa.Sstore })
+          | None -> ());
+          Memory.set_i mem buf imm si.(src);
+          emit ~nt:false ~buf ~idx:imm ~bytes:4 ~kind:Write ~chain:false;
+          incr pc
+      | Decode.Dgoto target ->
+          row.(branch_idx) <- row.(branch_idx) + 1;
+          instructions := !instructions + 1;
+          remaining_fuel := !remaining_fuel - 1;
+          if !remaining_fuel < 0 then Memory.trap "fuel exhausted in %s" prog.prog_name;
+          (match trace with
+          | Some f -> f (Trace.Op { thread; cls = Isa.Branch })
+          | None -> ());
+          pc := target
+      | Decode.Dphantom { cls; cls_idx; n } ->
+          (match trace with
+          | None ->
+              (* batched bookkeeping, same fuel waiver as the loop edges:
+                 a trap can only land up to n-1 ops early, with identical
+                 observable state *)
+              row.(cls_idx) <- row.(cls_idx) + n;
+              instructions := !instructions + n;
+              remaining_fuel := !remaining_fuel - n;
+              if !remaining_fuel < 0 then
+                Memory.trap "fuel exhausted in %s" prog.prog_name
+          | Some _ ->
+              (* per-op, so the Trace.Op prefix at a fuel trap is exact *)
+              for _ = 1 to n do cnt cls cls_idx 1 done);
+          incr pc
+      | Decode.Dsmuladd { t; a; b; d; x; y } ->
+          (match trace with
+          | None ->
+              row.(sfp_idx) <- row.(sfp_idx) + 2;
+              instructions := !instructions + 2;
+              remaining_fuel := !remaining_fuel - 2;
+              if !remaining_fuel < 0 then
+                Memory.trap "fuel exhausted in %s" prog.prog_name
+          | Some _ ->
+              cnt Isa.Sfp sfp_idx 1;
+              cnt Isa.Sfp sfp_idx 1);
+          sf.(t) <- sf.(a) *. sf.(b);
+          sf.(d) <- sf.(x) +. sf.(y);
+          incr pc
+      | Decode.Dvmuladd { t; a; b; d; x; y } ->
+          (match trace with
+          | None ->
+              row.(vfp_idx) <- row.(vfp_idx) + 2;
+              instructions := !instructions + 2;
+              remaining_fuel := !remaining_fuel - 2;
+              if !remaining_fuel < 0 then
+                Memory.trap "fuel exhausted in %s" prog.prog_name
+          | Some _ ->
+              cnt Isa.Vfp vfp_idx 1;
+              cnt Isa.Vfp vfp_idx 1);
+          (* the two lane loops of the replaced Vfbin pair, back to back *)
+          let dt = vf.(t) and la = vf.(a) and lb = vf.(b) in
+          for l = 0 to width - 1 do
+            dt.(l) <- la.(l) *. lb.(l)
+          done;
+          let dd = vf.(d) and lx = vf.(x) and ly = vf.(y) in
+          for l = 0 to width - 1 do
+            dd.(l) <- lx.(l) +. ly.(l)
+          done;
           incr pc
     done
   in

@@ -8,10 +8,11 @@
     execution for race-free programs; [~check_races:true] verifies that
     property at element granularity and raises {!Race} otherwise.
 
-    Two execution strategies share one instruction executor and produce
+    Three execution strategies share one instruction executor and produce
     bit-identical results: [Tree] walks the structured program (the
     reference), [Decoded] — the default — runs {!Decode}'s flat op arrays
-    with an indexed dispatch loop. *)
+    with an indexed dispatch loop, and [Optimized] additionally runs the
+    {!Optimize} pass pipeline over the decoded arrays first. *)
 
 exception Trap of string
 (** Runtime fault: out-of-bounds access, division by zero, bad lane index,
@@ -32,6 +33,11 @@ type strategy =
   | Decoded
       (** run the {!Decode}d flat form with indexed dispatch (default;
           bit-identical results, several times faster) *)
+  | Optimized of Optimize.config
+      (** decode, then run the configured {!Optimize} passes before
+          dispatch. Counts, traces, events, traps, memory and final
+          registers stay bit-identical to [Decoded]; only host wall-clock
+          changes *)
 
 (** Final architectural state of one thread: scalar int/float files and
     vector float/int/mask files (one array per register, one slot per
@@ -54,6 +60,7 @@ val run :
   ?fuel:int ->
   ?check_races:bool ->
   ?strategy:strategy ->
+  ?decoded:Decode.t ->
   ?on_states:(thread_state array -> unit) ->
   Isa.program ->
   Memory.t ->
@@ -72,6 +79,11 @@ val run :
     @param check_races track per-phase read/write sets and raise {!Race}
       on cross-thread conflicts (costly; meant for tests).
     @param strategy execution strategy (default [Decoded]).
+    @param decoded run this pre-supplied flat form instead of decoding
+      [program] (overrides [strategy]; [program] must be the one it was
+      decoded from). Meant for tests that execute hand-transformed — or
+      deliberately broken — op arrays, e.g. the optimizer's mutation
+      differentials.
     @param on_states called once after the last phase with the final
       per-thread register state (index = thread id); meant for
       differential tests. *)

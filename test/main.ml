@@ -3,6 +3,7 @@ let () =
     [ Test_util.suite;
       Test_vm.suite;
       Test_fastpath.suite;
+      Test_optimize.suite;
       Test_fuzz_cee.suite;
       Test_arch.suite;
       Test_lang.suite;

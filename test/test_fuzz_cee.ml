@@ -8,7 +8,12 @@
    deterministic) or fail with a structured [Diag.t] whose span points
    into the source. No input may escape as an unexpected exception:
    [Codegen.Compile_error] is the one documented raising edge, and even it
-   must be deterministic. *)
+   must be deterministic.
+
+   Mutants that survive to a compiled program additionally run through
+   the [Ninja_vm.Optimize] pass pipeline: the optimized op arrays must
+   behave bit-identically to the plain decoded ones (values, traps,
+   events, traces, final registers and memory) on every survivor. *)
 
 module Parser = Ninja_lang.Parser
 module Check = Ninja_lang.Check
@@ -17,6 +22,13 @@ module Diag = Ninja_lang.Diag
 module Optreport = Ninja_lang.Optreport
 module Registry = Ninja_kernels.Registry
 module Driver = Ninja_kernels.Driver
+module Isa = Ninja_vm.Isa
+module Decode = Ninja_vm.Decode
+module Optimize = Ninja_vm.Optimize
+module Verify = Ninja_vm.Verify
+module Interp = Ninja_vm.Interp
+module Memory = Ninja_vm.Memory
+module Trace = Ninja_vm.Trace
 
 (* ---- corpus: every Cee variant of every registered benchmark ---- *)
 
@@ -244,6 +256,87 @@ let run_pipeline ~flags src =
           | r -> Compiled r
           | exception Codegen.Compile_error m -> Compile_rejected m))
 
+(* ---- surviving mutants through the optimizer pass pipeline ----
+
+   A mutant that still compiles is exactly the odd-shaped input the
+   {!Ninja_vm.Optimize} pipeline never sees from the curated registry:
+   shifted constants, duplicated statements, swapped operators. Each
+   survivor's program is executed under the plain decoded executor and
+   the fully optimized one against the same deterministic buffers, and
+   everything observable — result, counts, trap message, memory events,
+   profiling trace, final registers, final memory — must match. The
+   optimized array must also stay clean under the static lint whenever
+   the unoptimized decode is. *)
+
+let opt_bindings (prog : Isa.program) =
+  (* fixed-size deterministic buffers; mutants that index past 64
+     elements trap, and the trap must be identical either way *)
+  let n = 64 in
+  Array.to_list prog.Isa.buffers
+  |> List.mapi (fun i (b : Isa.buffer_decl) ->
+         ( b.Isa.buf_name,
+           match b.Isa.elt with
+           | Isa.F32 ->
+               Memory.Fbuf
+                 (Array.init n (fun j ->
+                      float_of_int (((i + 1) * 37) + j) /. 8.))
+           | Isa.I32 -> Memory.Ibuf (Array.init n (fun j -> (i + j) mod n)) ))
+
+let copy_state (t : Interp.thread_state) =
+  {
+    Interp.si = Array.copy t.Interp.si;
+    sf = Array.copy t.Interp.sf;
+    vf = Array.map Array.copy t.Interp.vf;
+    vi = Array.map Array.copy t.Interp.vi;
+    vm = Array.map Array.copy t.Interp.vm;
+  }
+
+(* everything one strategy observed; [compare]d across strategies
+   (polymorphic compare, so NaN lanes still count as equal) *)
+let opt_observe ~strategy ~tracing (prog : Isa.program) =
+  let bufs = opt_bindings prog in
+  let mem = Memory.create prog bufs in
+  let events = ref [] in
+  let trace = ref [] in
+  let tracer =
+    if tracing then Some (fun ev -> trace := Fmt.str "%a" Trace.pp ev :: !trace)
+    else None
+  in
+  let states = ref [||] in
+  let outcome =
+    match
+      Interp.run ~n_threads:2 ~width:4 ~fuel:100_000
+        ~sink:(fun e -> events := e :: !events)
+        ?trace:tracer
+        ~on_states:(fun s -> states := Array.map copy_state s)
+        ~strategy prog mem
+    with
+    | r -> Ok (r.Interp.instructions, r.Interp.counts)
+    | exception Memory.Trap m -> Error ("trap: " ^ m)
+    | exception Invalid_argument m -> Error ("invalid: " ^ m)
+  in
+  (outcome, List.rev !events, List.rev !trace, !states, bufs)
+
+let check_optimizer_agrees name (prog : Isa.program) =
+  let d = Decode.decode prog in
+  let opt = Optimize.run ~config:Optimize.default d in
+  if Verify.check_flat d = [] && Verify.check_flat opt <> [] then
+    QCheck.Test.fail_reportf
+      "%s: optimizer broke the static lint: %a" name
+      Fmt.(list ~sep:(any "; ") Verify.pp_issue)
+      (Verify.check_flat opt);
+  List.iter
+    (fun tracing ->
+      let plain = opt_observe ~strategy:Interp.Decoded ~tracing prog in
+      let optimized =
+        opt_observe ~strategy:(Interp.Optimized Optimize.default) ~tracing prog
+      in
+      if compare plain optimized <> 0 then
+        QCheck.Test.fail_reportf
+          "%s: optimizer diverged from the decoded executor (tracing %b)" name
+          tracing)
+    [ false; true ]
+
 let mutant_arb =
   QCheck.make
     ~print:(fun seed ->
@@ -281,7 +374,11 @@ let prop_mutants_never_escape =
             if d.Diag.code <> Diag.Type_error then
               QCheck.Test.fail_reportf "%s: checker diag code %s" name
                 (Diag.code_name d.Diag.code)
-        | Compile_rejected _ | Compiled _ -> ());
+        | Compile_rejected _ -> ()
+        | Compiled r ->
+            (* the surviving mutant also goes through the full optimizer
+               pipeline: same behavior, never divergence *)
+            check_optimizer_agrees name r.Codegen.program);
         (* the opt-report replays the same analyses and must also never
            raise, and render deterministically *)
         let report () = Fmt.str "%a" Optreport.pp (Optreport.analyze_src ~name src) in
@@ -337,6 +434,18 @@ let test_mutation_mix () =
   Alcotest.(check bool) ("mutants get rejected: " ^ show) true (!syntax > 20);
   Alcotest.(check bool) ("mutants still compile: " ^ show) true (!ok > 20)
 
+let test_corpus_optimizer_agrees () =
+  (* control group for the mutant check above: every unmutated source,
+     compiled at full optimization, behaves identically with and without
+     the optimizer pipeline *)
+  Array.iter
+    (fun (name, src) ->
+      match run_pipeline ~flags:Codegen.o2_vec_par src with
+      | Compiled r -> check_optimizer_agrees name r.Codegen.program
+      | Syntax_rejected _ | Type_rejected _ | Compile_rejected _ ->
+          Alcotest.failf "%s: corpus source no longer compiles" name)
+    corpus
+
 let test_corpus_nonempty () =
   (* ten benchmarks, each with at least a naive and a ninja-adjacent
      variant; the fuzzer needs a real corpus to chew on *)
@@ -347,4 +456,6 @@ let suite =
     [ Alcotest.test_case "corpus is present" `Quick test_corpus_nonempty;
       Alcotest.test_case "mutation mix rejects and compiles" `Quick test_mutation_mix;
       Alcotest.test_case "corpus compiles deterministically" `Quick test_corpus_compiles;
+      Alcotest.test_case "optimizer agrees on the corpus" `Quick
+        test_corpus_optimizer_agrees;
       QCheck_alcotest.to_alcotest prop_mutants_never_escape ] )

@@ -247,6 +247,39 @@ let test_salt_invalidates () =
            ~machine
         <> None))
 
+let test_opt_tag_changes_key () =
+  (* the program fingerprint hashes the *unoptimized* decode, so the
+     optimizer tag component is the only thing separating entries
+     produced through the pass pipeline from plain-decoded ones *)
+  with_temp_dir (fun dir ->
+      let st = Store.open_ ~dir () in
+      let machine = Machine.westmere in
+      let b = Registry.find "BlackScholes" in
+      let prog = prog_of ~machine b "ninja" in
+      let module O = Ninja_vm.Optimize in
+      let k_plain = Store.key st ~machine ~step_name:"ninja" prog in
+      let k_opt =
+        Store.key ~opt:(O.tag O.default) st ~machine ~step_name:"ninja" prog
+      in
+      let k_fold =
+        Store.key ~opt:(O.tag { O.passes = [ O.Fold ] }) st ~machine
+          ~step_name:"ninja" prog
+      in
+      Alcotest.(check bool) "optimized key differs from plain" true
+        (k_plain <> k_opt);
+      Alcotest.(check bool) "pass list is part of the key" true
+        (k_opt <> k_fold);
+      Alcotest.(check string) "default tag is the empty (plain) tag" k_plain
+        (Store.key ~opt:(O.tag O.none) st ~machine ~step_name:"ninja" prog);
+      (* an entry written under the optimized key is invisible to the
+         plain lookup, and vice versa *)
+      Store.save st ~key:k_opt ~machine ~step_name:"ninja" ~cost_s:0.1
+        (Lazy.force westmere_report);
+      Alcotest.(check bool) "plain lookup misses the optimized entry" true
+        (Store.load st ~key:k_plain ~machine = None);
+      Alcotest.(check bool) "optimized lookup hits its own entry" true
+        (Store.load st ~key:k_opt ~machine <> None))
+
 let test_machine_param_changes_key () =
   with_temp_dir (fun dir ->
       let st = Store.open_ ~dir () in
@@ -361,6 +394,7 @@ let suite =
       QCheck_alcotest.to_alcotest prop_bit_flip;
       Alcotest.test_case "concurrent writers" `Quick test_concurrent_writers;
       Alcotest.test_case "salt bump invalidates" `Quick test_salt_invalidates;
+      Alcotest.test_case "opt tag changes key" `Quick test_opt_tag_changes_key;
       Alcotest.test_case "machine/step change key" `Quick test_machine_param_changes_key;
       Alcotest.test_case "step costs flush" `Quick test_step_costs_flush;
       Alcotest.test_case "cold then warm prefill" `Quick test_cold_then_warm_prefill;

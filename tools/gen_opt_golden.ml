@@ -1,0 +1,33 @@
+(* Regenerate test/golden_opt_report.txt: the optimizer's per-pass
+   rewrite statistics for every registered benchmark's full ladder on
+   both evaluation machines, rendered exactly as test/test_optimize.ml's
+   golden test renders them. The golden pins the pipeline's static
+   behavior: a pass that starts rewriting more (or fewer) ops — or
+   rewriting them in a different order — fails the byte comparison even
+   when the differential tests still pass, which is exactly the point:
+   rewrite counts are part of the optimizer's observable contract.
+
+   Usage: dune exec tools/gen_opt_golden.exe > test/golden_opt_report.txt *)
+
+module Driver = Ninja_kernels.Driver
+module Machine = Ninja_arch.Machine
+module Decode = Ninja_vm.Decode
+module Optimize = Ninja_vm.Optimize
+
+let render () =
+  let machines = [ Machine.westmere; Machine.knights_ferry ] in
+  Ninja_kernels.Registry.all
+  |> List.concat_map (fun (b : Driver.benchmark) ->
+         let steps = b.steps ~scale:1 in
+         machines
+         |> List.concat_map (fun (m : Machine.t) ->
+                steps
+                |> List.map (fun (s : Driver.step) ->
+                       let d = Decode.decode (s.make ~machine:m) in
+                       let _, rep = Optimize.run_report d in
+                       Fmt.str "# %s / %s / %s@.%a" b.Driver.b_name
+                         m.Machine.name s.Driver.step_name Optimize.pp_report
+                         rep)))
+  |> String.concat "\n"
+
+let () = print_string (render ())
