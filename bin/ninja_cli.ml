@@ -418,7 +418,25 @@ let analyze_cmd =
     let doc = "Benchmark name (see `list`); all benchmarks when omitted." in
     Arg.(value & pos 0 (some string) None & info [] ~doc ~docv:"BENCHMARK")
   in
-  let run bench variant =
+  let deps_arg =
+    let doc =
+      "Show the dependence engine's facts (distance/direction vectors, \
+       per-loop legality record) instead of the opt-report."
+    in
+    Arg.(value & flag & info [ "deps" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "With --deps, emit the stable ninja-deps/v1 JSON schema (one object \
+       per benchmark variant)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run bench variant deps json =
+    if json && not deps then begin
+      Fmt.epr "--json requires --deps@.";
+      exit 1
+    end;
     let benches =
       match bench with
       | Some name -> [ Ninja_kernels.Registry.find name ]
@@ -429,8 +447,18 @@ let analyze_cmd =
         List.iter
           (fun (vname, src) ->
             let name = Fmt.str "%s/%s" b.b_name vname in
-            Fmt.pr "# %s@.%a@." name Ninja_lang.Optreport.pp
-              (Ninja_lang.Optreport.analyze_src ~name src))
+            if deps then
+              let t = Ninja_lang.Deps.analyze_src ~name src in
+              if json then
+                Fmt.pr "%s@."
+                  (Ninja_report.Json.to_string ~indent:true
+                     (Ninja_report.Json.Obj
+                        [ ("variant", Ninja_report.Json.Str name);
+                          ("facts", Ninja_lang.Deps.to_json t) ]))
+              else Fmt.pr "# %s@.%a@." name Ninja_lang.Deps.pp t
+            else
+              Fmt.pr "# %s@.%a@." name Ninja_lang.Optreport.pp
+                (Ninja_lang.Optreport.analyze_src ~name src))
           (variants_of ?variant b))
       benches
   in
@@ -438,8 +466,9 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Per-loop optimization report (vectorized / parallelized / rejected, \
-          with stable reason codes and remediation hints)")
-    Term.(const run $ bench_arg $ variant_arg)
+          with stable reason codes and remediation hints); --deps exports \
+          the dependence engine's legality facts, --json as stable JSON")
+    Term.(const run $ bench_arg $ variant_arg $ deps_arg $ json_arg)
 
 (* ---- verify (static ISA lint over every registered variant) ---- *)
 

@@ -340,6 +340,53 @@ let t3 () =
   [ t ]
 
 (* ------------------------------------------------------------------ *)
+(* T6: the dependence engine's legality facts across the suite — purely *)
+(* static (zero simulations), the input a ComPar-style tuner consumes   *)
+
+let t6 () =
+  let t =
+    Table.create
+      ~title:
+        "T6. Dependence-engine legality facts per loop (distance/direction \
+         vectors; zero simulations)"
+      ~columns:
+        [ "benchmark"; "variant"; "loop"; "vec"; "par"; "interch"; "peel";
+          "blocking dependence" ]
+  in
+  let yn v = if v then "yes" else "no" in
+  List.iter
+    (fun (b : Driver.benchmark) ->
+      List.iter
+        (fun (vname, src) ->
+          let facts =
+            Ninja_lang.Deps.analyze_src ~name:(b.b_name ^ "/" ^ vname) src
+          in
+          List.iter
+            (fun (f : Ninja_lang.Deps.loop_facts) ->
+              let blocking =
+                match f.legality.blocking_dep with
+                | None -> "-"
+                | Some (a, dist, dir) ->
+                    Fmt.str "%s %s (%s)" a
+                      (match dist with
+                      | Some n -> Fmt.str "d=%d" n
+                      | None -> "d=?")
+                      (Ninja_lang.Deps.direction_name dir)
+              in
+              Table.add_row t
+                [ b.b_name; vname;
+                  String.make (2 * f.depth) ' ' ^ f.label;
+                  yn f.legality.vectorizable;
+                  yn f.legality.parallelizable;
+                  yn f.legality.interchangeable;
+                  yn f.legality.peelable;
+                  blocking ])
+            facts.loops)
+        b.b_sources)
+    suite;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
 (* F4: the bridged gap (algorithmic changes + compiler vs ninja)        *)
 
 let f4 () =
@@ -565,6 +612,8 @@ let all =
       needs = (fun () -> cross [ westmere; mic ] [ ninja ]); run = f8 };
     { id = "t4"; title = "Measured cycle attribution"; claim = "bottleneck classes as a measured output (profiler; matches T1)";
       needs = (fun () -> []); run = t4 };
+    { id = "t6"; title = "Dependence legality facts"; claim = "the legality wall, loop by loop (distance/direction vectors)";
+      needs = (fun () -> []); run = t6 };
     { id = "a1"; title = "Machine-feature ablation"; claim = "sensitivity analysis (ours)";
       needs = (fun () -> cross (List.map snd a1_variants) [ algorithmic ]); run = a1 } ]
 

@@ -25,7 +25,10 @@ let tables_of_experiment id () =
     (e.run ());
   Buffer.contents buf
 
-let generators = [ ("t3", tables_of_experiment "t3"); ("t4", tables_of_experiment "t4") ]
+let generators =
+  [ ("t3", tables_of_experiment "t3");
+    ("t4", tables_of_experiment "t4");
+    ("t6", tables_of_experiment "t6") ]
 
 let sections = List.map fst generators
 

@@ -27,12 +27,9 @@ type plan = {
   scalars : (string * scalar_class) list;
 }
 
-exception Not_vectorizable of string
-
 (* Internally every rejection is a structured diagnostic with a stable
-   reason code; the public [*_plan] entry points re-render it through
-   [Diag.label] so existing [Not_vectorizable] call sites keep working.
-   Spans are filled in at the loop level by the [_diag] wrappers. *)
+   reason code; the exception never escapes the public [_diag] entry
+   points, which also fill in the loop-level span. *)
 exception Rejected of Diag.t
 
 let fail code fmt =
@@ -110,7 +107,7 @@ let count_reads v (b : Ast.block) =
     match s with
     | Decl (_, _, init) -> Option.iter expr init
     | Assign (_, e) -> expr e
-    | Store (_, i, e) -> expr i; expr e
+    | Store (_, i, e, _) -> expr i; expr e
     | If (c, t, e) -> expr c; List.iter stmt t; List.iter stmt e
     | While (c, b) -> expr c; List.iter stmt b
     | For { init; limit; body; _ } -> expr init; expr limit; List.iter stmt body
@@ -192,7 +189,7 @@ let exposed_reads (body : Ast.block) : S.t =
     | Assign (v, e) ->
         note defined (scalar_reads e);
         S.add v defined
-    | Store (_, i, e) ->
+    | Store (_, i, e, _) ->
         note defined (scalar_reads i);
         note defined (scalar_reads e);
         defined
@@ -302,7 +299,7 @@ and collect_stmt (s : Ast.stmt) : array_access list =
   match s with
   | Decl (_, _, None) -> []
   | Decl (_, _, Some e) | Assign (_, e) -> expr e
-  | Store (a, i, e) -> ({ array = a; sub = i; is_write = true } :: expr i) @ expr e
+  | Store (a, i, e, _) -> ({ array = a; sub = i; is_write = true } :: expr i) @ expr e
   | If (c, t, e) -> expr c @ collect_accesses t @ collect_accesses e
   | While (c, b) -> expr c @ collect_accesses b
   | For { init; limit; body; _ } -> expr init @ expr limit @ collect_accesses body
@@ -446,23 +443,20 @@ let parallel_diag (loop : Ast.for_loop) : (plan, Diag.t) result =
   | exception Rejected d -> Error (Diag.with_span loop.span d)
 
 (* ------------------------------------------------------------------ *)
-(* Compatibility shims: the original raising API, with the reason code
-   folded into the message ("CODE: reason") so reports carry it.        *)
+(* Structured sub-analyses for the dependence engine (Deps): the same
+   internal machinery, exposed piecewise so legality facts can be built
+   from orthogonal verdicts instead of one combined pass/fail.          *)
 
-let classify_scalars (body : Ast.block) : (string * scalar_class) list =
+let classify_scalars_diag (body : Ast.block) :
+    ((string * scalar_class) list, Diag.t) result =
   match classify_scalars_x body with
-  | s -> s
-  | exception Rejected d -> raise (Not_vectorizable (Diag.label d))
+  | s -> Ok s
+  | exception Rejected d -> Error d
 
-let vectorize_plan ~force (loop : Ast.for_loop) : plan =
-  match vectorize_diag ~force loop with
-  | Ok p -> p
-  | Error d -> raise (Not_vectorizable (Diag.label d))
-
-let parallel_plan (loop : Ast.for_loop) : plan =
-  match parallel_diag loop with
-  | Ok p -> p
-  | Error d -> raise (Not_vectorizable (Diag.label d))
+let mechanics_diag (body : Ast.block) : (unit, Diag.t) result =
+  match check_mechanics ~in_if:false body with
+  | () -> Ok ()
+  | exception Rejected d -> Error d
 
 (* ------------------------------------------------------------------ *)
 (* Opt-report remarks and the pragma race checker                       *)

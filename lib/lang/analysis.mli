@@ -26,17 +26,28 @@ type subscript =
 type plan = { scalars : (string * scalar_class) list }
 (** Classification of every scalar assigned in the loop body. *)
 
-exception Not_vectorizable of string
-
 val red_kind_name : red_kind -> string
+(** ["sum"] / ["min"] / ["max"] — the spelling used in reports. *)
 
 (** {1 Syntactic helpers} *)
 
 val mentions : string -> Ast.expr -> bool
+(** [mentions v e] — does [e] read the scalar [v] anywhere (including
+    inside subscripts)? *)
+
 val mentions_any : S.t -> Ast.expr -> bool
+(** [mentions_any set e] — does [e] read any scalar in [set]? *)
+
 val has_index : Ast.expr -> bool
+(** Does [e] contain an array reference [a[i]] anywhere? *)
+
 val scalar_reads : Ast.expr -> S.t
+(** The scalars an expression reads (array names excluded, subscript
+    contents included). *)
+
 val assigned_in_block : Ast.block -> S.t
+(** Every scalar assigned anywhere in the block, loop indices included —
+    the [varying] set for {!classify_subscript}. *)
 
 (** {1 Classification} *)
 
@@ -48,17 +59,27 @@ val reduction_of_assign : string -> Ast.expr -> red_kind option
 (** Recognize [v = v + e] / [v = v - e] / [v = fminf(v, e)] /
     [v = fmaxf(v, e)] (commuted forms included) with [v] not in [e]. *)
 
-val classify_scalars : Ast.block -> (string * scalar_class) list
-(** Classify every assigned scalar; raises {!Not_vectorizable} for
-    unrecognized loop-carried scalar dependences. *)
+val classify_scalars_diag :
+  Ast.block -> ((string * scalar_class) list, Diag.t) result
+(** Classify every assigned scalar; unrecognized loop-carried scalar
+    dependences come back as a [SCALAR_CYCLE] diagnostic (no span — the
+    caller attaches the loop's). *)
 
 val const_difference : Ast.expr -> Ast.expr -> int option
 (** Symbolic difference of two int expressions when all non-constant terms
     cancel — the engine of the constant-distance dependence test. *)
 
+val linearize : Ast.expr -> int * (Ast.expr * int) list
+(** An int expression as [constant + sum of coefficient * opaque-term],
+    opaque terms compared structurally — the normal form behind
+    {!const_difference}, exposed for the dependence engine's multi-index
+    GCD test. *)
+
 type array_access = { array : string; sub : Ast.expr; is_write : bool }
 
 val collect_accesses : Ast.block -> array_access list
+(** Every array reference in the block, in syntactic order; stores come
+    before the reads inside their own subscript and right-hand side. *)
 
 (** {1 Legality} *)
 
@@ -76,13 +97,10 @@ val parallel_diag : Ast.for_loop -> (plan, Diag.t) result
 (** Scalar classification for a [pragma parallel] loop (privatization and
     reduction detection), with structured rejection. *)
 
-val vectorize_plan : force:bool -> Ast.for_loop -> plan
-(** Raising shim over {!vectorize_diag}; the exception message is the
-    diagnostic's {!Diag.label} (["CODE: reason"]), deterministically.
-    @raise Not_vectorizable with the reason otherwise. *)
-
-val parallel_plan : Ast.for_loop -> plan
-(** Raising shim over {!parallel_diag}. @raise Not_vectorizable *)
+val mechanics_diag : Ast.block -> (unit, Diag.t) result
+(** The mechanical vector-body requirements alone (no inner loops, no
+    declarations in conditional branches), as a structured verdict
+    ([INNER_LOOP] / [COMPLEX_CONTROL], no span). *)
 
 val access_remarks : Ast.for_loop -> Diag.t list
 (** icc-style remarks on a vectorizable loop's memory traffic: strided

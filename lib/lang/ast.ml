@@ -33,7 +33,7 @@ type pragma = Parallel | Simd
 type stmt =
   | Decl of string * ty * expr option
   | Assign of string * expr
-  | Store of string * expr * expr (* a[e1] = e2 *)
+  | Store of string * expr * expr * Diag.span (* a[e1] = e2, at its source line *)
   | If of expr * block * block
   | While of expr * block
   | For of for_loop
@@ -88,7 +88,7 @@ let rec stmt_nodes = function
   | Decl (_, _, None) -> 1
   | Decl (_, _, Some e) -> 1 + expr_nodes e
   | Assign (_, e) -> 1 + expr_nodes e
-  | Store (_, i, e) -> 1 + expr_nodes i + expr_nodes e
+  | Store (_, i, e, _) -> 1 + expr_nodes i + expr_nodes e
   | If (c, t, e) -> 1 + expr_nodes c + block_nodes t + block_nodes e
   | While (c, b) -> 1 + expr_nodes c + block_nodes b
   | For { init; limit; body; _ } ->
@@ -126,7 +126,7 @@ let rec pp_stmt indent ppf stmt =
   | Decl (v, ty, Some e) ->
       Fmt.pf ppf "%svar %s : %s = %a;@." pad v (ty_name ty) pp_expr e
   | Assign (v, e) -> Fmt.pf ppf "%s%s = %a;@." pad v pp_expr e
-  | Store (a, i, e) -> Fmt.pf ppf "%s%s[%a] = %a;@." pad a pp_expr i pp_expr e
+  | Store (a, i, e, _) -> Fmt.pf ppf "%s%s[%a] = %a;@." pad a pp_expr i pp_expr e
   | If (c, t, []) ->
       Fmt.pf ppf "%sif (%a) {@.%a%s}@." pad pp_expr c (pp_block (indent + 2)) t pad
   | If (c, t, e) ->
@@ -187,7 +187,7 @@ and fold_stmt (s : stmt) : stmt =
   match s with
   | Decl (v, ty, init) -> Decl (v, ty, Option.map fold_expr init)
   | Assign (v, e) -> Assign (v, fold_expr e)
-  | Store (a, i, e) -> Store (a, fold_expr i, fold_expr e)
+  | Store (a, i, e, sp) -> Store (a, fold_expr i, fold_expr e, sp)
   | If (c, t, e) -> If (fold_expr c, fold_block t, fold_block e)
   | While (c, b) -> While (fold_expr c, fold_block b)
   | For f -> For { f with init = fold_expr f.init; limit = fold_expr f.limit; body = fold_block f.body }
@@ -200,7 +200,8 @@ let rec erase_spans_block (b : block) : block = List.map erase_spans_stmt b
 
 and erase_spans_stmt (s : stmt) : stmt =
   match s with
-  | Decl _ | Assign _ | Store _ -> s
+  | Decl _ | Assign _ -> s
+  | Store (a, i, e, _) -> Store (a, i, e, Diag.no_span)
   | If (c, t, e) -> If (c, erase_spans_block t, erase_spans_block e)
   | While (c, b) -> While (c, erase_spans_block b)
   | For f -> For { f with body = erase_spans_block f.body; span = Diag.no_span }

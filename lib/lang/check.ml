@@ -95,7 +95,7 @@ and check_stmt env (stmt : Ast.stmt) : env =
             err "assignment to %s : %s from expression of type %s" v
               (Ast.ty_name ty) (Ast.ty_name t);
           env)
-  | Store (a, i, e) -> (
+  | Store (a, i, e, _) -> (
       match Env.find_opt a env with
       | Some ty -> (
           match Ast.elt_ty_opt ty with

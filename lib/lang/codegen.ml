@@ -847,7 +847,7 @@ let rec compile_vstmt vs (s : Ast.stmt) =
       match List.assoc_opt v vs.reductions with
       | Some (_kind, acc) -> compile_vreduction vs v acc rhs
       | None -> compile_vassign vs v rhs)
-  | Store (a, sub, rhs) -> compile_vstore vs ~array:a ~sub ~rhs
+  | Store (a, sub, rhs, _) -> compile_vstore vs ~array:a ~sub ~rhs
   | If (c, t, e) ->
       let mc = vexpr_m vc c in
       let m_then = combine_mask vs mc in
@@ -1063,7 +1063,7 @@ and compile_stmt ctx env (s : Ast.stmt) : env =
           instr ctx (Fmov (r, re))
       | Barray _ -> cerr "cannot assign to array %s" v);
       env)
-  | Store (a, sub, e) ->
+  | Store (a, sub, e, _) ->
       let buf, aty = lookup_array env a in
       let idx = expr_i ctx env sub in
       (match Ast.elt_ty_opt aty with
@@ -1129,11 +1129,12 @@ and compile_for_unregioned ctx env (loop : Ast.for_loop) : unit =
       compile_scalar_for ctx env loop
     end
     else
-    match Analysis.vectorize_plan ~force loop with
-    | plan ->
+    match Analysis.vectorize_diag ~force loop with
+    | Ok plan ->
         ctx.report <- (label, Vectorized) :: ctx.report;
         compile_vector_loop ctx env loop plan
-    | exception Analysis.Not_vectorizable reason ->
+    | Error d ->
+        let reason = Diag.label d in
         if force then
           cerr "pragma simd on loop %s cannot be honored: %s" label reason;
         ctx.report <- (label, Scalar reason) :: ctx.report;
@@ -1298,9 +1299,11 @@ let reload_all ctx =
 
 let compile_parallel_loop ctx env phases (loop : Ast.for_loop) : unit =
   let plan =
-    try Analysis.parallel_plan loop
-    with Analysis.Not_vectorizable reason ->
-      cerr "pragma parallel on loop %s cannot be honored: %s" (loop_label loop) reason
+    match Analysis.parallel_diag loop with
+    | Ok p -> p
+    | Error d ->
+        cerr "pragma parallel on loop %s cannot be honored: %s" (loop_label loop)
+          (Diag.label d)
   in
   (* close the current sequential phase, spilling live scalars *)
   spill_all ctx;

@@ -1,0 +1,690 @@
+(* Whole-nest dependence analysis over Cee loop nests: distance/direction
+   vectors per array-access pair (GCD and Banerjee-style bounds tests over
+   affine subscripts, with {!Analysis.classify_subscript} /
+   {!Analysis.const_difference} as the base case), a conservative may-alias
+   layer for driver-bound array parameters, scalar dependence classes
+   lifted from the existing plan, and per-loop legality facts derived from
+   the vectors. Everything is total: a parser-accepted kernel always gets
+   a verdict or a structured diagnostic, never an exception. *)
+
+type direction = Dlt | Deq | Dgt | Dany
+
+let direction_name = function
+  | Dlt -> "<"
+  | Deq -> "="
+  | Dgt -> ">"
+  | Dany -> "*"
+
+type dep_kind = Flow | Anti | Output
+
+let dep_kind_name = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+
+type dep = {
+  kind : dep_kind;
+  array : string;
+  other_array : string;
+  distance : int option;
+  direction : direction;
+  carried : bool;
+  aliased : bool;
+  src_span : Diag.span;
+  dst_span : Diag.span;
+}
+
+type legality = {
+  vectorizable : bool;
+  parallelizable : bool;
+  interchangeable : bool;
+  peelable : bool;
+  blocking_dep : (string * int option * direction) option;
+}
+
+type loop_facts = {
+  label : string;
+  span : Diag.span;
+  depth : int;
+  index : string;
+  step : int;
+  deps : dep list;
+  scalars : (string * Analysis.scalar_class) list;
+  scalar_diag : Diag.t option;
+  mech_diag : Diag.t option;
+  notes : Diag.t list;
+  legality : legality;
+}
+
+type t = {
+  kernel_name : string;
+  errors : Diag.t list;
+  loops : loop_facts list;
+}
+
+(* Same rendering as Codegen.loop_label / Optreport.loop_label so facts
+   line up with vec-reports and opt-reports. *)
+let loop_label (loop : Ast.for_loop) =
+  Fmt.str "for(%s=%a;%s<%a)" loop.index Ast.pp_expr loop.init loop.index
+    Ast.pp_expr loop.limit
+
+(* ------------------------------------------------------------------ *)
+(* Access collection, with the enclosing statement's span              *)
+
+type access = {
+  a_array : string;
+  a_sub : Ast.expr;
+  a_write : bool;
+  a_span : Diag.span;
+}
+
+let rec accesses_of_expr sp (e : Ast.expr) : access list =
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> []
+  | Index (a, i) ->
+      { a_array = a; a_sub = i; a_write = false; a_span = sp }
+      :: accesses_of_expr sp i
+  | Bin (_, x, y) -> accesses_of_expr sp x @ accesses_of_expr sp y
+  | Un (_, x) -> accesses_of_expr sp x
+  | Call (_, args) -> List.concat_map (accesses_of_expr sp) args
+
+let rec accesses_of_block (b : Ast.block) : access list =
+  List.concat_map accesses_of_stmt b
+
+and accesses_of_stmt (s : Ast.stmt) : access list =
+  match s with
+  | Decl (_, _, None) -> []
+  | Decl (_, _, Some e) | Assign (_, e) -> accesses_of_expr Diag.no_span e
+  | Store (a, i, e, sp) ->
+      ({ a_array = a; a_sub = i; a_write = true; a_span = sp }
+       :: accesses_of_expr sp i)
+      @ accesses_of_expr sp e
+  | If (c, t, e) ->
+      accesses_of_expr Diag.no_span c @ accesses_of_block t @ accesses_of_block e
+  | While (c, b) -> accesses_of_expr Diag.no_span c @ accesses_of_block b
+  | For { init; limit; body; _ } ->
+      accesses_of_expr Diag.no_span init
+      @ accesses_of_expr Diag.no_span limit
+      @ accesses_of_block body
+
+(* ------------------------------------------------------------------ *)
+(* The pair test                                                       *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* deterministic order: by source position of the write, then content *)
+let dep_rank_kind = function Flow -> 0 | Anti -> 1 | Output -> 2
+let dep_rank_dir = function Dlt -> 0 | Deq -> 1 | Dgt -> 2 | Dany -> 3
+
+let dep_compare (a : dep) (b : dep) =
+  Stdlib.compare
+    ( (a.src_span.first_line, a.src_span.last_line),
+      a.array, a.other_array, dep_rank_kind a.kind, a.distance,
+      dep_rank_dir a.direction, a.aliased,
+      (a.dst_span.first_line, a.dst_span.last_line) )
+    ( (b.src_span.first_line, b.src_span.last_line),
+      b.array, b.other_array, dep_rank_kind b.kind, b.distance,
+      dep_rank_dir b.direction, b.aliased,
+      (b.dst_span.first_line, b.dst_span.last_line) )
+
+(* Loop bounds when both are integer literals (after constant folding):
+   the Banerjee window for unequal-stride pairs. *)
+let const_bounds (loop : Ast.for_loop) =
+  match (loop.init, loop.limit) with
+  | Ast.Int_lit lo, Ast.Int_lit hi when lo < hi -> Some (lo, hi - 1)
+  | _ -> None
+
+(* Classified subscript: [`Aff (k, b)] means [k * i + b] with [b]
+   loop-invariant ([k = 0] for invariant addresses, where [b] is the whole
+   subscript expression); [`Complex] proves nothing. *)
+let norm ~loop_var ~varying (sub : Ast.expr) =
+  match Analysis.classify_subscript ~loop_var ~varying sub with
+  | Analysis.Sub_invariant -> `Aff (0, sub)
+  | Analysis.Sub_affine (k, b) -> `Aff (k, b)
+  | Analysis.Sub_complex -> `Complex
+
+let mk_dep ~(w : access) ~(o : access) ~distance ~direction ~carried ~aliased =
+  let kind =
+    if o.a_write then Output
+    else
+      match distance with
+      | Some d when d < 0 -> Anti
+      | _ -> Flow (* a true or may-dependence *)
+  in
+  {
+    kind;
+    array = w.a_array;
+    other_array = o.a_array;
+    distance;
+    direction;
+    carried;
+    aliased;
+    src_span = w.a_span;
+    dst_span = o.a_span;
+  }
+
+(* Dependence between write [w] at iteration [i1] and access [o] at
+   iteration [i2] of the same (or aliased) array; distance is [i2 - i1].
+   [None] means the pair is proven independent. *)
+let pair_dep ~bounds ~loop_var ~varying (w : access) (o : access) : dep option =
+  let some = Option.some in
+  let dep = mk_dep ~w ~o in
+  match (norm ~loop_var ~varying w.a_sub, norm ~loop_var ~varying o.a_sub) with
+  | `Complex, _ | _, `Complex ->
+      some (dep ~distance:None ~direction:Dany ~carried:true ~aliased:false)
+  | `Aff (0, b1), `Aff (0, b2) -> (
+      (* two loop-invariant addresses: all iteration pairs or none *)
+      match Analysis.const_difference b1 b2 with
+      | Some 0 -> some (dep ~distance:None ~direction:Dany ~carried:true ~aliased:false)
+      | Some _ -> None
+      | None -> some (dep ~distance:None ~direction:Dany ~carried:true ~aliased:false))
+  | `Aff (k1, b1), `Aff (k2, b2) when k1 = k2 -> (
+      (* equal strides: the exact constant-distance test (no trip-count
+         pruning, so every conflict the legacy race checker proves is a
+         dependence here too) *)
+      match Analysis.const_difference b1 b2 with
+      | None -> some (dep ~distance:None ~direction:Dany ~carried:true ~aliased:false)
+      | Some c ->
+          if c mod k1 <> 0 then None
+          else
+            let d = c / k1 in
+            if d = 0 then
+              if o.a_write && not (o.a_sub = w.a_sub) then
+                (* two syntactically different stores to the same element in
+                   the same iteration: order-sensitive under vector masks *)
+                some (dep ~distance:(Some 0) ~direction:Deq ~carried:false
+                        ~aliased:false)
+              else None (* same-iteration, same-statement shape: benign *)
+            else
+              some
+                (dep ~distance:(Some d)
+                   ~direction:(if d > 0 then Dlt else Dgt)
+                   ~carried:true ~aliased:false))
+  | `Aff (k1, b1), `Aff (k2, b2) -> (
+      (* unequal strides: GCD test, then a Banerjee-style bounds test when
+         the loop bounds are compile-time constants *)
+      let g = gcd k1 k2 in
+      match Analysis.const_difference b2 b1 with
+      | Some c when g <> 0 && c mod g <> 0 -> None
+      | Some c -> (
+          match bounds with
+          | Some (lo, hi) ->
+              (* range of k1*i1 - k2*i2 over [lo, hi]^2 *)
+              let mn = min (k1 * lo) (k1 * hi) - max (k2 * lo) (k2 * hi) in
+              let mx = max (k1 * lo) (k1 * hi) - min (k2 * lo) (k2 * hi) in
+              if c < mn || c > mx then None
+              else
+                some (dep ~distance:None ~direction:Dany ~carried:true
+                        ~aliased:false)
+          | None ->
+              some (dep ~distance:None ~direction:Dany ~carried:true
+                      ~aliased:false))
+      | None ->
+          some (dep ~distance:None ~direction:Dany ~carried:true ~aliased:false))
+
+(* All dependences of one loop level. [noalias] is the driver's calling
+   convention made into an assertion: distinct array parameters are bound
+   to disjoint buffers. With [noalias = false] every cross-array pair
+   involving a write becomes a conservative may-dependence. *)
+let collect_deps ~noalias (loop : Ast.for_loop) : dep list =
+  let varying = Analysis.assigned_in_block loop.body in
+  let loop_var = loop.index in
+  let bounds = const_bounds loop in
+  let accesses = Array.of_list (accesses_of_block loop.body) in
+  let out = ref [] in
+  let add d = out := d :: !out in
+  Array.iteri
+    (fun iw (w : access) ->
+      if w.a_write then begin
+        (* self-conflicts: an address that does not advance with the loop
+           (or cannot be analyzed) may collide with itself *)
+        (match norm ~loop_var ~varying w.a_sub with
+        | `Aff (0, _) ->
+            add
+              (mk_dep ~w ~o:w ~distance:None ~direction:Dany ~carried:true
+                 ~aliased:false)
+        | `Complex ->
+            add
+              (mk_dep ~w ~o:w ~distance:None ~direction:Dany ~carried:true
+                 ~aliased:false)
+        | `Aff _ -> ());
+        Array.iteri
+          (fun io (o : access) ->
+            if io <> iw then
+              if o.a_array = w.a_array then begin
+                (* write-write pairs are symmetric: test each once *)
+                if (not o.a_write) || io > iw then
+                  match pair_dep ~bounds ~loop_var ~varying w o with
+                  | Some d -> add d
+                  | None -> ()
+              end
+              else if not noalias then
+                (* may-alias: unknown relative offset, so any overlap is
+                   possible in either direction *)
+                add
+                  (mk_dep ~w ~o ~distance:None ~direction:Dany ~carried:true
+                     ~aliased:true))
+          accesses
+      end)
+    accesses;
+  List.sort_uniq dep_compare !out
+
+(* ------------------------------------------------------------------ *)
+(* Interchange legality (perfect 2-deep nests)                         *)
+
+(* Per-loop-variable integer coefficients of a subscript, via
+   {!Analysis.linearize}: [Some (coeffs, rest)] when every term either is
+   a loop variable with an integer coefficient or mentions neither a loop
+   variable nor a body-assigned scalar. *)
+let multi_affine ~vars ~varying (sub : Ast.expr) =
+  let c, terms = Analysis.linearize sub in
+  let coeffs = List.map (fun v -> (v, 0)) vars in
+  let rec go coeffs rest = function
+    | [] -> Some (coeffs, (c, rest))
+    | (Ast.Var v, k) :: tl when List.mem_assoc v coeffs ->
+        go ((v, List.assoc v coeffs + k) :: List.remove_assoc v coeffs) rest tl
+    | (e, k) :: tl ->
+        if
+          List.exists (fun v -> Analysis.mentions v e) vars
+          || Analysis.mentions_any varying e
+          || Analysis.has_index e
+        then None
+        else go coeffs ((e, k) :: rest) tl
+  in
+  go coeffs [] terms
+
+(* The canonical row-major shape [outer * limit + inner (+ const)] with the
+   inner loop running over [0, limit): injective in (outer, inner), so an
+   address function equal to it collides only with itself at the same
+   iteration pair. *)
+let row_major_injective ~(outer : Ast.for_loop) ~(inner : Ast.for_loop) sub =
+  inner.init = Ast.Int_lit 0
+  &&
+  let canonical =
+    Ast.Bin (Add, Bin (Mul, Var outer.index, inner.limit), Var inner.index)
+  in
+  match Analysis.const_difference sub canonical with
+  | Some _ -> true
+  | None -> false
+
+let interchange_ok ~noalias (loop : Ast.for_loop) =
+  match loop.body with
+  | [ Ast.For inner ] -> (
+      match Analysis.classify_scalars_diag inner.body with
+      | Error _ -> false
+      | Ok _ -> (
+          let vars = [ loop.index; inner.index ] in
+          let varying =
+            Analysis.S.remove inner.index
+              (Analysis.assigned_in_block inner.body)
+          in
+          let accesses = Array.of_list (accesses_of_block inner.body) in
+          let injective sub = row_major_injective ~outer:loop ~inner sub in
+          (* GCD over both index variables at once: the pair can only meet
+             if the gcd of all four coefficients divides the constant
+             difference of the bases *)
+          let pair_independent (w : access) (o : access) =
+            match
+              ( multi_affine ~vars ~varying w.a_sub,
+                multi_affine ~vars ~varying o.a_sub )
+            with
+            | Some (c1, r1), Some (c2, r2) -> (
+                let ks =
+                  List.map (fun v -> List.assoc v c1) vars
+                  @ List.map (fun v -> List.assoc v c2) vars
+                in
+                let g = List.fold_left gcd 0 ks in
+                (* constant difference of the non-index parts: the opaque
+                   terms must cancel symbolically *)
+                let expr_of (c, ts) =
+                  List.fold_left
+                    (fun acc (e, k) ->
+                      Ast.Bin (Add, acc, Bin (Mul, Int_lit k, e)))
+                    (Ast.Int_lit c) ts
+                in
+                let base_diff =
+                  Analysis.const_difference (expr_of r1) (expr_of r2)
+                in
+                match base_diff with
+                | Some c when g <> 0 && c mod g <> 0 -> true
+                | Some 0 when c1 = c2 ->
+                    (* identical address function: same-iteration conflicts
+                       only, provided it is injective over the nest *)
+                    injective w.a_sub
+                | _ -> false)
+            | _ -> false
+          in
+          let ok = ref true in
+          Array.iteri
+            (fun iw (w : access) ->
+              if w.a_write && !ok then
+                Array.iteri
+                  (fun io (o : access) ->
+                    if !ok then
+                      if io = iw then begin
+                        if not (injective w.a_sub) then ok := false
+                      end
+                      else if o.a_array = w.a_array then begin
+                        if ((not o.a_write) || io > iw)
+                           && not (pair_independent w o)
+                        then ok := false
+                      end
+                      else if not noalias then ok := false)
+                  accesses)
+            accesses;
+          !ok))
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Legality facts                                                      *)
+
+let blocks_vectorization (d : dep) =
+  d.carried || (d.kind = Output && d.distance = Some 0)
+
+let legality_of ~step_ok ~mech_ok ~scalars_ok ~interchangeable (deps : dep list)
+    : legality =
+  let blocking = List.filter blocks_vectorization deps in
+  let carried = List.filter (fun d -> d.carried) deps in
+  {
+    vectorizable = step_ok && mech_ok && scalars_ok && blocking = [];
+    parallelizable = scalars_ok && carried = [];
+    interchangeable;
+    peelable = scalars_ok && List.for_all (fun d -> d.distance <> None) deps;
+    blocking_dep =
+      (match blocking with
+      | [] -> None
+      | d :: _ -> Some (d.array, d.distance, d.direction));
+  }
+
+let analyze_loop ?(noalias = true) ?(depth = 0) (loop : Ast.for_loop) :
+    loop_facts =
+  let loop =
+    match Ast.fold_stmt (Ast.For loop) with
+    | Ast.For l -> l
+    | _ -> loop (* fold_stmt preserves constructors *)
+  in
+  let scalars, scalar_diag =
+    match Analysis.classify_scalars_diag loop.body with
+    | Ok s -> (List.sort compare s, None)
+    | Error d -> ([], Some (Diag.with_span loop.span d))
+  in
+  let mech_diag =
+    match Analysis.mechanics_diag loop.body with
+    | Ok () -> None
+    | Error d -> Some (Diag.with_span loop.span d)
+  in
+  let deps_noalias = collect_deps ~noalias:true loop in
+  let deps_mayalias = collect_deps ~noalias:false loop in
+  let deps = if noalias then deps_noalias else deps_mayalias in
+  let step_ok = loop.step = 1 in
+  let scalars_ok = scalar_diag = None in
+  let mech_ok = mech_diag = None in
+  let leg_of d ~inter = legality_of ~step_ok ~mech_ok ~scalars_ok ~interchangeable:inter d in
+  let legality = leg_of deps ~inter:(interchange_ok ~noalias loop) in
+  let notes =
+    (* the restrict-style assertion, surfaced when it is load-bearing: the
+       fact holds only because distinct parameters are assumed disjoint *)
+    let with_alias = leg_of deps_mayalias ~inter:(interchange_ok ~noalias:false loop) in
+    let without = leg_of deps_noalias ~inter:(interchange_ok ~noalias:true loop) in
+    if
+      (without.vectorizable && not with_alias.vectorizable)
+      || (without.parallelizable && not with_alias.parallelizable)
+    then
+      let arrays =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (d : dep) ->
+               if d.aliased then [ d.array; d.other_array ] else [])
+             deps_mayalias)
+      in
+      [ Diag.v ~span:loop.span Diag.Remark Diag.May_alias
+          "legality assumes %s are bound to disjoint buffers (the driver's \
+           calling convention)"
+          (String.concat ", " arrays) ]
+    else []
+  in
+  {
+    label = loop_label loop;
+    span = loop.span;
+    depth;
+    index = loop.index;
+    step = loop.step;
+    deps;
+    scalars;
+    scalar_diag;
+    mech_diag;
+    notes;
+    legality;
+  }
+
+let relegalize (f : loop_facts) ~(deps : dep list) : loop_facts =
+  let legality =
+    legality_of ~step_ok:(f.step = 1) ~mech_ok:(f.mech_diag = None)
+      ~scalars_ok:(f.scalar_diag = None)
+      ~interchangeable:f.legality.interchangeable deps
+  in
+  { f with deps; legality }
+
+let iteration_independent (f : loop_facts) =
+  f.legality.parallelizable
+  && List.for_all
+       (fun (_, c) ->
+         match (c : Analysis.scalar_class) with
+         | Analysis.Reduction _ -> false
+         | Analysis.Invariant | Analysis.Private -> true)
+       f.scalars
+
+(* ------------------------------------------------------------------ *)
+(* Whole-kernel analysis                                               *)
+
+let rec walk_block ~noalias ~depth acc (b : Ast.block) =
+  List.fold_left (fun acc s -> walk_stmt ~noalias ~depth acc s) acc b
+
+and walk_stmt ~noalias ~depth acc (s : Ast.stmt) =
+  match s with
+  | Decl _ | Assign _ | Store _ -> acc
+  | If (_, t, e) ->
+      walk_block ~noalias ~depth (walk_block ~noalias ~depth acc t) e
+  | While (_, b) -> walk_block ~noalias ~depth acc b
+  | For loop ->
+      let acc = analyze_loop ~noalias ~depth loop :: acc in
+      walk_block ~noalias ~depth:(depth + 1) acc loop.body
+
+let analyze ?(noalias = true) (k : Ast.kernel) : t =
+  match Check.check_kernel_diag k with
+  | Error d -> { kernel_name = k.kname; errors = [ d ]; loops = [] }
+  | Ok () ->
+      let body = Ast.fold_block k.body in
+      { kernel_name = k.kname;
+        errors = [];
+        loops = List.rev (walk_block ~noalias ~depth:0 [] body) }
+
+let analyze_src ?(noalias = true) ?(name = "<input>") src : t =
+  match Parser.parse_kernel_diag src with
+  | Ok k -> analyze ~noalias k
+  | Error d -> { kernel_name = name; errors = [ d ]; loops = [] }
+
+(* ------------------------------------------------------------------ *)
+(* The dependence-based race detector                                  *)
+
+(* Provable conflicts only: an asserted-independent loop is reported when
+   the engine can exhibit the colliding iterations, never on a mere
+   may-dependence — so the paper's legitimate asserted scatters stay
+   quiet. By construction this flags everything the legacy syntactic
+   checker ({!Analysis.race_diags}) flags: its two proofs (loop-invariant
+   store address; equal-stride constant distance) are exactly the
+   invariant-write self-dependence and the [distance = Some d <> 0]
+   vectors here, and the equal-stride test applies no trip-count pruning. *)
+let race_diags (loop : Ast.for_loop) : Diag.t list =
+  let facts = analyze_loop ~noalias:true loop in
+  let span_of (d : dep) =
+    if d.src_span = Diag.no_span then loop.span else d.src_span
+  in
+  let out =
+    List.filter_map
+      (fun (d : dep) ->
+        match d.distance with
+        | Some n when n <> 0 ->
+            Some
+              (Diag.v ~span:(span_of d) Diag.Warning Diag.Race
+                 "asserted-independent loop carries a dependence on %s: \
+                  iterations %d apart touch the same element"
+                 d.array (abs n))
+        | _ -> None)
+      facts.deps
+  in
+  (* loop-invariant store addresses, straight from the access list (the
+     legacy checker's first proof) *)
+  let varying = Analysis.assigned_in_block loop.body in
+  let invariant_writes =
+    List.filter_map
+      (fun (a : access) ->
+        if not a.a_write then None
+        else
+          match Analysis.classify_subscript ~loop_var:loop.index ~varying a.a_sub with
+          | Analysis.Sub_invariant | Analysis.Sub_affine (0, _) ->
+              Some
+                (Diag.v
+                   ~span:(if a.a_span = Diag.no_span then loop.span else a.a_span)
+                   Diag.Warning Diag.Race
+                   "asserted-independent loop stores to %s at a loop-invariant \
+                    address: every iteration writes the same element"
+                   a.a_array)
+          | _ -> None)
+      (accesses_of_block loop.body)
+  in
+  let all = invariant_writes @ out in
+  let dedup =
+    List.fold_left
+      (fun acc d ->
+        if List.exists (fun d' -> Diag.compare d d' = 0) acc then acc
+        else d :: acc)
+      [] all
+  in
+  List.sort Diag.compare dedup
+
+(* ------------------------------------------------------------------ *)
+(* Stable JSON export (schema "ninja-deps/v1")                         *)
+
+module Json = Ninja_report.Json
+
+let json_of_span (s : Diag.span) =
+  if s = Diag.no_span then Json.Null
+  else
+    Json.Obj
+      [ ("first_line", Json.Num (float_of_int s.first_line));
+        ("last_line", Json.Num (float_of_int s.last_line)) ]
+
+let json_of_diag (d : Diag.t) =
+  Json.Obj
+    [ ("code", Json.Str (Diag.code_name d.Diag.code));
+      ("severity", Json.Str (Diag.severity_name d.Diag.severity));
+      ("span", json_of_span d.Diag.span);
+      ("message", Json.Str d.Diag.message) ]
+
+let json_of_dep (d : dep) =
+  Json.Obj
+    [ ("kind", Json.Str (dep_kind_name d.kind));
+      ("array", Json.Str d.array);
+      ("other_array", Json.Str d.other_array);
+      ( "distance",
+        match d.distance with
+        | None -> Json.Null
+        | Some n -> Json.Num (float_of_int n) );
+      ("direction", Json.Str (direction_name d.direction));
+      ("carried", Json.Bool d.carried);
+      ("aliased", Json.Bool d.aliased);
+      ("src", json_of_span d.src_span);
+      ("dst", json_of_span d.dst_span) ]
+
+let json_of_legality (l : legality) =
+  Json.Obj
+    [ ("vectorizable", Json.Bool l.vectorizable);
+      ("parallelizable", Json.Bool l.parallelizable);
+      ("interchangeable", Json.Bool l.interchangeable);
+      ("peelable", Json.Bool l.peelable);
+      ( "blocking_dep",
+        match l.blocking_dep with
+        | None -> Json.Null
+        | Some (a, dist, dir) ->
+            Json.Obj
+              [ ("array", Json.Str a);
+                ( "distance",
+                  match dist with
+                  | None -> Json.Null
+                  | Some n -> Json.Num (float_of_int n) );
+                ("direction", Json.Str (direction_name dir)) ] ) ]
+
+let json_of_loop (f : loop_facts) =
+  Json.Obj
+    [ ("label", Json.Str f.label);
+      ("span", json_of_span f.span);
+      ("depth", Json.Num (float_of_int f.depth));
+      ("index", Json.Str f.index);
+      ("step", Json.Num (float_of_int f.step));
+      ( "scalars",
+        Json.List
+          (List.map
+             (fun (n, c) ->
+               Json.Obj
+                 [ ("name", Json.Str n);
+                   ( "class",
+                     Json.Str
+                       (match (c : Analysis.scalar_class) with
+                       | Analysis.Invariant -> "invariant"
+                       | Analysis.Private -> "private"
+                       | Analysis.Reduction k ->
+                           "reduction:" ^ Analysis.red_kind_name k) ) ])
+             f.scalars) );
+      ( "scalar_diag",
+        match f.scalar_diag with None -> Json.Null | Some d -> json_of_diag d );
+      ( "mech_diag",
+        match f.mech_diag with None -> Json.Null | Some d -> json_of_diag d );
+      ("deps", Json.List (List.map json_of_dep f.deps));
+      ("notes", Json.List (List.map json_of_diag f.notes));
+      ("legality", json_of_legality f.legality);
+      ("iteration_independent", Json.Bool (iteration_independent f)) ]
+
+let to_json (t : t) =
+  Json.Obj
+    [ ("schema", Json.Str "ninja-deps/v1");
+      ("kernel", Json.Str t.kernel_name);
+      ("errors", Json.List (List.map json_of_diag t.errors));
+      ("loops", Json.List (List.map json_of_loop t.loops)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Plain-text rendering (ninja_cli analyze --deps)                     *)
+
+let pp_dep ppf (d : dep) =
+  Fmt.pf ppf "%s %s" (dep_kind_name d.kind) d.array;
+  if d.other_array <> d.array then Fmt.pf ppf "->%s" d.other_array;
+  (match d.distance with
+  | Some n -> Fmt.pf ppf " distance %d" n
+  | None -> Fmt.pf ppf " distance ?");
+  Fmt.pf ppf " (%s)" (direction_name d.direction);
+  if d.aliased then Fmt.pf ppf " [aliased]";
+  if d.src_span <> Diag.no_span then Fmt.pf ppf " at %a" Diag.pp_span d.src_span
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "dependence facts for kernel %s@." t.kernel_name;
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Diag.pp d) t.errors;
+  if t.loops = [] && t.errors = [] then Fmt.pf ppf "  (no loops)@.";
+  List.iter
+    (fun (f : loop_facts) ->
+      let pad = String.make (2 + (2 * f.depth)) ' ' in
+      if f.span = Diag.no_span then Fmt.pf ppf "%sLOOP %s:@." pad f.label
+      else Fmt.pf ppf "%sLOOP %s at %a:@." pad f.label Diag.pp_span f.span;
+      Fmt.pf ppf "%s  vectorizable=%b parallelizable=%b interchangeable=%b \
+                  peelable=%b independent=%b@."
+        pad f.legality.vectorizable f.legality.parallelizable
+        f.legality.interchangeable f.legality.peelable
+        (iteration_independent f);
+      (match f.legality.blocking_dep with
+      | None -> ()
+      | Some (a, dist, dir) ->
+          Fmt.pf ppf "%s  blocking dependence: %s %s (%s)@." pad a
+            (match dist with Some n -> Fmt.str "distance %d" n | None -> "distance ?")
+            (direction_name dir));
+      List.iter (fun d -> Fmt.pf ppf "%s  dep: %a@." pad pp_dep d) f.deps;
+      List.iter (fun d -> Fmt.pf ppf "%s  %a@." pad Diag.pp d) f.notes)
+    t.loops

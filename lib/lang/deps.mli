@@ -1,0 +1,126 @@
+(** Whole-nest loop dependence analysis with distance/direction vectors,
+    an alias-aware may-dependence layer, and exported legality facts.
+
+    The engine runs GCD and Banerjee-style bounds tests over affine
+    subscripts (built on {!Analysis.classify_subscript} and
+    {!Analysis.const_difference}), lifts scalar dependence classes from
+    the existing plan, and derives per-loop legality facts — the precise
+    version of the single-loop constant-distance test the code generator
+    uses. Facts are exported as a stable JSON schema (["ninja-deps/v1"])
+    for external tuners. The analysis is total: every parser-accepted
+    kernel gets a verdict or a structured {!Diag.t}, never an exception.
+
+    By default the engine assumes the driver's calling convention: distinct
+    array parameters are bound to disjoint buffers ([noalias]). Passing
+    [~noalias:false] turns every cross-array pair involving a write into a
+    conservative may-dependence; when the disjointness assertion is
+    load-bearing for a verdict, the loop carries a [MAY_ALIAS] note. *)
+
+(** Dependence direction in iteration space, from the write's iteration to
+    the other access's: [Dlt] means the write's iteration is earlier. *)
+type direction = Dlt | Deq | Dgt | Dany
+
+val direction_name : direction -> string
+(** ["<"], ["="], [">"], ["*"] — the textbook direction-vector glyphs. *)
+
+(** Dependence classes: flow (read-after-write), anti (write-after-read),
+    output (write-after-write). *)
+type dep_kind = Flow | Anti | Output
+
+val dep_kind_name : dep_kind -> string
+(** ["flow"] / ["anti"] / ["output"] — the stable JSON spelling. *)
+
+type dep = {
+  kind : dep_kind;
+  array : string;  (** the written array *)
+  other_array : string;  (** differs from [array] only for aliased pairs *)
+  distance : int option;
+      (** other-iteration minus write-iteration when provably constant *)
+  direction : direction;
+  carried : bool;  (** crosses iterations ([distance <> Some 0]) *)
+  aliased : bool;  (** exists only under the may-alias assumption *)
+  src_span : Diag.span;  (** the store statement *)
+  dst_span : Diag.span;  (** the other access's statement, when known *)
+}
+
+type legality = {
+  vectorizable : bool;
+  parallelizable : bool;
+  interchangeable : bool;  (** perfect 2-deep nests only; conservative *)
+  peelable : bool;  (** every dependence has a known constant distance *)
+  blocking_dep : (string * int option * direction) option;
+      (** the first dependence that kills vectorization, when any *)
+}
+
+type loop_facts = {
+  label : string;  (** [for(i=lo;i<hi)] — matches vec-report labels *)
+  span : Diag.span;
+  depth : int;  (** 0 for top-level loops, +1 per enclosing loop *)
+  index : string;
+  step : int;
+  deps : dep list;  (** deduplicated, deterministically ordered *)
+  scalars : (string * Analysis.scalar_class) list;
+  scalar_diag : Diag.t option;  (** [SCALAR_CYCLE] when scalars fail *)
+  mech_diag : Diag.t option;  (** [INNER_LOOP]/[COMPLEX_CONTROL] if any *)
+  notes : Diag.t list;  (** [MAY_ALIAS] when the assertion is load-bearing *)
+  legality : legality;
+}
+
+type t = {
+  kernel_name : string;
+  errors : Diag.t list;  (** kernel-level parse/type errors (then no loops) *)
+  loops : loop_facts list;  (** source order, nested loops after parent *)
+}
+
+val analyze : ?noalias:bool -> Ast.kernel -> t
+(** Analyze every loop of a parsed kernel ([noalias] defaults to [true]).
+    Never raises: type errors land in [errors]. *)
+
+val analyze_src : ?noalias:bool -> ?name:string -> string -> t
+(** Parse and analyze; syntax errors land in [errors] with [name]
+    (default ["<input>"]) as the kernel name. *)
+
+val analyze_loop : ?noalias:bool -> ?depth:int -> Ast.for_loop -> loop_facts
+(** Facts for one loop level (constant folding applied first). *)
+
+val iteration_independent : loop_facts -> bool
+(** The permutation-oracle contract: [true] only when executing the loop's
+    iterations in any order — in particular reversed — must produce
+    bit-identical results. Requires [parallelizable] and no floating-point
+    reductions (reassociation is not bit-stable). *)
+
+val relegalize : loop_facts -> deps:dep list -> loop_facts
+(** Recompute the legality record from a substituted dependence list,
+    keeping every other fact — the hook the mutation tests use to seed
+    engine bugs (dropped alias deps, dropped anti deps, ...). *)
+
+val legality_of :
+  step_ok:bool ->
+  mech_ok:bool ->
+  scalars_ok:bool ->
+  interchangeable:bool ->
+  dep list ->
+  legality
+(** The pure legality derivation from a dependence list and the orthogonal
+    per-loop verdicts; exposed for differential tests. *)
+
+val race_diags : Ast.for_loop -> Diag.t list
+(** The dependence-based race detector: *provable* cross-iteration
+    conflicts in an asserted-independent loop as [RACE] warnings, located
+    at the offending store. Subsumes the legacy syntactic checker
+    ({!Analysis.race_diags}): loop-invariant store addresses and constant
+    nonzero dependence distances are exactly its two proofs, and the
+    equal-stride test applies no trip-count pruning. May-dependences are
+    never reported, so legitimately asserted scatters stay quiet. *)
+
+val to_json : t -> Ninja_report.Json.t
+(** The stable export, schema ["ninja-deps/v1"]: kernel name, errors, and
+    per-loop [{label; span; depth; index; step; scalars; scalar_diag;
+    mech_diag; deps; notes; legality; iteration_independent}]. *)
+
+val pp : t Fmt.t
+(** Human-readable rendering for [ninja_cli analyze --deps].
+    Deterministic. *)
+
+val pp_dep : dep Fmt.t
+(** One dependence vector, e.g. ["flow a distance 1 (<) at line 4"]. *)

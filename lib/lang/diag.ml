@@ -14,6 +14,7 @@ type code =
   | Complex_control
   | Short_trip
   | Race
+  | May_alias
   | Syntax
   | Type_error
   | Internal
@@ -30,6 +31,7 @@ let code_name = function
   | Complex_control -> "COMPLEX_CONTROL"
   | Short_trip -> "SHORT_TRIP"
   | Race -> "RACE"
+  | May_alias -> "MAY_ALIAS"
   | Syntax -> "SYNTAX"
   | Type_error -> "TYPE"
   | Internal -> "INTERNAL"
@@ -39,8 +41,8 @@ let code_rank = function
   | Aos_layout -> 0 | Non_unit_stride -> 1 | Non_unit_step -> 2
   | Loop_carried_dep -> 3 | Scalar_cycle -> 4 | Gather_required -> 5
   | Invariant_store -> 6 | Inner_loop -> 7 | Complex_control -> 8
-  | Short_trip -> 9 | Race -> 10 | Syntax -> 11 | Type_error -> 12
-  | Internal -> 13
+  | Short_trip -> 9 | Race -> 10 | May_alias -> 11 | Syntax -> 12
+  | Type_error -> 13 | Internal -> 14
 
 type severity = Error | Warning | Remark
 
@@ -107,6 +109,11 @@ let hint_for = function
       Some
         "remove the pragma, or make iterations independent (privatize the \
          state or use a reduction)"
+  | May_alias ->
+      Some
+        "keep the array parameters bound to disjoint buffers (the driver's \
+         calling convention), or copy overlapping inputs first — the \
+         restrict assertion this analysis assumes"
   | Syntax | Type_error | Internal -> None
 
 let v ?span:(sp = no_span) ?hint severity code fmt =

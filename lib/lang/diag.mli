@@ -22,6 +22,10 @@ type code =
   | Complex_control  (** control flow if-conversion cannot handle *)
   | Short_trip  (** trip count too small to profit *)
   | Race  (** pragma-asserted loop is provably not independent *)
+  | May_alias
+      (** a legality fact holds only because array parameters are assumed
+          bound to disjoint buffers (the driver's convention) — a
+          restrict-style assertion made visible *)
   | Syntax  (** lexer/parser error *)
   | Type_error  (** Cee type error *)
   | Internal  (** compiler invariant violation (a bug in us) *)
@@ -44,8 +48,13 @@ val no_span : span
 (** The unknown span ([{0; 0}]); rendered as nothing. *)
 
 val line_span : int -> span
+(** The one-line span [{l; l}]. *)
+
 val lines : int -> int -> span
+(** [lines a b] spans from [min a b] to [max a b], inclusive. *)
+
 val pp_span : span Fmt.t
+(** ["line 4"] / ["lines 4-9"]; nothing for {!no_span}. *)
 
 type t = {
   code : code;
@@ -74,8 +83,7 @@ val with_span : span -> t -> t
 (** Fill in the span if the diagnostic carries {!no_span}. *)
 
 val label : t -> string
-(** ["CODE: message"] — the stable one-line form used by vec-reports and
-    the [Not_vectorizable] compatibility shim. *)
+(** ["CODE: message"] — the stable one-line form used by vec-reports. *)
 
 val pp : t Fmt.t
 (** ["lines 4-9: error AOS_LAYOUT: ...\n  hint: ..."] — deterministic. *)

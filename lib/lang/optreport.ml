@@ -39,8 +39,46 @@ and walk_stmt ~depth acc (s : Ast.stmt) =
 and walk_for ~depth acc (loop : Ast.for_loop) =
   let has_parallel = List.mem Ast.Parallel loop.pragmas in
   let force = List.mem Ast.Simd loop.pragmas in
+  let facts = Deps.analyze_loop ~depth loop in
   let diags = ref [] in
   let addd d = diags := d :: !diags in
+  (* satellite of the dependence engine: when a dependence kills
+     vectorization, point at the blocking store, not the loop header, and
+     name the exact dependence vector *)
+  let locate_blocking (d : Diag.t) =
+    let dep_code =
+      match d.Diag.code with
+      | Diag.Loop_carried_dep | Diag.Aos_layout | Diag.Non_unit_stride
+      | Diag.Gather_required | Diag.Invariant_store -> true
+      | _ -> false
+    in
+    let blocking =
+      List.find_opt
+        (fun (bd : Deps.dep) ->
+          bd.Deps.carried
+          || (bd.Deps.kind = Deps.Output && bd.Deps.distance = Some 0))
+        facts.Deps.deps
+    in
+    match blocking with
+    | Some bd when dep_code ->
+        let d =
+          if bd.Deps.src_span <> Diag.no_span then
+            { d with Diag.span = bd.Deps.src_span }
+          else d
+        in
+        let note =
+          Diag.v ~span:d.Diag.span ~hint:"" Diag.Remark d.Diag.code
+            "blocking dependence: %s %s distance %s (%s)"
+            (Deps.dep_kind_name bd.Deps.kind)
+            bd.Deps.array
+            (match bd.Deps.distance with
+            | Some n -> string_of_int n
+            | None -> "?")
+            (Deps.direction_name bd.Deps.direction)
+        in
+        (d, Some note)
+    | _ -> (d, None)
+  in
   let parallelized =
     if not has_parallel then false
     else if depth > 0 then begin
@@ -78,10 +116,18 @@ and walk_for ~depth acc (loop : Ast.for_loop) =
           List.iter addd (Analysis.access_remarks loop);
           true
       | Error d ->
-          addd (if force then prefix_message "pragma simd cannot be honored: " d else d);
+          let d =
+            if force then prefix_message "pragma simd cannot be honored: " d
+            else d
+          in
+          let d, note = locate_blocking d in
+          addd d;
+          Option.iter addd note;
           false
   in
-  if force || has_parallel then List.iter addd (Analysis.race_diags loop);
+  (* the restrict-style assertion, when it is load-bearing for legality *)
+  List.iter addd facts.Deps.notes;
+  if force || has_parallel then List.iter addd (Deps.race_diags loop);
   let report =
     {
       label = loop_label loop;
@@ -129,10 +175,17 @@ let pp ppf (t : t) =
       else Fmt.pf ppf "%sLOOP %s at %a: %s@." pad l.label Diag.pp_span l.span verdict;
       List.iter
         (fun (d : Diag.t) ->
-          Fmt.pf ppf "%s  %s %s: %s@." pad
+          (* a diagnostic located more precisely than the loop header (e.g.
+             at the blocking store) prints its own span *)
+          let at =
+            if d.Diag.span <> Diag.no_span && d.Diag.span <> l.span then
+              Fmt.str " (at %a)" Diag.pp_span d.Diag.span
+            else ""
+          in
+          Fmt.pf ppf "%s  %s %s: %s%s@." pad
             (Diag.severity_name d.Diag.severity)
             (Diag.code_name d.Diag.code)
-            d.Diag.message;
+            d.Diag.message at;
           match d.Diag.hint with
           | None -> ()
           | Some h -> Fmt.pf ppf "%s    hint: %s@." pad h)

@@ -4,9 +4,14 @@
     [O2+vec+par] setting — parallelization of top-level [pragma parallel]
     loops, the short-trip profitability check, vectorization legality —
     without generating any code, and collects every decision as a
-    structured {!Diag.t} with a stable reason code. Pragma-asserted loops
-    additionally run the {!Analysis.race_diags} checker, so a provably
-    unsafe assertion surfaces as a [RACE] warning right in the report. *)
+    structured {!Diag.t} with a stable reason code. The dependence engine
+    ({!Deps}) refines the report: rejections caused by a dependence are
+    located at the blocking store (not the loop header) with the exact
+    distance/direction vector named in a remark, loops whose legality
+    rests on the driver's disjoint-buffer convention carry a [MAY_ALIAS]
+    note, and pragma-asserted loops run the dependence-based
+    {!Deps.race_diags} detector, so a provably unsafe assertion surfaces
+    as a [RACE] warning right in the report. *)
 
 type loop_report = {
   label : string;  (** [for(i=lo;i<hi)] — matches the vec-report label *)

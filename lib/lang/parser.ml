@@ -209,6 +209,7 @@ and parse_stmt st : Ast.stmt =
       While (c, b)
   | KW "pragma" | KW "for" -> parse_for st []
   | IDENT name -> (
+      let l = line st in
       advance st;
       match (cur st).tok with
       | ASSIGN ->
@@ -223,7 +224,7 @@ and parse_stmt st : Ast.stmt =
           expect st ASSIGN;
           let e = parse_expr st in
           expect st SEMI;
-          Store (name, i, e)
+          Store (name, i, e, Diag.line_span l)
       | t ->
           error ~line:(line st) "expected = or [ after %s, found %s" name
             (Lexer.token_name t))

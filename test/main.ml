@@ -11,6 +11,7 @@ let () =
       Test_diag.suite;
       Test_verify.suite;
       Test_analysis.suite;
+      Test_deps.suite;
       Test_report.suite;
       Test_kernels.suite;
       Test_profile.suite;

@@ -34,10 +34,97 @@ let test_attainable_monotone () =
     prev := v
   done
 
+(* ---- race-detector subsumption ----
+
+   The dependence-based race detector (Deps.race_diags) replaces the
+   legacy syntactic checker (Analysis.race_diags). The replacement is
+   only sound if it never flags *less*: over every loop of every
+   benchmark source (both variants) plus hand-written racy fixtures,
+   any loop the legacy checker flags must be flagged by the new one. *)
+
+module Lang = Ninja_lang
+
+let all_loops src =
+  match Lang.Parser.parse_kernel_diag src with
+  | Error d -> Alcotest.failf "source does not parse: %s" (Lang.Diag.label d)
+  | Ok k ->
+      let out = ref [] in
+      let rec go_block b = List.iter go_stmt b
+      and go_stmt : Lang.Ast.stmt -> unit = function
+        | Lang.Ast.Decl _ | Lang.Ast.Assign _ | Lang.Ast.Store _ -> ()
+        | Lang.Ast.If (_, t, e) -> go_block t; go_block e
+        | Lang.Ast.While (_, b) -> go_block b
+        | Lang.Ast.For l ->
+            out := l :: !out;
+            go_block l.Lang.Ast.body
+      in
+      go_block (Lang.Ast.fold_block k.Lang.Ast.body);
+      List.rev !out
+
+let check_subsumed ~what src =
+  List.iter
+    (fun (loop : Lang.Ast.for_loop) ->
+      let legacy = Lang.Analysis.race_diags loop in
+      let modern = Lang.Deps.race_diags loop in
+      if legacy <> [] then
+        Alcotest.(check bool)
+          (Fmt.str "%s: loop %s flagged by legacy checker is flagged by Deps"
+             what loop.Lang.Ast.index)
+          true (modern <> []))
+    (all_loops src)
+
+let test_race_subsumption_registry () =
+  List.iter
+    (fun (b : Ninja_kernels.Driver.benchmark) ->
+      List.iter
+        (fun (vname, src) ->
+          check_subsumed ~what:(b.Ninja_kernels.Driver.b_name ^ "/" ^ vname) src)
+        b.Ninja_kernels.Driver.b_sources)
+    Ninja_kernels.Registry.all
+
+let racy_fixtures =
+  [ ( "invariant store",
+      {|kernel r1(a : float[], b : float[], n : int) {
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) { a[0] = b[i]; }
+}|} );
+    ( "distance-1 carried",
+      {|kernel r2(a : float[], n : int) {
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) { a[i + 1] = a[i] + 1.0; }
+}|} );
+    ( "strided distance",
+      {|kernel r3(a : float[], n : int) {
+  var i : int;
+  pragma parallel
+  for (i = 0; i < n; i = i + 1) { a[2 * i] = a[2 * i + 4] + 1.0; }
+}|} ) ]
+
+let test_race_subsumption_fixtures () =
+  List.iter
+    (fun (what, src) ->
+      (* the fixture must actually race under the legacy checker, and the
+         dependence-based detector must agree *)
+      List.iter
+        (fun (loop : Lang.Ast.for_loop) ->
+          Alcotest.(check bool) (what ^ ": legacy flags it") true
+            (Lang.Analysis.race_diags loop <> []);
+          Alcotest.(check bool) (what ^ ": Deps flags it") true
+            (Lang.Deps.race_diags loop <> []))
+        (all_loops src);
+      check_subsumed ~what src)
+    racy_fixtures
+
 let suite =
   ( "analysis",
     [ Alcotest.test_case "peak gflops" `Quick test_peak;
       Alcotest.test_case "scalar peak smaller" `Quick test_scalar_peak_smaller;
       Alcotest.test_case "ridge continuity" `Quick test_ridge;
       Alcotest.test_case "bandwidth side" `Quick test_attainable_bw_side;
-      Alcotest.test_case "attainable monotone" `Quick test_attainable_monotone ] )
+      Alcotest.test_case "attainable monotone" `Quick test_attainable_monotone;
+      Alcotest.test_case "race subsumption: registry" `Quick
+        test_race_subsumption_registry;
+      Alcotest.test_case "race subsumption: racy fixtures" `Quick
+        test_race_subsumption_fixtures ] )

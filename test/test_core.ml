@@ -23,7 +23,8 @@ let test_find () =
 let test_expected_experiments () =
   List.iter
     (fun id -> ignore (E.find id))
-    [ "t1"; "f1"; "f2"; "f3"; "t2"; "t3"; "f4"; "f5"; "f6"; "f7"; "f8"; "a1" ]
+    [ "t1"; "f1"; "f2"; "f3"; "t2"; "t3"; "t6"; "f4"; "f5"; "f6"; "f7"; "f8";
+      "a1" ]
 
 let test_t2_runs () =
   (* t2 compiles (no simulation): cheap end-to-end check of experiment code *)
@@ -50,6 +51,23 @@ let test_t3_runs () =
         (Astring_contains.contains csv needle))
     [ "AOS_LAYOUT"; "INNER_LOOP"; "GATHER_REQUIRED"; "SCALAR_CYCLE";
       "(no traditional rewrite)" ]
+
+let test_t6_runs () =
+  (* t6 is purely static (dependence-engine legality facts): zero
+     simulations, one row per loop per benchmark source variant *)
+  E.reset_cache ();
+  let tables = (E.find "t6").run () in
+  let _, misses = E.cache_stats () in
+  Alcotest.(check int) "zero simulations" 0 misses;
+  Alcotest.(check int) "one table" 1 (List.length tables);
+  let csv = Ninja_report.Table.to_csv (List.hd tables) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Fmt.str "mentions %s" needle)
+        true
+        (Astring_contains.contains csv needle))
+    [ "NBody"; "MergeSort"; "naive"; "yes"; "no" ]
 
 let test_gap () =
   (* synthetic reports via a trivial simulated program *)
@@ -251,6 +269,7 @@ let suite =
       Alcotest.test_case "all experiments present" `Quick test_expected_experiments;
       Alcotest.test_case "t2 runs" `Quick test_t2_runs;
       Alcotest.test_case "t3 runs statically" `Quick test_t3_runs;
+      Alcotest.test_case "t6 runs statically" `Quick test_t6_runs;
       Alcotest.test_case "gap" `Quick test_gap;
       Alcotest.test_case "job grid deduplicated" `Quick test_grid_deduplicated;
       Alcotest.test_case "job grid subset" `Quick test_grid_subset;

@@ -1,6 +1,6 @@
 (* Structured-diagnostic tests: stable reason codes, source spans, the
-   per-loop opt-report, the pragma race checker, and the backwards-compat
-   [Not_vectorizable] shim. *)
+   per-loop opt-report, the pragma race checker, and the rejection-label
+   format the vec-report surfaces. *)
 
 open Ninja_lang
 
@@ -175,19 +175,20 @@ let test_race_checker_quiet_on_suite () =
         b.b_sources)
     Ninja_kernels.Registry.all
 
-(* ---- the [Not_vectorizable] compat shim ---- *)
+(* ---- rejection labels (the vec-report surface) ---- *)
 
-let test_not_vectorizable_message_has_code () =
+let test_rejection_label_has_code () =
   match
-    Analysis.vectorize_plan ~force:false
+    Analysis.vectorize_diag ~force:false
       (first_loop
          "kernel f(a : float[], n : int) { var i : int; for (i = 1; i < n; \
           i = i + 1) { a[2 * i] = a[2 * i - 2] + 1.0; } }")
   with
-  | _ -> Alcotest.fail "expected Not_vectorizable"
-  | exception Analysis.Not_vectorizable msg ->
+  | Ok _ -> Alcotest.fail "expected a rejection"
+  | Error d ->
+      let msg = Diag.label d in
       Alcotest.(check bool)
-        (Fmt.str "message %S carries the reason code" msg)
+        (Fmt.str "label %S carries the reason code" msg)
         true
         (String.length msg > 16 && String.sub msg 0 16 = "NON_UNIT_STRIDE:")
 
@@ -216,5 +217,5 @@ let suite =
       Alcotest.test_case "race: constant distance" `Quick test_race_constant_distance;
       Alcotest.test_case "race checker quiet on the suite" `Quick
         test_race_checker_quiet_on_suite;
-      Alcotest.test_case "Not_vectorizable compat" `Quick
-        test_not_vectorizable_message_has_code ] )
+      Alcotest.test_case "rejection label has code" `Quick
+        test_rejection_label_has_code ] )

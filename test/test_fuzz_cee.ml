@@ -20,6 +20,7 @@ module Check = Ninja_lang.Check
 module Codegen = Ninja_lang.Codegen
 module Diag = Ninja_lang.Diag
 module Optreport = Ninja_lang.Optreport
+module Deps = Ninja_lang.Deps
 module Registry = Ninja_kernels.Registry
 module Driver = Ninja_kernels.Driver
 module Isa = Ninja_vm.Isa
@@ -387,6 +388,23 @@ let prop_mutants_never_escape =
         in
         if r1 <> report () then
           QCheck.Test.fail_reportf "%s: opt-report is not deterministic" name;
+        (* so must the dependence engine: a verdict or a structured Diag
+           for every parser-accepted program, in both alias modes, and its
+           JSON export must render *)
+        (match Parser.parse_kernel_diag src with
+        | Error _ -> ()
+        | Ok kernel ->
+            List.iter
+              (fun noalias ->
+                match Deps.analyze ~noalias kernel with
+                | t ->
+                    ignore
+                      (Ninja_report.Json.to_string (Deps.to_json t) : string)
+                | exception e ->
+                    QCheck.Test.fail_reportf
+                      "%s: Deps.analyze (noalias=%b) raised %s" name noalias
+                      (Printexc.to_string e))
+              [ true; false ]);
         true
       end)
 

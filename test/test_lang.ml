@@ -146,7 +146,9 @@ let vec_plan src =
     | Ast.For loop :: _ -> loop
     | _ :: rest -> find_for rest
   in
-  Analysis.vectorize_plan ~force:false (find_for (parse src).body)
+  match Analysis.vectorize_diag ~force:false (find_for (parse src).body) with
+  | Ok plan -> plan
+  | Error d -> Alcotest.fail (Fmt.str "not vectorizable: %s" (Diag.label d))
 
 let test_reduction_recognized () =
   let plan =
@@ -167,8 +169,14 @@ let test_min_reduction () =
   | _ -> Alcotest.fail "min reduction not recognized"
 
 let expect_not_vectorizable src =
-  Alcotest.check_raises "not vectorizable" (Failure "nv") (fun () ->
-      try ignore (vec_plan src) with Analysis.Not_vectorizable _ -> raise (Failure "nv"))
+  let rec find_for = function
+    | [] -> Alcotest.fail "no loop in kernel body"
+    | Ast.For loop :: _ -> loop
+    | _ :: rest -> find_for rest
+  in
+  match Analysis.vectorize_diag ~force:false (find_for (parse src).body) with
+  | Ok _ -> Alcotest.fail "expected a vectorization rejection"
+  | Error _ -> ()
 
 let test_loop_carried_scalar_rejected () =
   expect_not_vectorizable

@@ -337,11 +337,14 @@ let test_check_flat_catches_bad_reg () =
 
 (* ------------------------------------------------------------------ *)
 (* Golden opt-report: the per-pass rewrite statistics over the whole
-   benchmark registry's ladders on both evaluation machines, rendered
+   benchmark registry's ladders on both evaluation machines, plus the
+   per-loop source opt-reports for every benchmark Cee source, rendered
    exactly as tools/gen_opt_golden.ml renders them and byte-compared
    against the checked-in transcript. Pins the pipeline's static
    behavior: a pass that starts rewriting more, fewer, or different ops
-   fails here even while the differentials stay green.
+   fails here even while the differentials stay green — and an opt-report
+   diagnostic (code, span, blocking-dependence remark) that changes for
+   any benchmark fails the same way.
    Regenerate with
    `dune exec tools/gen_opt_golden.exe > test/golden_opt_report.txt`. *)
 
@@ -363,8 +366,18 @@ let render_golden_opt_report () =
                          s.Ninja_kernels.Driver.step_name Optimize.pp_report rep)))
   |> String.concat "\n"
 
+let render_golden_source_reports () =
+  Ninja_kernels.Registry.all
+  |> List.concat_map (fun (b : Ninja_kernels.Driver.benchmark) ->
+         b.Ninja_kernels.Driver.b_sources
+         |> List.map (fun (vname, src) ->
+                let name = b.Ninja_kernels.Driver.b_name ^ "/" ^ vname in
+                Fmt.str "# opt-report %s@.%a" name Ninja_lang.Optreport.pp
+                  (Ninja_lang.Optreport.analyze_src ~name src)))
+  |> String.concat "\n"
+
 let test_golden_opt_report () =
-  let got = render_golden_opt_report () in
+  let got = render_golden_opt_report () ^ "\n" ^ render_golden_source_reports () in
   let path =
     if Sys.file_exists "golden_opt_report.txt" then "golden_opt_report.txt"
     else Filename.concat "test" "golden_opt_report.txt"

@@ -1,11 +1,15 @@
 (* Regenerate test/golden_opt_report.txt: the optimizer's per-pass
    rewrite statistics for every registered benchmark's full ladder on
-   both evaluation machines, rendered exactly as test/test_optimize.ml's
-   golden test renders them. The golden pins the pipeline's static
-   behavior: a pass that starts rewriting more (or fewer) ops — or
-   rewriting them in a different order — fails the byte comparison even
-   when the differential tests still pass, which is exactly the point:
-   rewrite counts are part of the optimizer's observable contract.
+   both evaluation machines, followed by the per-loop source opt-reports
+   for every benchmark Cee source, rendered exactly as
+   test/test_optimize.ml's golden test renders them. The golden pins the
+   pipeline's static behavior: a pass that starts rewriting more (or
+   fewer) ops — or rewriting them in a different order — fails the byte
+   comparison even when the differential tests still pass, which is
+   exactly the point: rewrite counts are part of the optimizer's
+   observable contract. The opt-report half likewise pins the
+   diagnostics (codes, spans, blocking-dependence remarks) the icc-style
+   report emits for every benchmark.
 
    Usage: dune exec tools/gen_opt_golden.exe > test/golden_opt_report.txt *)
 
@@ -13,6 +17,7 @@ module Driver = Ninja_kernels.Driver
 module Machine = Ninja_arch.Machine
 module Decode = Ninja_vm.Decode
 module Optimize = Ninja_vm.Optimize
+module Optreport = Ninja_lang.Optreport
 
 let render () =
   let machines = [ Machine.westmere; Machine.knights_ferry ] in
@@ -30,4 +35,15 @@ let render () =
                          rep)))
   |> String.concat "\n"
 
-let () = print_string (render ())
+(* Per-loop source opt-reports (machine-independent: pure static analysis). *)
+let render_opt_reports () =
+  Ninja_kernels.Registry.all
+  |> List.concat_map (fun (b : Driver.benchmark) ->
+         b.Driver.b_sources
+         |> List.map (fun (vname, src) ->
+                let name = b.Driver.b_name ^ "/" ^ vname in
+                Fmt.str "# opt-report %s@.%a" name Optreport.pp
+                  (Optreport.analyze_src ~name src)))
+  |> String.concat "\n"
+
+let () = print_string (render () ^ "\n" ^ render_opt_reports ())
