@@ -516,6 +516,48 @@ let verify_cmd =
           register discipline, reserved registers, provable out-of-bounds)")
     Term.(const run $ bench_arg)
 
+(* ---- tune (auto-tuning driver: the "tuned" ladder rung) ---- *)
+
+let tune_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (see `list`)." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"BENCHMARK")
+  in
+  let json_arg =
+    let doc = "Emit the stable ninja-tune/v1 JSON document instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run machine bench json jobs cache_dir no_cache =
+    let machine = machine_of_name machine in
+    let b = Ninja_kernels.Registry.find bench in
+    let store = install_store ~cache_dir ~no_cache in
+    let domains =
+      match jobs with
+      | Some j -> max 1 j
+      | None -> Ninja_util.Pool.default_domains ()
+    in
+    let t = Ninja_core.Experiments.tuned_result ~domains ~machine b in
+    if json then
+      Fmt.pr "%s@."
+        (Ninja_report.Json.to_string ~indent:true (Ninja_core.Tuner.to_json t))
+    else Fmt.pr "%a" Ninja_core.Tuner.pp t;
+    (match store with
+    | Some st ->
+        Ninja_core.Store.flush_costs st;
+        Fmt.epr "%a@." pp_store_stats st
+    | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Auto-tune one benchmark: enumerate legality-pruned per-loop \
+          strategies (flags x interchange/unroll), evaluate every legal \
+          candidate by simulated time, and report the winner (the \"tuned\" \
+          ladder rung; --json emits the ninja-tune/v1 schema)")
+    Term.(
+      const run $ machine_arg $ bench_arg $ json_arg $ jobs_arg $ cache_dir_arg
+      $ no_cache_arg)
+
 (* ---- bench (simulator self-benchmark) ---- *)
 
 let bench_cmd =
@@ -604,6 +646,7 @@ let main_cmd =
   in
   Cmd.group info
     [ experiments_cmd; ladder_cmd; list_cmd; compile_cmd; profile_cmd;
-      report_cmd; vec_report_cmd; analyze_cmd; verify_cmd; bench_cmd ]
+      report_cmd; vec_report_cmd; analyze_cmd; verify_cmd; tune_cmd;
+      bench_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -23,9 +23,9 @@ type experiment = {
 }
 
 val all : experiment list
-(** In presentation order: T1, F1..F8, T2..T4, A1. T4 (measured cycle
-    attribution) runs its simulations under the profiler, outside the memo
-    cache — its [needs] is empty by design. *)
+(** In presentation order: T1, F1..F8, T2..T4, T6, T7, A1. T4 (measured
+    cycle attribution) runs its simulations under the profiler, outside
+    the memo cache — its [needs] is empty by design. *)
 
 val t4_profiles :
   (Ninja_arch.Machine.t * Ninja_profile.Profile.t list) list Lazy.t
@@ -53,8 +53,24 @@ val run_step_cached :
   string ->
   Ninja_arch.Timing.report
 (** Simulate one named ladder step of a benchmark at its default scale,
-    memoized on (machine name, benchmark, step). Domain-safe: the cache is
+    memoized on (machine name, benchmark, step). The synthetic step name
+    ["tuned"] runs (and memoizes) a whole {!tuned_result} session and
+    returns its winner's report. Domain-safe: the cache is
     mutex-protected; the simulation itself runs outside the lock. *)
+
+val tuned_result :
+  ?domains:int ->
+  machine:Ninja_arch.Machine.t ->
+  Ninja_kernels.Driver.benchmark ->
+  Tuner.t
+(** The full tuning session behind the ["tuned"] rung (candidates,
+    per-loop decisions, baselines), at the benchmark's default scale,
+    memoized per (machine name, benchmark) and cleared by
+    {!reset_cache}. Baseline rungs are read through {!run_step_cached};
+    candidate simulations are memoized in the installed {!Store} (if
+    any) under the ["tuned"] step tag. [domains] (default [1]) sizes
+    the pool the candidate search runs on; the result is independent
+    of it. *)
 
 val cache_stats : unit -> int * int
 (** [(hits, misses)] since start / the last {!reset_cache}. A miss is a

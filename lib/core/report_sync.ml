@@ -28,7 +28,8 @@ let tables_of_experiment id () =
 let generators =
   [ ("t3", tables_of_experiment "t3");
     ("t4", tables_of_experiment "t4");
-    ("t6", tables_of_experiment "t6") ]
+    ("t6", tables_of_experiment "t6");
+    ("t7", tables_of_experiment "t7") ]
 
 let sections = List.map fst generators
 

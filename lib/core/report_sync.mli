@@ -18,8 +18,8 @@ type mode =
   | Write  (** splice fresh content between the markers *)
 
 val sections : string list
-(** Registered generated-section ids (currently ["t3"]; ["t4"]). Every one
-    must have a marker pair in the document. *)
+(** Registered generated-section ids (currently ["t3"], ["t4"], ["t6"],
+    ["t7"]). Every one must have a marker pair in the document. *)
 
 val sync : mode -> path:string -> (string list, string) result
 (** [sync mode ~path] renders every registered section and compares it to

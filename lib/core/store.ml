@@ -43,7 +43,7 @@ module Json = Ninja_report.Json
    way the program/machine fingerprints cannot see.
    v2: keys gained an optimizer-pass-list component, so entries produced
    by optimized op arrays can never alias unoptimized ones. *)
-let version_salt = "ninja-store/v2"
+let version_salt = "ninja-store/v3"
 
 let default_dir = "_ninja_cache"
 

@@ -1,0 +1,241 @@
+(* Source-to-source loop transformations for the auto-tuner.
+
+   Everything here rewrites parsed Cee into Cee, so candidates flow
+   through the unchanged pipeline (typecheck, codegen, verifier,
+   simulator). Applicability combines syntactic preconditions with the
+   dependence engine's legality facts; anything the checks cannot prove
+   is left untouched and reported as inapplicable, never guessed. *)
+
+type t = Id | Interchange | Unroll of int
+
+let name = function
+  | Id -> "none"
+  | Interchange -> "interchange"
+  | Unroll f -> Fmt.str "unroll%d" f
+
+let menu = [ Id; Interchange; Unroll 2; Unroll 4 ]
+
+(* Same rendering as Codegen.loop_label / Deps.loop_label so tuner
+   decisions line up with vec-reports, opt-reports and legality facts. *)
+let loop_label (loop : Ast.for_loop) =
+  Fmt.str "for(%s=%a;%s<%a)" loop.index Ast.pp_expr loop.init loop.index
+    Ast.pp_expr loop.limit
+
+(* ------------------------------------------------------------------ *)
+(* Interchange of perfect 2-deep nests                                  *)
+
+let perfect_inner (outer : Ast.for_loop) =
+  match outer.body with [ Ast.For inner ] -> Some inner | _ -> None
+
+(* Loop indices are ordinary kernel-level scalars, so either loop's
+   bounds could in principle read the other index (or an array cell the
+   body writes); swapping re-evaluates bounds in a different order, so
+   all four bounds must be invariant: no mention of either index, no
+   array reads. Dependence legality on top comes from the engine. *)
+let interchange_ok (outer : Ast.for_loop) (inner : Ast.for_loop) =
+  let invariant e =
+    (not (Analysis.mentions outer.index e))
+    && (not (Analysis.mentions inner.index e))
+    && not (Analysis.has_index e)
+  in
+  invariant outer.init && invariant outer.limit && invariant inner.init
+  && invariant inner.limit
+  && (Deps.analyze_loop outer).legality.interchangeable
+
+let rec interchange_block count (b : Ast.block) =
+  List.map (interchange_stmt count) b
+
+and interchange_stmt count (s : Ast.stmt) =
+  match s with
+  | Ast.For outer -> (
+      match perfect_inner outer with
+      | Some inner when interchange_ok outer inner ->
+          incr count;
+          (* pragmas were asserted about the original nesting order, so
+             both loops drop them; add_parallel_pragmas re-annotates
+             whatever stays provable. Deeper nests inside the moved body
+             may qualify too. *)
+          let body = interchange_block count inner.body in
+          Ast.For
+            { inner with
+              pragmas = [];
+              span = outer.span;
+              body =
+                [ Ast.For { outer with pragmas = []; span = inner.span; body } ]
+            }
+      | _ -> Ast.For { outer with body = interchange_block count outer.body })
+  | Ast.If (c, t, e) ->
+      Ast.If (c, interchange_block count t, interchange_block count e)
+  | Ast.While (c, b) -> Ast.While (c, interchange_block count b)
+  | Ast.Decl _ | Ast.Assign _ | Ast.Store _ -> s
+
+(* ------------------------------------------------------------------ *)
+(* Unrolling innermost loops                                            *)
+
+(* Replicating the body [f] times keeps iterations in sequential order,
+   so unrolling is semantics-preserving wherever the preconditions hold:
+   the bounds are invariant (no reads of body-assigned scalars, no array
+   reads), the index is not assigned in the body, and every declared
+   local carries an initializer (an init-less declaration could be
+   carrying a value across iterations, which per-copy renaming would
+   sever). *)
+
+let rec no_inner_for = function
+  | [] -> true
+  | Ast.For _ :: _ -> false
+  | Ast.If (_, t, e) :: tl -> no_inner_for t && no_inner_for e && no_inner_for tl
+  | Ast.While (_, b) :: tl -> no_inner_for b && no_inner_for tl
+  | (Ast.Decl _ | Ast.Assign _ | Ast.Store _) :: tl -> no_inner_for tl
+
+let rec decls_renameable = function
+  | [] -> true
+  | Ast.Decl (_, ty, init) :: tl ->
+      init <> None && (not (Ast.is_array ty)) && decls_renameable tl
+  | Ast.If (_, t, e) :: tl ->
+      decls_renameable t && decls_renameable e && decls_renameable tl
+  | Ast.While (_, b) :: tl -> decls_renameable b && decls_renameable tl
+  | Ast.For { body; _ } :: tl -> decls_renameable body && decls_renameable tl
+  | (Ast.Assign _ | Ast.Store _) :: tl -> decls_renameable tl
+
+let unrollable (loop : Ast.for_loop) =
+  let assigned = Analysis.assigned_in_block loop.body in
+  let invariant e =
+    (not (Analysis.has_index e))
+    && Analysis.S.is_empty (Analysis.S.inter (Analysis.scalar_reads e) assigned)
+  in
+  no_inner_for loop.body
+  && decls_renameable loop.body
+  && (not (Analysis.S.mem loop.index assigned))
+  && invariant loop.init && invariant loop.limit
+
+module SM = Map.Make (String)
+
+let rec subst_expr env (e : Ast.expr) =
+  match e with
+  | Ast.Var v -> ( match SM.find_opt v env with Some e' -> e' | None -> e)
+  | Ast.Int_lit _ | Ast.Float_lit _ -> e
+  | Ast.Index (a, i) -> Ast.Index (a, subst_expr env i)
+  | Ast.Bin (op, x, y) -> Ast.Bin (op, subst_expr env x, subst_expr env y)
+  | Ast.Un (op, x) -> Ast.Un (op, subst_expr env x)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map (subst_expr env) args)
+
+(* One unrolled copy: declared locals renamed [name__u<k>] so the copies
+   can live in a single block, the index replaced by [index + k*step].
+   The environment threads left-to-right; branch-local declarations stay
+   branch-local (a leak would only surface as a typecheck rejection of
+   the candidate, never as wrong code). *)
+let rec copy_block ~suffix env (b : Ast.block) =
+  let env, rev =
+    List.fold_left
+      (fun (env, acc) s ->
+        let env, s' = copy_stmt ~suffix env s in
+        (env, s' :: acc))
+      (env, []) b
+  in
+  (env, List.rev rev)
+
+and copy_stmt ~suffix env (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (v, ty, init) ->
+      let v' = v ^ suffix in
+      (SM.add v (Ast.Var v') env, Ast.Decl (v', ty, Option.map (subst_expr env) init))
+  | Ast.Assign (v, e) ->
+      let e' = subst_expr env e in
+      let v' = match SM.find_opt v env with Some (Ast.Var r) -> r | _ -> v in
+      (env, Ast.Assign (v', e'))
+  | Ast.Store (a, i, e, sp) ->
+      (env, Ast.Store (a, subst_expr env i, subst_expr env e, sp))
+  | Ast.If (c, t, e) ->
+      let _, t' = copy_block ~suffix env t in
+      let _, e' = copy_block ~suffix env e in
+      (env, Ast.If (subst_expr env c, t', e'))
+  | Ast.While (c, b) ->
+      let _, b' = copy_block ~suffix env b in
+      (env, Ast.While (subst_expr env c, b'))
+  | Ast.For _ -> (env, s) (* excluded by [no_inner_for] *)
+
+let unroll_loop f (loop : Ast.for_loop) : Ast.stmt list =
+  let m = f * loop.step in
+  (* largest init + k*m not exceeding limit: truncating division keeps
+     degenerate (empty) loops empty, so no extra guard is needed *)
+  let main_limit =
+    Ast.fold_expr
+      (Ast.Bin
+         ( Ast.Add,
+           loop.init,
+           Ast.Bin
+             ( Ast.Mul,
+               Ast.Bin
+                 (Ast.Div, Ast.Bin (Ast.Sub, loop.limit, loop.init), Ast.Int_lit m),
+               Ast.Int_lit m ) ))
+  in
+  let copy k =
+    let env =
+      if k = 0 then SM.empty
+      else
+        SM.singleton loop.index
+          (Ast.Bin (Ast.Add, Ast.Var loop.index, Ast.Int_lit (k * loop.step)))
+    in
+    snd (copy_block ~suffix:(Fmt.str "__u%d" k) env loop.body)
+  in
+  let copies = List.concat (List.init f copy) in
+  [ Ast.For { loop with pragmas = []; limit = main_limit; step = m; body = copies };
+    Ast.For { loop with pragmas = []; init = main_limit } ]
+
+let rec unroll_block f count (b : Ast.block) : Ast.block =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.For loop when unrollable loop ->
+          incr count;
+          unroll_loop f loop
+      | Ast.For loop -> [ Ast.For { loop with body = unroll_block f count loop.body } ]
+      | Ast.If (c, t, e) ->
+          [ Ast.If (c, unroll_block f count t, unroll_block f count e) ]
+      | Ast.While (c, b) -> [ Ast.While (c, unroll_block f count b) ]
+      | Ast.Decl _ | Ast.Assign _ | Ast.Store _ -> [ s ])
+    b
+
+(* ------------------------------------------------------------------ *)
+
+let apply t (k : Ast.kernel) =
+  match t with
+  | Id -> Ok k
+  | Interchange ->
+      let count = ref 0 in
+      let body = interchange_block count k.body in
+      if !count = 0 then Error "no interchangeable perfect loop nest"
+      else Ok { k with body }
+  | Unroll f ->
+      if f < 2 then Error "unroll factor must be at least 2"
+      else
+        let count = ref 0 in
+        let body = unroll_block f count k.body in
+        if !count = 0 then Error "no unrollable innermost loop"
+        else Ok { k with body }
+
+let add_parallel_pragmas (k : Ast.kernel) =
+  let added = ref [] in
+  let body =
+    List.map
+      (fun (s : Ast.stmt) ->
+        match s with
+        | Ast.For loop when not (List.mem Ast.Parallel loop.pragmas) ->
+            if (Deps.analyze_loop loop).legality.parallelizable then begin
+              added := loop_label loop :: !added;
+              Ast.For { loop with pragmas = Ast.Parallel :: loop.pragmas }
+            end
+            else s
+        | s -> s)
+      k.body
+  in
+  ({ k with body }, List.rev !added)
+
+let parallel_labels (k : Ast.kernel) =
+  List.filter_map
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.For loop when List.mem Ast.Parallel loop.pragmas ->
+          Some (loop_label loop)
+      | _ -> None)
+    k.body

@@ -1,0 +1,54 @@
+(** Source-level loop transformations for the auto-tuner.
+
+    Each transformation rewrites a parsed kernel into another legal Cee
+    kernel — the tuner's candidate programs stay ordinary source the
+    whole existing pipeline (typecheck, codegen, verifier, simulator)
+    can process. Applicability is decided here with syntactic checks
+    plus the dependence engine's legality facts ({!Deps.analyze_loop}),
+    so the tuner never compiles a transform the analysis cannot prove
+    safe:
+
+    - {e interchange} swaps a perfect 2-deep loop nest when the
+      dependence engine marks the outer loop [interchangeable] and the
+      inner bounds are invariant in the outer index;
+    - {e unroll} by a constant factor replicates an innermost loop body
+      (sequential order preserved, so it is always semantics-preserving
+      where the syntactic preconditions hold) with a scalar remainder
+      loop.
+
+    Transformations drop the pragmas of the loops they rewrite; the
+    separate {!add_parallel_pragmas} pass re-annotates top-level loops
+    the dependence engine proves parallelizable. *)
+
+(** The tuner's transformation menu. [Id] is the identity (the untransformed
+    source); [Unroll f] replicates innermost loop bodies [f] times. *)
+type t = Id | Interchange | Unroll of int
+
+val name : t -> string
+(** Stable spelling used in reports and JSON: ["none"], ["interchange"],
+    ["unroll2"], ... *)
+
+val menu : t list
+(** The fixed search space the tuner enumerates:
+    [[Id; Interchange; Unroll 2; Unroll 4]]. *)
+
+val loop_label : Ast.for_loop -> string
+(** [for(i=lo;i<hi)] — the same rendering as the vec-report, opt-report
+    and dependence-engine labels, so tuner decisions line up with them. *)
+
+val apply : t -> Ast.kernel -> (Ast.kernel, string) result
+(** Apply the transformation everywhere it is provably legal. [Error]
+    with a human-readable reason when no loop qualifies ([Id] always
+    succeeds); the kernel is returned unchanged otherwise untouched
+    loops included. Deterministic. *)
+
+val add_parallel_pragmas : Ast.kernel -> Ast.kernel * string list
+(** Annotate every un-annotated top-level [for] loop that
+    {!Deps.analyze_loop} proves [parallelizable] with [pragma parallel];
+    returns the rewritten kernel and the labels of the loops annotated
+    (empty when nothing changed). Programmer-asserted pragmas are kept. *)
+
+val parallel_labels : Ast.kernel -> string list
+(** Labels of the top-level loops currently carrying [pragma parallel] —
+    what the tuner reports as "parallelized" for a candidate compiled
+    with threading enabled. *)

@@ -13,6 +13,8 @@ type t =
   | Obj of (string * t) list
 
 exception Parse_error of string
+(** Raised by {!parse} on malformed input, with a position-annotated
+    description of the first error. *)
 
 val to_string : ?indent:bool -> t -> string
 (** Serialize. [indent] (default [true]) pretty-prints with two-space
@@ -29,5 +31,10 @@ val member : string -> t -> t option
 (** Field lookup; [None] for missing fields and non-objects. *)
 
 val to_float : t -> float option
+(** The payload of a [Num]; [None] for every other constructor. *)
+
 val to_str : t -> string option
+(** The payload of a [Str]; [None] for every other constructor. *)
+
 val to_list : t -> t list option
+(** The payload of a [List]; [None] for every other constructor. *)

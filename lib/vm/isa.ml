@@ -138,6 +138,11 @@ type phase =
   | Par of block (* executed by every thread; barrier at the end *)
   | Seq of block (* executed by thread 0 only *)
 
+(* Whether a program contains any SPMD phase — what decides how many
+   modeled threads a simulation launches (the tuner's candidates derive
+   their thread count from the compiled program, not from a flag). *)
+let phase_parallel = function Par _ -> true | Seq _ -> false
+
 type buffer_decl = { buf_name : string; elt : elt_ty }
 
 type reg_counts = { si : int; sf : int; vf : int; vi : int; vm : int }
@@ -148,6 +153,8 @@ type program = {
   phases : phase list;
   regs : reg_counts;
 }
+
+let has_par_phase (p : program) = List.exists phase_parallel p.phases
 
 (* ------------------------------------------------------------------ *)
 (* Operation classes for the timing model.                             *)

@@ -17,4 +17,5 @@ let () =
       Test_profile.suite;
       Test_sched.suite;
       Test_store.suite;
+      Test_tuner.suite;
       Test_core.suite ]

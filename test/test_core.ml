@@ -23,8 +23,8 @@ let test_find () =
 let test_expected_experiments () =
   List.iter
     (fun id -> ignore (E.find id))
-    [ "t1"; "f1"; "f2"; "f3"; "t2"; "t3"; "t6"; "f4"; "f5"; "f6"; "f7"; "f8";
-      "a1" ]
+    [ "t1"; "f1"; "f2"; "f3"; "t2"; "t3"; "t6"; "t7"; "f4"; "f5"; "f6"; "f7";
+      "f8"; "a1" ]
 
 let test_t2_runs () =
   (* t2 compiles (no simulation): cheap end-to-end check of experiment code *)
@@ -89,9 +89,9 @@ let test_grid_deduplicated () =
   Alcotest.(check bool) "grid is non-trivial" true (List.length keys > 50)
 
 let test_grid_subset () =
-  (* f1 = {naive, ninja} x 10 benchmarks on Westmere *)
+  (* f1 = {naive, tuned, ninja} x 10 benchmarks on Westmere *)
   let jobs = Jobs.all_jobs ~experiments:[ E.find "f1" ] () in
-  Alcotest.(check int) "20 jobs for f1" 20 (List.length jobs);
+  Alcotest.(check int) "30 jobs for f1" 30 (List.length jobs);
   List.iter
     (fun (j : Jobs.job) ->
       Alcotest.(check string) "on Westmere" Machine.westmere.name j.machine.Machine.name)
@@ -245,6 +245,26 @@ let test_criterion_f4_bridged () =
     true
     (avg < 1.505)
 
+let test_criterion_t7_tuned_closes_gap () =
+  (* ISSUE 8 acceptance: on each machine, the tuned rung closes at least
+     half of the naive-to-ninja simulated-time gap on >= 5 of the 10
+     benchmarks. (Cache is warm from the differential test; the tuner
+     sessions themselves are memoized per (machine, benchmark).) *)
+  List.iter
+    (fun machine ->
+      let halved =
+        List.filter
+          (fun b ->
+            Ninja_core.Tuner.gap_closed (E.tuned_result ~machine b) >= 0.5)
+          Ninja_kernels.Registry.all
+      in
+      Alcotest.(check bool)
+        (Fmt.str "T7 on %s: tuned closes >= 50%% of the gap on %d/10"
+           machine.Machine.name (List.length halved))
+        true
+        (List.length halved >= 5))
+    [ Machine.westmere; Machine.knights_ferry ]
+
 let test_criterion_f2_monotone () =
   let machines = Machine.paper_cpus @ [ Machine.knights_ferry ] in
   let avgs =
@@ -278,4 +298,6 @@ let suite =
       Alcotest.test_case "golden experiment tables" `Slow test_golden_experiments;
       Alcotest.test_case "criterion F1 band" `Slow test_criterion_f1_band;
       Alcotest.test_case "criterion F4 bridged" `Slow test_criterion_f4_bridged;
+      Alcotest.test_case "criterion T7 tuned closes gap" `Slow
+        test_criterion_t7_tuned_closes_gap;
       Alcotest.test_case "criterion F2 monotone" `Slow test_criterion_f2_monotone ] )

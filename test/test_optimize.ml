@@ -344,7 +344,10 @@ let test_check_flat_catches_bad_reg () =
    behavior: a pass that starts rewriting more, fewer, or different ops
    fails here even while the differentials stay green — and an opt-report
    diagnostic (code, span, blocking-dependence remark) that changes for
-   any benchmark fails the same way.
+   any benchmark fails the same way. The tune-plan section pins the
+   auto-tuner's static search space (fixed enumeration, legality /
+   compile / verify pruning, fingerprint dedup) on the reference
+   machine, with zero simulations.
    Regenerate with
    `dune exec tools/gen_opt_golden.exe > test/golden_opt_report.txt`. *)
 
@@ -376,8 +379,21 @@ let render_golden_source_reports () =
                   (Ninja_lang.Optreport.analyze_src ~name src)))
   |> String.concat "\n"
 
+let render_golden_tune_plans () =
+  let machine = Ninja_arch.Machine.westmere in
+  Ninja_kernels.Registry.all
+  |> List.map (fun (b : Ninja_kernels.Driver.benchmark) ->
+         let steps = b.steps ~scale:1 in
+         Fmt.str "# tune-plan %s@.%a" b.Ninja_kernels.Driver.b_name
+           Ninja_core.Tuner.pp_plan
+           (Ninja_core.Tuner.plan ~machine ~steps b))
+  |> String.concat "\n"
+
 let test_golden_opt_report () =
-  let got = render_golden_opt_report () ^ "\n" ^ render_golden_source_reports () in
+  let got =
+    render_golden_opt_report () ^ "\n" ^ render_golden_source_reports () ^ "\n"
+    ^ render_golden_tune_plans ()
+  in
   let path =
     if Sys.file_exists "golden_opt_report.txt" then "golden_opt_report.txt"
     else Filename.concat "test" "golden_opt_report.txt"

@@ -1,5 +1,5 @@
 (* Regenerate test/golden_experiments.txt: every experiment table (T1,
-   F1..F8, T2, T3, T4, A1) rendered exactly as test/test_core.ml's golden
+   F1..F8, T2..T4, T6, T7, A1) rendered exactly as test/test_core.ml's golden
    test renders them. The golden pins the experiment output bytes across
    simulator refactors (pre-decoded dispatch, cache fast paths): a
    performance change must never change a reported number.

@@ -9,7 +9,11 @@
    exactly the point: rewrite counts are part of the optimizer's
    observable contract. The opt-report half likewise pins the
    diagnostics (codes, spans, blocking-dependence remarks) the icc-style
-   report emits for every benchmark.
+   report emits for every benchmark. The tune-plan half pins the
+   auto-tuner's static search space on the reference machine: the fixed
+   candidate enumeration, which candidates the legality/compile/verify
+   pruning admits, and the fingerprint dedup — all without running a
+   single simulation.
 
    Usage: dune exec tools/gen_opt_golden.exe > test/golden_opt_report.txt *)
 
@@ -46,4 +50,17 @@ let render_opt_reports () =
                   (Optreport.analyze_src ~name src)))
   |> String.concat "\n"
 
-let () = print_string (render () ^ "\n" ^ render_opt_reports ())
+(* Static tuner plans (reference machine, smallest scale): enumeration,
+   pruning and dedup only — zero simulations. *)
+let render_tune_plans () =
+  let machine = Machine.westmere in
+  Ninja_kernels.Registry.all
+  |> List.map (fun (b : Driver.benchmark) ->
+         let steps = b.steps ~scale:1 in
+         Fmt.str "# tune-plan %s@.%a" b.Driver.b_name Ninja_core.Tuner.pp_plan
+           (Ninja_core.Tuner.plan ~machine ~steps b))
+  |> String.concat "\n"
+
+let () =
+  print_string
+    (render () ^ "\n" ^ render_opt_reports () ^ "\n" ^ render_tune_plans ())
