@@ -1,0 +1,288 @@
+(* Closed-loop load generator for the simulation service: the latency
+   selfbench behind BENCH_serve.json.
+
+   `loadgen.exe [--smoke] [--out FILE] [-j N] [--clients C]
+   [--max-inflight K]` drives an in-process Ninja_serve.Service with C
+   concurrent closed-loop clients (each a system thread with its own
+   connection, sending the next request only after the previous reply
+   arrived) through three phases:
+
+     cold      distinct simulate keys against a fresh scratch store —
+               every key actually simulates
+     warm      the same keys, same store, in-process memo dropped —
+               every key must load from disk (zero simulations)
+     coalesce  every client hammers ONE identical key not used above —
+               concurrent identical requests must coalesce onto far
+               fewer underlying simulations than requests
+
+   Each phase reports wall clock, throughput, p50/p95/p99 request
+   latency, and the service's engine counters (simulations, memo hits,
+   store hits, coalescing hits, overload rejections), written as
+   BENCH_serve.json (schema ninja-serve-bench/v1). Latencies are wall
+   clock and therefore machine-dependent; the *counter* relationships
+   (warm simulations = 0, coalesce simulations << requests) are
+   invariants, and --smoke asserts them — the @bench-smoke CI gate. *)
+
+module Service = Ninja_serve.Service
+module Store = Ninja_core.Store
+module E = Ninja_core.Experiments
+module Json = Ninja_report.Json
+module Stats = Ninja_util.Stats
+
+let schema_version = "ninja-serve-bench/v1"
+
+(* ---- tiny argv helpers (same dialect as bench/main.ml) ---- *)
+
+let flag_value name =
+  let rec go = function
+    | a :: v :: _ when a = name -> Some v
+    | _ :: tl -> go tl
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+let int_flag name default =
+  match flag_value name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let has_flag name = Array.exists (( = ) name) Sys.argv
+
+(* ---- closed-loop clients ---- *)
+
+(* One client's connection: a reply counter the closed loop blocks on. *)
+type client_conn = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable count : int;
+  mutable last : string;
+}
+
+let make_client_conn svc =
+  let c =
+    { mu = Mutex.create (); cond = Condition.create (); count = 0; last = "" }
+  in
+  let conn =
+    Service.conn ~write:(fun line ->
+        Mutex.lock c.mu;
+        c.count <- c.count + 1;
+        c.last <- line;
+        Condition.signal c.cond;
+        Mutex.unlock c.mu)
+  in
+  (c, Service.handle_line svc conn)
+
+let await c n =
+  Mutex.lock c.mu;
+  while c.count < n do
+    Condition.wait c.cond c.mu
+  done;
+  let r = c.last in
+  Mutex.unlock c.mu;
+  r
+
+let reply_ok line =
+  match Json.parse line with
+  | Json.Obj fields -> (
+      match List.assoc_opt "ok" fields with
+      | Some (Json.Bool b) -> b
+      | _ -> false)
+  | _ -> false
+
+type phase_result = {
+  p_label : string;
+  p_clients : int;
+  p_requests : int;
+  p_ok : int;
+  p_wall_s : float;
+  p_latencies_s : float list;
+  p_stats : Service.stats;
+}
+
+(* Run one phase: [clients] threads, each sending [per_client] requests
+   from [request_of ~client ~iter] in a closed loop. Returns per-request
+   latencies and the service's counter snapshot. *)
+let run_phase ~label ~domains ~max_inflight ~clients ~per_client ~request_of ()
+    =
+  let svc = Service.create ~domains ~max_inflight () in
+  let results = Array.make clients (0, []) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let conn_state, send = make_client_conn svc in
+            let ok = ref 0 in
+            let lats = ref [] in
+            for i = 1 to per_client do
+              let s = Unix.gettimeofday () in
+              send (request_of ~client:ci ~iter:i);
+              let reply = await conn_state i in
+              lats := (Unix.gettimeofday () -. s) :: !lats;
+              if reply_ok reply then incr ok
+            done;
+            results.(ci) <- (!ok, !lats))
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Service.shutdown svc;
+  let stats = Service.stats svc in
+  let ok = Array.fold_left (fun acc (o, _) -> acc + o) 0 results in
+  let lats = Array.fold_left (fun acc (_, ls) -> ls @ acc) [] results in
+  {
+    p_label = label;
+    p_clients = clients;
+    p_requests = clients * per_client;
+    p_ok = ok;
+    p_wall_s = wall_s;
+    p_latencies_s = lats;
+    p_stats = stats;
+  }
+
+(* ---- JSON report ---- *)
+
+let num f = Json.Num f
+
+let ms s = Float.round (s *. 1e6) /. 1e3 (* seconds -> ms, microsecond grain *)
+
+let phase_json p =
+  let st = p.p_stats in
+  let work_requests =
+    st.Service.s_simulate + st.Service.s_analyze + st.Service.s_tune
+  in
+  let hit_rate =
+    if work_requests = 0 then 0.
+    else float_of_int st.Service.s_coalesced /. float_of_int work_requests
+  in
+  let lat p' = ms (Stats.percentile p' p.p_latencies_s) in
+  Json.Obj
+    [
+      ("phase", Json.Str p.p_label);
+      ("clients", num (float_of_int p.p_clients));
+      ("requests", num (float_of_int p.p_requests));
+      ("ok", num (float_of_int p.p_ok));
+      ("errors", num (float_of_int (p.p_requests - p.p_ok)));
+      ("wall_s", num p.p_wall_s);
+      ( "requests_per_s",
+        num
+          (if p.p_wall_s > 0. then float_of_int p.p_requests /. p.p_wall_s
+           else 0.) );
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("p50", num (lat 0.50));
+            ("p95", num (lat 0.95));
+            ("p99", num (lat 0.99));
+            ("max", num (lat 1.0));
+          ] );
+      ("simulations", num (float_of_int st.Service.s_simulations));
+      ("memo_hits", num (float_of_int st.Service.s_memo_hits));
+      ("store_hits", num (float_of_int st.Service.s_store_hits));
+      ("coalesced", num (float_of_int st.Service.s_coalesced));
+      ("coalescing_hit_rate", num hit_rate);
+      ("overloaded", num (float_of_int st.Service.s_overloaded));
+    ]
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* ---- the workload ---- *)
+
+(* Distinct simulate keys for cold/warm: the BlackScholes compiler
+   ladder on Westmere. Cheap to simulate, and disjoint from the
+   coalesce-phase key (the ninja rung). *)
+let grid_steps = [ "naive serial"; "+autovec"; "+parallel"; "+algorithmic" ]
+
+let simulate_req step =
+  Printf.sprintf
+    "{\"id\": 1, \"type\": \"simulate\", \"bench\": \"blackscholes\", \
+     \"machine\": \"westmere\", \"step\": %S}"
+    step
+
+let grid_request ~client ~iter =
+  let steps = Array.of_list grid_steps in
+  simulate_req steps.((client + iter) mod Array.length steps)
+
+let burst_request ~client:_ ~iter:_ = simulate_req "ninja"
+
+let () =
+  let smoke = has_flag "--smoke" in
+  let out = Option.value (flag_value "--out") ~default:"BENCH_serve.json" in
+  let domains = int_flag "-j" 4 in
+  let clients = int_flag "--clients" (if smoke then 4 else 8) in
+  let max_inflight = int_flag "--max-inflight" Service.default_max_inflight in
+  let per_client = if smoke then 8 else 24 in
+  let store = Store.scratch () in
+  Fun.protect
+    ~finally:(fun () -> Store.destroy store)
+    (fun () ->
+      E.set_store (Some store);
+      E.reset_cache ();
+      let cold =
+        run_phase ~label:"cold" ~domains ~max_inflight ~clients ~per_client
+          ~request_of:grid_request ()
+      in
+      E.reset_cache ();
+      let warm =
+        run_phase ~label:"warm" ~domains ~max_inflight ~clients ~per_client
+          ~request_of:grid_request ()
+      in
+      (* coalesce: no store, fresh memo, one identical key for everyone *)
+      E.set_store None;
+      E.reset_cache ();
+      let coalesce =
+        run_phase ~label:"coalesce" ~domains ~max_inflight ~clients
+          ~per_client ~request_of:burst_request ()
+      in
+      E.set_store None;
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.Str schema_version);
+            ("domains", num (float_of_int domains));
+            ("max_inflight", num (float_of_int max_inflight));
+            ("phases", Json.List (List.map phase_json [ cold; warm; coalesce ]));
+          ]
+      in
+      write_file out (Json.to_string ~indent:true doc ^ "\n");
+      let pp p =
+        let st = p.p_stats in
+        Printf.eprintf
+          "  %-9s %2d clients %4d reqs %7.2fs %8.1f req/s p50 %7.2fms p99 \
+           %7.2fms  sims %3d store %3d coalesced %3d\n%!"
+          p.p_label p.p_clients p.p_requests p.p_wall_s
+          (float_of_int p.p_requests /. p.p_wall_s)
+          (ms (Stats.percentile 0.50 p.p_latencies_s))
+          (ms (Stats.percentile 0.99 p.p_latencies_s))
+          st.Service.s_simulations st.Service.s_store_hits
+          st.Service.s_coalesced
+      in
+      Printf.eprintf "serve loadgen (%d domains, max-inflight %d) -> %s\n%!"
+        domains max_inflight out;
+      List.iter pp [ cold; warm; coalesce ];
+      (* invariants; hard failures under --smoke (the CI gate) *)
+      let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+      if smoke then begin
+        if cold.p_ok <> cold.p_requests then
+          fail "cold phase had %d errors" (cold.p_requests - cold.p_ok);
+        if warm.p_ok <> warm.p_requests then
+          fail "warm phase had %d errors" (warm.p_requests - warm.p_ok);
+        if warm.p_stats.Service.s_simulations <> 0 then
+          fail "warm phase ran %d simulations (want 0: all served from disk)"
+            warm.p_stats.Service.s_simulations;
+        if warm.p_stats.Service.s_store_hits = 0 then
+          fail "warm phase had zero store hits";
+        if cold.p_stats.Service.s_simulations < List.length grid_steps then
+          fail "cold phase ran %d simulations (want >= %d)"
+            cold.p_stats.Service.s_simulations
+            (List.length grid_steps);
+        if coalesce.p_stats.Service.s_simulations >= coalesce.p_requests then
+          fail "coalesce phase never coalesced (%d simulations for %d requests)"
+            coalesce.p_stats.Service.s_simulations coalesce.p_requests;
+        if coalesce.p_ok <> coalesce.p_requests then
+          fail "coalesce phase had %d errors"
+            (coalesce.p_requests - coalesce.p_ok);
+        prerr_endline "serve loadgen smoke: OK"
+      end)

@@ -3,17 +3,12 @@
 
 open Cmdliner
 
+(* One preset table for the CLI and the service: lib/serve/validate.ml
+   owns it, so `--machine` and the wire protocol can never drift. *)
 let machine_of_name name =
-  let module M = Ninja_arch.Machine in
-  match String.lowercase_ascii name with
-  | "kentsfield" | "core2" -> M.kentsfield
-  | "nehalem" -> M.nehalem
-  | "westmere" -> M.westmere
-  | "mic" | "knf" | "knights-ferry" -> M.knights_ferry
-  | "future1" -> M.future ~generation:1
-  | "future2" -> M.future ~generation:2
-  | "future3" -> M.future ~generation:3
-  | other -> failwith ("unknown machine: " ^ other ^ " (try westmere, mic, kentsfield, nehalem, future1..3)")
+  match Ninja_serve.Validate.machine_of_name name with
+  | Ok m -> m
+  | Error (_, msg) -> failwith msg
 
 let machine_arg =
   let doc = "Machine preset (westmere, mic, kentsfield, nehalem, future1..3)." in
@@ -638,6 +633,62 @@ let bench_cmd =
       const run $ mode_arg $ out_arg $ smoke_arg $ jobs_arg $ cache_dir_arg
       $ no_cache_arg $ opt_arg $ no_opt_arg $ passes_arg)
 
+(* ---- serve (concurrent simulation service) ---- *)
+
+let serve_cmd =
+  let port_arg =
+    let doc =
+      "Listen for line-delimited JSON requests on 127.0.0.1:$(docv) \
+       (0 picks an ephemeral port, printed to stderr)."
+    in
+    Arg.(value & opt (some int) None & info [ "port" ] ~doc ~docv:"PORT")
+  in
+  let stdio_arg =
+    let doc = "Serve one client on stdin/stdout (the default transport)." in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Admission bound: at most $(docv) distinct requests computing at \
+       once; beyond that the service answers `overloaded` immediately. \
+       Identical in-flight requests coalesce and never consume a slot."
+    in
+    Arg.(
+      value
+      & opt int Ninja_serve.Service.default_max_inflight
+      & info [ "max-inflight" ] ~doc ~docv:"K")
+  in
+  let run port stdio max_inflight jobs cache_dir no_cache =
+    if stdio && port <> None then begin
+      Fmt.epr "--port and --stdio are mutually exclusive@.";
+      exit 1
+    end;
+    ignore (install_store ~cache_dir ~no_cache);
+    let domains =
+      match jobs with
+      | Some j -> max 1 j
+      | None -> Ninja_util.Pool.default_domains ()
+    in
+    let t = Ninja_serve.Service.create ~domains ~max_inflight () in
+    match port with
+    | Some p ->
+        Ninja_serve.Server.run_tcp t ~port:p
+          ~on_listen:(fun p ->
+            Fmt.epr "%s listening on 127.0.0.1:%d@." Ninja_serve.Protocol.version p)
+          ()
+    | None -> Ninja_serve.Server.run_stdio t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent simulation service: line-delimited JSON \
+          requests (ninja-serve/v1: simulate, analyze, tune, report) over \
+          stdio or loopback TCP, with request coalescing, bounded-admission \
+          backpressure, and a graceful drain on shutdown")
+    Term.(
+      const run $ port_arg $ stdio_arg $ max_inflight_arg $ jobs_arg
+      $ cache_dir_arg $ no_cache_arg)
+
 let main_cmd =
   let info =
     Cmd.info "ninja"
@@ -647,6 +698,6 @@ let main_cmd =
   Cmd.group info
     [ experiments_cmd; ladder_cmd; list_cmd; compile_cmd; profile_cmd;
       report_cmd; vec_report_cmd; analyze_cmd; verify_cmd; tune_cmd;
-      bench_cmd ]
+      bench_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

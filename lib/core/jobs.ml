@@ -173,6 +173,8 @@ let prefill ?domains ?experiments ?(verbose = false) ?sched_trace () =
   let timed =
     Pool.map_list ~domains
       ~on_stats:(fun s -> sched := Some s)
+      ~label:(fun j ->
+        Fmt.str "%s/%s/%s" j.machine.Machine.name j.bench.Driver.b_name j.step)
       (fun j ->
         let s = Unix.gettimeofday () in
         ignore (E.run_step_cached ~machine:j.machine j.bench j.step);

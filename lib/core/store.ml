@@ -86,6 +86,25 @@ let open_ ?(salt = version_salt) ~dir () =
 
 let dir t = t.dir
 
+(* Throwaway stores: a fresh unique directory under the system temp dir,
+   for smoke gates and load tests whose "cold" must mean cold whatever
+   state the build directory is in. *)
+let scratch ?salt () =
+  let d = Filename.temp_file "ninja-scratch-store" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  open_ ?salt ~dir:d ()
+
+let destroy t =
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists t.dir then rm_rf t.dir
+
 let stats t =
   locked t (fun () ->
       { hits = t.hits; misses = t.misses; errors = t.errors; writes = t.writes })

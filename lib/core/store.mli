@@ -47,6 +47,15 @@ val open_ : ?salt:string -> dir:string -> unit -> t
 
 val dir : t -> string
 
+val scratch : ?salt:string -> unit -> t
+(** A throwaway store in a fresh unique directory under the system temp
+    dir — guaranteed cold. For smoke gates and load tests; pair with
+    {!destroy}. *)
+
+val destroy : t -> unit
+(** Recursively delete the store's directory. For {!scratch} stores;
+    the handle must not be used afterwards. *)
+
 val key :
   ?opt:string ->
   t -> machine:Ninja_arch.Machine.t -> step_name:string ->

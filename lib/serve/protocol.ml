@@ -1,0 +1,218 @@
+(* The ninja-serve/v1 wire protocol.
+
+   One request per line, one reply per line, both JSON objects rendered
+   compactly (no internal newlines). Decoding is strict: a request is a
+   JSON object whose every field is known for its type, with required
+   fields present and every value of the right shape. Anything else maps
+   to a structured error reply — never an exception — with a stable
+   error code the clients (and the golden protocol tests) can match on.
+
+   Replies echo the request's [id] verbatim so clients can correlate;
+   error replies for requests whose id could not even be parsed carry
+   [null]. *)
+
+module Json = Ninja_report.Json
+
+let version = "ninja-serve/v1"
+
+type id = Id_num of float | Id_str of string
+
+type request =
+  | Simulate of { bench : string; machine : string; step : string }
+  | Analyze of { bench : string; variant : string option }
+  | Tune of { bench : string; machine : string }
+  | Report of { live : bool }
+
+type error_code =
+  | Bad_json
+  | Bad_request
+  | Missing_field
+  | Bad_field
+  | Unknown_field
+  | Unknown_type
+  | Unknown_benchmark
+  | Unknown_machine
+  | Unknown_step
+  | Unknown_variant
+  | Overloaded
+  | Shutting_down
+  | Internal_error
+
+let error_code_name = function
+  | Bad_json -> "bad_json"
+  | Bad_request -> "bad_request"
+  | Missing_field -> "missing_field"
+  | Bad_field -> "bad_field"
+  | Unknown_field -> "unknown_field"
+  | Unknown_type -> "unknown_type"
+  | Unknown_benchmark -> "unknown_benchmark"
+  | Unknown_machine -> "unknown_machine"
+  | Unknown_step -> "unknown_step"
+  | Unknown_variant -> "unknown_variant"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+  | Internal_error -> "internal_error"
+
+let all_error_codes =
+  [
+    Bad_json; Bad_request; Missing_field; Bad_field; Unknown_field;
+    Unknown_type; Unknown_benchmark; Unknown_machine; Unknown_step;
+    Unknown_variant; Overloaded; Shutting_down; Internal_error;
+  ]
+
+let error_code_of_name s =
+  List.find_opt (fun c -> error_code_name c = s) all_error_codes
+
+type reply =
+  | Result of { id : id; rtype : string; result : Json.t }
+  | Error_reply of { id : id option; code : error_code; message : string }
+
+let request_type_name = function
+  | Simulate _ -> "simulate"
+  | Analyze _ -> "analyze"
+  | Tune _ -> "tune"
+  | Report _ -> "report"
+
+let request_type_names = [ "simulate"; "analyze"; "tune"; "report" ]
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let id_json = function Id_num n -> Json.Num n | Id_str s -> Json.Str s
+
+let request_fields = function
+  | Simulate { bench; machine; step } ->
+      [ ("bench", Json.Str bench); ("machine", Json.Str machine);
+        ("step", Json.Str step) ]
+  | Analyze { bench; variant } -> (
+      ("bench", Json.Str bench)
+      ::
+      (match variant with
+      | Some v -> [ ("variant", Json.Str v) ]
+      | None -> []))
+  | Tune { bench; machine } ->
+      [ ("bench", Json.Str bench); ("machine", Json.Str machine) ]
+  | Report { live } -> [ ("live", Json.Bool live) ]
+
+let encode_request id req =
+  Json.to_string ~indent:false
+    (Json.Obj
+       (("id", id_json id)
+       :: ("type", Json.Str (request_type_name req))
+       :: request_fields req))
+
+let encode_reply = function
+  | Result { id; rtype; result } ->
+      Json.to_string ~indent:false
+        (Json.Obj
+           [ ("id", id_json id); ("ok", Json.Bool true);
+             ("type", Json.Str rtype); ("result", result) ])
+  | Error_reply { id; code; message } ->
+      Json.to_string ~indent:false
+        (Json.Obj
+           [ ("id", match id with Some i -> id_json i | None -> Json.Null);
+             ("ok", Json.Bool false);
+             ( "error",
+               Json.Obj
+                 [ ("code", Json.Str (error_code_name code));
+                   ("message", Json.Str message) ] ) ])
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+type decode_error = { de_id : id option; de_code : error_code; de_msg : string }
+
+let err ?id code msg = Error { de_id = id; de_code = code; de_msg = msg }
+
+(* Per-type field specifications: every field a request may carry beyond
+   [id]/[type]. Strictness lives here — a field outside the spec is
+   [Unknown_field] even when its value would be well-formed. *)
+let known_fields = function
+  | "simulate" -> [ "bench"; "machine"; "step" ]
+  | "analyze" -> [ "bench"; "variant" ]
+  | "tune" -> [ "bench"; "machine" ]
+  | "report" -> [ "live" ]
+  | _ -> []
+
+let opt_str ~id fields name =
+  match List.assoc_opt name fields with
+  | None -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> err ~id Bad_field (Printf.sprintf "field %S must be a string" name)
+
+let req_str ~id fields name =
+  match opt_str ~id fields name with
+  | Ok (Some s) -> Ok s
+  | Ok None ->
+      err ~id Missing_field (Printf.sprintf "missing required field %S" name)
+  | Error e -> Error e
+
+let opt_bool ~id fields name ~default =
+  match List.assoc_opt name fields with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ ->
+      err ~id Bad_field (Printf.sprintf "field %S must be a boolean" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let decode_typed id fields rtype =
+  let known = "id" :: "type" :: known_fields rtype in
+  match
+    List.find_opt (fun (k, _) -> not (List.mem k known)) fields
+  with
+  | Some (k, _) ->
+      err ~id Unknown_field
+        (Printf.sprintf "unknown field %S for request type %S" k rtype)
+  | None -> (
+      match rtype with
+      | "simulate" ->
+          let* bench = req_str ~id fields "bench" in
+          let* machine =
+            let* m = opt_str ~id fields "machine" in
+            Ok (Option.value m ~default:"westmere")
+          in
+          let* step =
+            let* s = opt_str ~id fields "step" in
+            Ok (Option.value s ~default:"ninja")
+          in
+          Ok (id, Simulate { bench; machine; step })
+      | "analyze" ->
+          let* bench = req_str ~id fields "bench" in
+          let* variant = opt_str ~id fields "variant" in
+          Ok (id, Analyze { bench; variant })
+      | "tune" ->
+          let* bench = req_str ~id fields "bench" in
+          let* machine =
+            let* m = opt_str ~id fields "machine" in
+            Ok (Option.value m ~default:"westmere")
+          in
+          Ok (id, Tune { bench; machine })
+      | "report" ->
+          let* live = opt_bool ~id fields "live" ~default:false in
+          Ok (id, Report { live })
+      | other ->
+          err ~id Unknown_type
+            (Printf.sprintf "unknown request type %S (have: %s)" other
+               (String.concat ", " request_type_names)))
+
+let decode_request line =
+  match Json.parse line with
+  | exception Json.Parse_error m -> err Bad_json m
+  | Json.Obj fields -> (
+      let id =
+        match List.assoc_opt "id" fields with
+        | Some (Json.Num n) -> Ok (Id_num n)
+        | Some (Json.Str s) -> Ok (Id_str s)
+        | Some _ -> err Bad_field "field \"id\" must be a number or a string"
+        | None -> err Missing_field "missing required field \"id\""
+      in
+      let* id = id in
+      match List.assoc_opt "type" fields with
+      | Some (Json.Str rtype) -> decode_typed id fields rtype
+      | Some _ -> err ~id Bad_field "field \"type\" must be a string"
+      | None -> err ~id Missing_field "missing required field \"type\"")
+  | _ -> err Bad_request "a request must be a JSON object"
+
+let error_of_decode { de_id; de_code; de_msg } =
+  Error_reply { id = de_id; code = de_code; message = de_msg }

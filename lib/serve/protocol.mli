@@ -1,0 +1,94 @@
+(** The [ninja-serve/v1] wire protocol: typed requests and replies with
+    strict line-delimited JSON encoding.
+
+    One request per line, one reply per line, both compact JSON objects
+    (never containing a newline). A request is an object with a required
+    ["id"] (number or string, echoed verbatim in the reply), a required
+    ["type"], and only the fields that type knows — unknown fields are
+    rejected, not ignored, so client typos surface as structured
+    {!Error_reply}s instead of silently-defaulted behavior. Decoding
+    never raises: every malformed input maps to a {!decode_error} with a
+    stable {!error_code}. *)
+
+val version : string
+(** ["ninja-serve/v1"], reported by the service's [report] result. *)
+
+(** A request/reply correlation id, number or string, echoed verbatim. *)
+type id = Id_num of float | Id_str of string
+
+(** The four request types. [Simulate] runs one ladder step of one
+    benchmark on one machine through the cached experiment engine;
+    [Analyze] runs source dependence analysis on a benchmark kernel
+    variant; [Tune] runs the auto-tuning driver; [Report] returns
+    service/traffic statistics (with timing-dependent counters only when
+    [live] is set, keeping the default reply deterministic). [machine]
+    defaults to ["westmere"] and [step] to ["ninja"] when omitted on the
+    wire. *)
+type request =
+  | Simulate of { bench : string; machine : string; step : string }
+  | Analyze of { bench : string; variant : string option }
+  | Tune of { bench : string; machine : string }
+  | Report of { live : bool }
+
+(** Stable machine-readable failure classes. The first six are protocol
+    shape errors; the [Unknown_*] name errors mean a well-formed request
+    named something the registry/ladder does not have; [Overloaded] is
+    the backpressure reply past [--max-inflight]; [Shutting_down]
+    rejects work arriving after shutdown began; [Internal_error] wraps
+    unexpected exceptions from the engine. *)
+type error_code =
+  | Bad_json
+  | Bad_request
+  | Missing_field
+  | Bad_field
+  | Unknown_field
+  | Unknown_type
+  | Unknown_benchmark
+  | Unknown_machine
+  | Unknown_step
+  | Unknown_variant
+  | Overloaded
+  | Shutting_down
+  | Internal_error
+
+val error_code_name : error_code -> string
+(** The wire name, e.g. [Bad_json] → ["bad_json"]. *)
+
+val error_code_of_name : string -> error_code option
+(** Inverse of {!error_code_name}; [None] for unknown names. *)
+
+val all_error_codes : error_code list
+(** Every code, in declaration order — the golden-test enumeration. *)
+
+(** A reply: either a successful [Result] carrying the request's type
+    name and a type-specific JSON payload, or an [Error_reply] whose
+    [id] is [None] only when the request's id itself was unparseable. *)
+type reply =
+  | Result of { id : id; rtype : string; result : Ninja_report.Json.t }
+  | Error_reply of { id : id option; code : error_code; message : string }
+
+val request_type_name : request -> string
+(** The wire ["type"] value of a request. *)
+
+val request_type_names : string list
+(** All request type names, in fixed presentation order. *)
+
+val encode_request : id -> request -> string
+(** Render one request as a single compact JSON line (no newline).
+    Always emits every field, including ones that equal the wire
+    default, so [decode_request (encode_request id r) = Ok (id, r)]. *)
+
+val encode_reply : reply -> string
+(** Render one reply as a single compact JSON line (no newline). *)
+
+(** A structured decode failure: the offending request's id when it
+    could be recovered, a stable code, and a human-readable message. *)
+type decode_error = { de_id : id option; de_code : error_code; de_msg : string }
+
+val decode_request : string -> (id * request, decode_error) result
+(** Strictly parse one request line. Never raises; any malformed input —
+    bad JSON, non-object, missing/badly-typed [id] or [type], unknown
+    type, unknown field, wrong field shape — becomes [Error]. *)
+
+val error_of_decode : decode_error -> reply
+(** The {!Error_reply} a service sends for a failed decode. *)

@@ -1,0 +1,221 @@
+(* Deterministic transcript replay: the engine behind the protocol
+   golden test and its generator.
+
+   A script is a line-oriented text: comments and blank lines are echoed
+   verbatim, [!...] directives manage service sessions, and [> ...]
+   lines are request lines sent to the live service. The engine runs in
+   lockstep — after sending a request it blocks until that request's
+   reply has been emitted, then appends it as a [< ...] line — so the
+   output transcript is a pure function of the script, byte-identical
+   across -j levels and cache temperatures. (Coalescing and saturation
+   behavior, which are inherently concurrent, are covered by the stress
+   tests instead.) *)
+
+(* One connection's reply sink: replies in arrival order plus a count to
+   block on. *)
+type sink = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable replies : string list;  (* newest first *)
+  mutable count : int;
+}
+
+let make_sink () =
+  { mu = Mutex.create (); cond = Condition.create (); replies = []; count = 0 }
+
+let sink_write s line =
+  Mutex.lock s.mu;
+  s.replies <- line :: s.replies;
+  s.count <- s.count + 1;
+  Condition.signal s.cond;
+  Mutex.unlock s.mu
+
+(* Block until at least [n] replies have arrived, then return the [n]th
+   (1-based) — the one the lockstep loop just caused. *)
+let sink_await s n =
+  Mutex.lock s.mu;
+  while s.count < n do
+    Condition.wait s.cond s.mu
+  done;
+  let r = List.nth s.replies (s.count - n) in
+  Mutex.unlock s.mu;
+  r
+
+type session = {
+  svc : Service.t;
+  conn : Service.conn;
+  sink : sink;
+  mutable sent : int;
+  mutable shut : bool;
+}
+
+let parse_kv defaults line =
+  (* "!service domains=1 max_inflight=4" *)
+  String.split_on_char ' ' line
+  |> List.filter (fun s -> s <> "")
+  |> List.fold_left
+       (fun acc tok ->
+         match String.index_opt tok '=' with
+         | None -> acc
+         | Some i ->
+             let k = String.sub tok 0 i in
+             let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+             (k, v) :: acc)
+       defaults
+
+let start_session line =
+  let kv = parse_kv [] line in
+  let int_of k default =
+    match List.assoc_opt k kv with
+    | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+    | None -> default
+  in
+  let svc =
+    Service.create ~domains:(int_of "domains" 1)
+      ~max_inflight:(int_of "max_inflight" Service.default_max_inflight)
+      ()
+  in
+  let sink = make_sink () in
+  let conn = Service.conn ~write:(sink_write sink) in
+  { svc; conn; sink; sent = 0; shut = false }
+
+let close_session s =
+  if not s.shut then begin
+    s.shut <- true;
+    Service.shutdown ~drain:true s.svc
+  end
+
+let strip_prefix p line =
+  if String.length line >= String.length p
+     && String.sub line 0 (String.length p) = p
+  then Some (String.sub line (String.length p) (String.length line - String.length p))
+  else None
+
+let run script =
+  let out = Buffer.create 4096 in
+  let emit l =
+    Buffer.add_string out l;
+    Buffer.add_char out '\n'
+  in
+  let session = ref None in
+  let lines = String.split_on_char '\n' script in
+  (* a trailing newline in the script yields one empty trailing element;
+     drop it so echoing does not add a blank line *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  List.iter
+    (fun line ->
+      match strip_prefix "> " line with
+      | Some req -> (
+          emit line;
+          match !session with
+          | None -> emit "! error: no active service session"
+          | Some s ->
+              Service.handle_line s.svc s.conn req;
+              s.sent <- s.sent + 1;
+              emit ("< " ^ sink_await s.sink s.sent))
+      | None -> (
+          match strip_prefix "!service" line with
+          | Some args ->
+              Option.iter close_session !session;
+              emit line;
+              session := Some (start_session args)
+          | None -> (
+              match strip_prefix "!shutdown" line with
+              | Some _ ->
+                  emit line;
+                  (* drain-shutdown the session but keep it current:
+                     later requests exercise the shutting_down reply *)
+                  Option.iter close_session !session
+              | None -> (
+                  match strip_prefix "!encode-error " line with
+                  | Some rest ->
+                      emit line;
+                      let code_name, msg =
+                        match String.index_opt rest ' ' with
+                        | Some i ->
+                            ( String.sub rest 0 i,
+                              String.sub rest (i + 1)
+                                (String.length rest - i - 1) )
+                        | None -> (rest, "")
+                      in
+                      let code =
+                        match Protocol.error_code_of_name code_name with
+                        | Some c -> c
+                        | None -> Protocol.Internal_error
+                      in
+                      emit
+                        ("< "
+                        ^ Protocol.encode_reply
+                            (Protocol.Error_reply
+                               { id = None; code; message = msg }))
+                  | None ->
+                      (* comments, blank lines, anything else: echo *)
+                      emit line))))
+    lines;
+  Option.iter close_session !session;
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+(* The canonical golden script                                         *)
+
+(* Every request type, every wire default, and every synchronously
+   reachable error code. Simulation-bearing requests stay on the
+   cheapest benchmark/step pairs so the golden regenerates in seconds.
+   internal_error has no deterministic trigger, so its shape is pinned
+   with an encode-only fixture. *)
+let golden_script =
+  String.concat "\n"
+    [
+      "# ninja-serve/v1 protocol golden transcript";
+      "# regenerate: dune exec tools/gen_serve_golden.exe > test/golden_serve.txt";
+      "";
+      "!service domains=1 max_inflight=4";
+      "";
+      "# --- happy paths ---------------------------------------------";
+      "> {\"id\": 1, \"type\": \"report\"}";
+      "> {\"id\": \"an-1\", \"type\": \"analyze\", \"bench\": \"blackscholes\", \"variant\": \"naive\"}";
+      "> {\"id\": 2, \"type\": \"analyze\", \"bench\": \"blackscholes\"}";
+      "> {\"id\": 3, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"machine\": \"westmere\", \"step\": \"+autovec\"}";
+      "# wire defaults: machine westmere, step ninja";
+      "> {\"id\": 4, \"type\": \"simulate\", \"bench\": \"blackscholes\"}";
+      "# machine aliases resolve to the same key (knf = knights-ferry)";
+      "> {\"id\": 5, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"machine\": \"knf\", \"step\": \"+autovec\"}";
+      "> {\"id\": 6, \"type\": \"report\"}";
+      "";
+      "# --- protocol shape errors -----------------------------------";
+      "> not json at all";
+      "> {\"id\": 7, \"type\": \"simulate\", \"bench\"";
+      "> [1, 2, 3]";
+      "> \"just a string\"";
+      "> {\"type\": \"report\"}";
+      "> {\"id\": true, \"type\": \"report\"}";
+      "> {\"id\": 8}";
+      "> {\"id\": 9, \"type\": 42}";
+      "> {\"id\": 10, \"type\": \"frobnicate\"}";
+      "> {\"id\": 11, \"type\": \"simulate\"}";
+      "> {\"id\": 12, \"type\": \"simulate\", \"bench\": 3}";
+      "> {\"id\": 13, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"threads\": 4}";
+      "> {\"id\": 14, \"type\": \"report\", \"live\": \"yes\"}";
+      "";
+      "# --- name errors ---------------------------------------------";
+      "> {\"id\": 15, \"type\": \"simulate\", \"bench\": \"quicksort\"}";
+      "> {\"id\": 16, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"machine\": \"pentium\"}";
+      "> {\"id\": 17, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"step\": \"+magic\"}";
+      "> {\"id\": 18, \"type\": \"analyze\", \"bench\": \"blackscholes\", \"variant\": \"mystery\"}";
+      "";
+      "# --- backpressure: max_inflight=0 rejects all work ------------";
+      "!service domains=1 max_inflight=0";
+      "> {\"id\": 19, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"step\": \"+autovec\"}";
+      "# report is served at ingest and never needs an admission slot";
+      "> {\"id\": 20, \"type\": \"report\"}";
+      "";
+      "# --- shutdown semantics --------------------------------------";
+      "!shutdown";
+      "> {\"id\": 21, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"step\": \"+autovec\"}";
+      "";
+      "# --- internal_error reply shape (encode-only fixture) ---------";
+      "!encode-error internal_error something unexpected happened";
+      "";
+    ]

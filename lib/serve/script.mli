@@ -1,0 +1,23 @@
+(** Deterministic transcript replay for the protocol golden test.
+
+    A script is line-oriented text: [#] comments and blank lines are
+    echoed, [!service k=v ...] starts a fresh service session (keys
+    [domains], [max_inflight]), [!shutdown] drain-shuts the current
+    session in place (later requests then exercise the [shutting_down]
+    reply), [!encode-error <code> <msg>] pins a reply encoding without a
+    live trigger, and [> <line>] sends one request line. Requests run in
+    lockstep — the engine waits for each reply before sending the next —
+    so the transcript is byte-identical across -j levels and store
+    temperatures; the inherently concurrent behaviors (coalescing,
+    saturation) are covered by the stress tests instead. *)
+
+val run : string -> string
+(** Replay a script against live in-process services and return the
+    full transcript: every input line echoed, each request followed by
+    its [< <reply>] line. Any session left open at the end is
+    drain-shut. *)
+
+val golden_script : string
+(** The canonical script behind [test/golden_serve.txt]: every request
+    type, the wire defaults, machine-alias key identity, and every
+    synchronously reachable error code. *)

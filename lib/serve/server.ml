@@ -1,0 +1,74 @@
+(* Transports: hook a Service onto stdio or a loopback TCP listener.
+
+   Both speak the same line protocol: read one request per line, emit
+   one reply per line. The TCP listener serves each accepted connection
+   on its own [Thread] (system threads, not domains: connection handling
+   is I/O-bound and the simulation work itself runs on the service's
+   domain pool), so slow readers never block each other. *)
+
+let serve_channels t ~ic ~oc =
+  let conn =
+    Service.conn ~write:(fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+  in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+        Service.handle_line t conn line;
+        loop ()
+    | exception End_of_file -> ()
+  in
+  loop ()
+
+let run_stdio t =
+  serve_channels t ~ic:stdin ~oc:stdout;
+  Service.shutdown ~drain:true t
+
+let handle_client t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let conn =
+    Service.conn ~write:(fun line ->
+        (* a client that hangs up mid-reply is its own problem: swallow
+           the broken pipe so the pool task fanning out to several
+           waiters still reaches the live ones *)
+        try
+          output_string oc line;
+          output_char oc '\n';
+          flush oc
+        with _ -> ())
+  in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+        Service.handle_line t conn line;
+        loop ()
+    | exception End_of_file -> ()
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with _ -> ()
+
+let run_tcp t ~port ?conns ?on_listen () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (match on_listen with Some f -> f actual_port | None -> ());
+  let served = ref 0 in
+  let threads = ref [] in
+  let continue () = match conns with None -> true | Some n -> !served < n in
+  while continue () do
+    let fd, _ = Unix.accept sock in
+    incr served;
+    threads := Thread.create (handle_client t) fd :: !threads
+  done;
+  List.iter Thread.join !threads;
+  (try Unix.close sock with _ -> ());
+  Service.shutdown ~drain:true t

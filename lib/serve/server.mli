@@ -1,0 +1,28 @@
+(** Transports for the simulation service: stdio and loopback TCP.
+
+    Both read one request per line and write one reply per line (the
+    {!Protocol} framing). The service itself is transport-agnostic;
+    these are thin adapters over {!Service.handle_line}. *)
+
+val serve_channels : Service.t -> ic:in_channel -> oc:out_channel -> unit
+(** Serve one client on a channel pair: read [ic] to end-of-file,
+    feeding every line to the service, replies written (and flushed) to
+    [oc] in request order. Returns at EOF without shutting the service
+    down — the building block for both transports and the in-process
+    tests. *)
+
+val run_stdio : Service.t -> unit
+(** Serve stdin/stdout until EOF, then {!Service.shutdown} with a full
+    drain — every accepted request is answered before return. The
+    [ninja_cli serve --stdio] main loop. *)
+
+val run_tcp :
+  Service.t ->
+  port:int -> ?conns:int -> ?on_listen:(int -> unit) -> unit -> unit
+(** Listen on [127.0.0.1:port] ([port = 0] picks an ephemeral port) and
+    serve each accepted connection on its own system thread. [on_listen]
+    receives the actual bound port once the socket is listening — how
+    tests connect to an ephemeral port without a race. With [conns] the
+    listener stops accepting after that many connections, joins their
+    threads, shuts the service down (full drain) and returns; without
+    it, serves forever. *)

@@ -1,0 +1,433 @@
+(* The service core: per-request validation, in-flight coalescing,
+   admission control, and ordered reply emission over the shared
+   work-stealing pool.
+
+   Concurrency design, in lock order:
+
+   - [t.mu] guards every service counter plus the in-flight table.
+     Admission and pool submission happen atomically under it, so a
+     force shutdown ([cancel_queued]) can never race a half-admitted
+     request.
+   - each [conn]'s [c_mu] guards its sequence counters, reorder buffer
+     and writer. [finish] may run while [t.mu] is held (reject paths),
+     but nothing ever takes [t.mu] while holding a [c_mu], so the order
+     is acyclic.
+
+   Determinism: requests get a per-connection sequence number at ingest,
+   and replies are released strictly in sequence through a reorder
+   buffer — whatever order pool tasks complete in, the reply *stream* of
+   a connection depends only on its request stream. Work results are
+   themselves deterministic (the engines are), so the whole stream is
+   byte-identical across [-j] levels and store temperatures. The only
+   timing-dependent numbers (coalescing hits, overload rejections, live
+   cache counters) are quarantined in the [report] request's opt-in
+   ["live"] section. *)
+
+module P = Protocol
+module Json = Ninja_report.Json
+module E = Ninja_core.Experiments
+module Store = Ninja_core.Store
+module Tuner = Ninja_core.Tuner
+module Pool = Ninja_util.Pool
+module Machine = Ninja_arch.Machine
+module Driver = Ninja_kernels.Driver
+
+type conn = {
+  c_mu : Mutex.t;
+  c_write : string -> unit;
+  mutable c_next : int;  (* next sequence number to assign at ingest *)
+  mutable c_emit : int;  (* next sequence number to release *)
+  c_buf : (int, string) Hashtbl.t;  (* finished but not yet released *)
+}
+
+type waiter = { w_conn : conn; w_seq : int; w_id : P.id }
+
+type entry = { e_key : string; e_rtype : string; mutable e_waiters : waiter list }
+
+type t = {
+  mu : Mutex.t;
+  pool : Pool.t;
+  max_inflight : int;
+  inflight_tbl : (string, entry) Hashtbl.t;
+  keys_seen : (string, unit) Hashtbl.t;
+  mutable inflight : int;
+  mutable shutting_down : bool;
+  (* ingest-ordered counters (deterministic per request stream) *)
+  mutable received : int;
+  mutable n_simulate : int;
+  mutable n_analyze : int;
+  mutable n_tune : int;
+  mutable n_report : int;
+  mutable protocol_errors : int;
+  (* timing-dependent counters (live section / tests only) *)
+  mutable coalesced : int;
+  mutable overloaded : int;
+  mutable rejected_shutdown : int;
+  mutable completed : int;
+  (* engine-counter baselines at service creation *)
+  hits0 : int;
+  misses0 : int;
+  store0 : int;
+}
+
+type stats = {
+  s_received : int;
+  s_simulate : int;
+  s_analyze : int;
+  s_tune : int;
+  s_report : int;
+  s_protocol_errors : int;
+  s_distinct_keys : int;
+  s_coalesced : int;
+  s_overloaded : int;
+  s_rejected_shutdown : int;
+  s_completed : int;
+  s_inflight : int;
+  s_simulations : int;
+  s_memo_hits : int;
+  s_store_hits : int;
+}
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let default_max_inflight = 64
+
+let create ?domains ?(max_inflight = default_max_inflight) () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
+  let hits0, misses0 = E.cache_stats () in
+  {
+    mu = Mutex.create ();
+    pool = Pool.create ~domains;
+    max_inflight = max 0 max_inflight;
+    inflight_tbl = Hashtbl.create 64;
+    keys_seen = Hashtbl.create 64;
+    inflight = 0;
+    shutting_down = false;
+    received = 0;
+    n_simulate = 0;
+    n_analyze = 0;
+    n_tune = 0;
+    n_report = 0;
+    protocol_errors = 0;
+    coalesced = 0;
+    overloaded = 0;
+    rejected_shutdown = 0;
+    completed = 0;
+    hits0;
+    misses0;
+    store0 = E.store_hit_count ();
+  }
+
+let pool t = t.pool
+
+let conn ~write =
+  {
+    c_mu = Mutex.create ();
+    c_write = write;
+    c_next = 0;
+    c_emit = 0;
+    c_buf = Hashtbl.create 16;
+  }
+
+(* Park a finished reply line at its sequence slot and release every
+   consecutively-ready line, in order, through the connection's writer.
+   The writer runs under [c_mu], which serializes interleaved emitters. *)
+let finish conn seq line =
+  locked conn.c_mu (fun () ->
+      Hashtbl.replace conn.c_buf seq line;
+      let rec release () =
+        match Hashtbl.find_opt conn.c_buf conn.c_emit with
+        | Some l ->
+            Hashtbl.remove conn.c_buf conn.c_emit;
+            conn.c_emit <- conn.c_emit + 1;
+            conn.c_write l;
+            release ()
+        | None -> ()
+      in
+      release ())
+
+let error_line id code message =
+  P.encode_reply (P.Error_reply { id = Some id; code; message })
+
+(* ------------------------------------------------------------------ *)
+(* Work resolution: sync name validation + the pool task body           *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let key_sep = "\x00"
+
+let simulate_key ~machine ~bench ~step =
+  String.concat key_sep [ "simulate"; machine; bench; step ]
+
+let analyze_key ~bench ~variant =
+  String.concat key_sep
+    [ "analyze"; bench; Option.value variant ~default:"*" ]
+
+let tune_key ~machine ~bench = String.concat key_sep [ "tune"; machine; bench ]
+
+let report_payload r = Store.report_to_json r
+
+let resolve req =
+  match req with
+  | P.Report _ -> assert false (* handled synchronously in dispatch *)
+  | P.Simulate { bench; machine; step } ->
+      let* machine = Validate.machine_of_name machine in
+      let* b = Validate.bench_of_name bench in
+      let mname = machine.Machine.name in
+      let key = simulate_key ~machine:mname ~bench:b.Driver.b_name ~step in
+      let compute () =
+        (* step validation is deferred here because checking a name
+           means building (or reusing) the benchmark's ladder — too
+           expensive for the ingest thread. *)
+        let* step = Validate.step_of_bench b step in
+        let r = E.run_step_cached ~machine b step in
+        Ok
+          (Json.Obj
+             [
+               ("bench", Json.Str b.Driver.b_name);
+               ("machine", Json.Str mname);
+               ("step", Json.Str step);
+               ("report", report_payload r);
+             ])
+      in
+      Ok (key, "simulate", compute)
+  | P.Analyze { bench; variant } ->
+      let* b = Validate.bench_of_name bench in
+      let* variants = Validate.variants_of_bench b ~variant in
+      let key = analyze_key ~bench:b.Driver.b_name ~variant in
+      let compute () =
+        Ok
+          (Json.Obj
+             [
+               ("bench", Json.Str b.Driver.b_name);
+               ( "variants",
+                 Json.List
+                   (List.map
+                      (fun (vname, src) ->
+                        let name = b.Driver.b_name ^ "/" ^ vname in
+                        Json.Obj
+                          [
+                            ("variant", Json.Str name);
+                            ( "facts",
+                              Ninja_lang.Deps.to_json
+                                (Ninja_lang.Deps.analyze_src ~name src) );
+                          ])
+                      variants) );
+             ])
+      in
+      Ok (key, "analyze", compute)
+  | P.Tune { bench; machine } ->
+      let* machine = Validate.machine_of_name machine in
+      let* b = Validate.bench_of_name bench in
+      let key = tune_key ~machine:machine.Machine.name ~bench:b.Driver.b_name in
+      let compute () = Ok (Tuner.to_json (E.tuned_result ~machine b)) in
+      Ok (key, "tune", compute)
+
+(* ------------------------------------------------------------------ *)
+(* Report request (synchronous, at ingest)                             *)
+
+let num i = Json.Num (float_of_int i)
+
+let report_json t ~live =
+  locked t.mu (fun () ->
+      let traffic =
+        Json.Obj
+          [
+            ("received", num t.received);
+            ( "by_type",
+              Json.Obj
+                [
+                  ("simulate", num t.n_simulate);
+                  ("analyze", num t.n_analyze);
+                  ("tune", num t.n_tune);
+                  ("report", num t.n_report);
+                ] );
+            ("protocol_errors", num t.protocol_errors);
+            ("distinct_keys", num (Hashtbl.length t.keys_seen));
+          ]
+      in
+      let base = [ ("schema", Json.Str P.version); ("traffic", traffic) ] in
+      if not live then Json.Obj base
+      else
+        let hits, misses = E.cache_stats () in
+        let store_hits = E.store_hit_count () in
+        Json.Obj
+          (base
+          @ [
+              ( "live",
+                Json.Obj
+                  [
+                    ("inflight", num t.inflight);
+                    ("completed", num t.completed);
+                    ("coalesced", num t.coalesced);
+                    ("overloaded", num t.overloaded);
+                    ("rejected_shutdown", num t.rejected_shutdown);
+                    ("simulations", num (misses - t.misses0));
+                    ("memo_hits", num (hits - t.hits0));
+                    ("store_hits", num (store_hits - t.store0));
+                  ] );
+            ]))
+
+let stats t =
+  locked t.mu (fun () ->
+      let hits, misses = E.cache_stats () in
+      let store_hits = E.store_hit_count () in
+      {
+        s_received = t.received;
+        s_simulate = t.n_simulate;
+        s_analyze = t.n_analyze;
+        s_tune = t.n_tune;
+        s_report = t.n_report;
+        s_protocol_errors = t.protocol_errors;
+        s_distinct_keys = Hashtbl.length t.keys_seen;
+        s_coalesced = t.coalesced;
+        s_overloaded = t.overloaded;
+        s_rejected_shutdown = t.rejected_shutdown;
+        s_completed = t.completed;
+        s_inflight = t.inflight;
+        s_simulations = misses - t.misses0;
+        s_memo_hits = hits - t.hits0;
+        s_store_hits = store_hits - t.store0;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let run_entry t e compute =
+  let outcome =
+    match compute () with
+    | r -> r
+    | exception ex -> Error (P.Internal_error, Printexc.to_string ex)
+  in
+  let waiters =
+    locked t.mu (fun () ->
+        (* A force shutdown may have already swept this entry and
+           answered its waiters; only the sweep or this task settles an
+           entry, never both. *)
+        match Hashtbl.find_opt t.inflight_tbl e.e_key with
+        | Some e' when e' == e ->
+            Hashtbl.remove t.inflight_tbl e.e_key;
+            t.inflight <- t.inflight - 1;
+            t.completed <- t.completed + 1;
+            let ws = List.rev e.e_waiters in
+            e.e_waiters <- [];
+            ws
+        | _ -> [])
+  in
+  List.iter
+    (fun w ->
+      let reply =
+        match outcome with
+        | Ok result -> P.Result { id = w.w_id; rtype = e.e_rtype; result }
+        | Error (code, message) ->
+            P.Error_reply { id = Some w.w_id; code; message }
+      in
+      finish w.w_conn w.w_seq (P.encode_reply reply))
+    waiters
+
+let dispatch t conn seq id req =
+  locked t.mu (fun () ->
+      match req with
+      | P.Simulate _ -> t.n_simulate <- t.n_simulate + 1
+      | P.Analyze _ -> t.n_analyze <- t.n_analyze + 1
+      | P.Tune _ -> t.n_tune <- t.n_tune + 1
+      | P.Report _ -> t.n_report <- t.n_report + 1);
+  match req with
+  | P.Report { live } ->
+      finish conn seq
+        (P.encode_reply
+           (P.Result { id; rtype = "report"; result = report_json t ~live }))
+  | _ -> (
+      match resolve req with
+      | Error (code, msg) -> finish conn seq (error_line id code msg)
+      | Ok (key, rtype, compute) -> (
+          let w = { w_conn = conn; w_seq = seq; w_id = id } in
+          let verdict =
+            locked t.mu (fun () ->
+                Hashtbl.replace t.keys_seen key ();
+                if t.shutting_down then begin
+                  t.rejected_shutdown <- t.rejected_shutdown + 1;
+                  `Reject (P.Shutting_down, "service is shutting down")
+                end
+                else
+                  match Hashtbl.find_opt t.inflight_tbl key with
+                  | Some e ->
+                      t.coalesced <- t.coalesced + 1;
+                      e.e_waiters <- w :: e.e_waiters;
+                      `Attached
+                  | None ->
+                      if t.inflight >= t.max_inflight then begin
+                        t.overloaded <- t.overloaded + 1;
+                        `Reject
+                          ( P.Overloaded,
+                            Printf.sprintf
+                              "at capacity (%d request%s in flight); retry \
+                               after a drain"
+                              t.inflight
+                              (if t.inflight = 1 then "" else "s") )
+                      end
+                      else begin
+                        let e = { e_key = key; e_rtype = rtype; e_waiters = [ w ] } in
+                        Hashtbl.replace t.inflight_tbl key e;
+                        t.inflight <- t.inflight + 1;
+                        (* submit under [t.mu] so admission and
+                           enqueueing are atomic w.r.t. cancel_queued *)
+                        Pool.submit ~label:key t.pool (fun () ->
+                            run_entry t e compute);
+                        `Admitted
+                      end)
+          in
+          match verdict with
+          | `Reject (code, msg) -> finish conn seq (error_line id code msg)
+          | `Attached | `Admitted -> ()))
+
+let handle_line t conn line =
+  let seq =
+    locked conn.c_mu (fun () ->
+        let s = conn.c_next in
+        conn.c_next <- s + 1;
+        s)
+  in
+  locked t.mu (fun () -> t.received <- t.received + 1);
+  match P.decode_request line with
+  | Error de ->
+      locked t.mu (fun () -> t.protocol_errors <- t.protocol_errors + 1);
+      finish conn seq (P.encode_reply (P.error_of_decode de))
+  | Ok (id, req) -> dispatch t conn seq id req
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+
+let shutdown ?(drain = true) t =
+  locked t.mu (fun () -> t.shutting_down <- true);
+  if not drain then ignore (Pool.cancel_queued t.pool);
+  (* Tasks already running always finish and answer their waiters. *)
+  (try Pool.wait t.pool with _ -> ());
+  (* Entries whose task was cancelled before it started are orphans:
+     answer every waiter with a structured shutting_down error so no
+     client hangs. *)
+  let orphans =
+    locked t.mu (fun () ->
+        let es = Hashtbl.fold (fun _ e acc -> e :: acc) t.inflight_tbl [] in
+        Hashtbl.reset t.inflight_tbl;
+        t.inflight <- 0;
+        t.rejected_shutdown <- t.rejected_shutdown + List.length (List.concat_map (fun e -> e.e_waiters) es);
+        es)
+  in
+  List.iter
+    (fun e ->
+      let ws = List.rev e.e_waiters in
+      e.e_waiters <- [];
+      List.iter
+        (fun w ->
+          finish w.w_conn w.w_seq
+            (error_line w.w_id P.Shutting_down
+               "service shut down before this request ran"))
+        ws)
+    orphans;
+  (match E.store () with Some st -> Store.flush_costs st | None -> ());
+  Pool.shutdown t.pool

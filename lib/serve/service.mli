@@ -1,0 +1,93 @@
+(** The simulation service core: validation, request coalescing,
+    admission control, and in-order reply emission.
+
+    A service owns a {!Ninja_util.Pool} of worker domains. Each incoming
+    line gets a per-connection sequence number at ingest, is strictly
+    decoded ({!Protocol.decode_request}) and name-validated, and is then
+    either answered synchronously (decode errors, name errors, [report],
+    backpressure/shutdown rejections) or dispatched to the pool.
+    Identical in-flight work requests {e coalesce}: the service keys
+    each request on its resolved parameters, and a request whose key is
+    already being computed attaches as a waiter to that computation
+    instead of consuming an admission slot — one simulation fans its
+    result out to every waiter. Distinct keys are admitted only while
+    fewer than [max_inflight] are in flight; past that the service
+    answers [overloaded] immediately (closed-loop backpressure).
+
+    Replies are released strictly in each connection's request order
+    through a reorder buffer, so a connection's reply stream is a pure
+    function of its request stream — byte-identical across [-j] levels
+    and store temperatures. Timing-dependent counters appear only in the
+    [report] request's opt-in ["live"] section and in {!stats}. *)
+
+type t
+
+type conn
+(** One client connection: a sequence counter, a reply reorder buffer,
+    and a writer. Connections are cheap; make one per client. *)
+
+val default_max_inflight : int
+(** [64] — the default admission bound. *)
+
+val create : ?domains:int -> ?max_inflight:int -> unit -> t
+(** Spawn a service over a fresh pool of [domains] workers (default
+    {!Ninja_util.Pool.default_domains}; clamped to at least 1).
+    [max_inflight] (default {!default_max_inflight}, clamped to at least
+    0) bounds concurrently-admitted {e distinct} work keys; [0] makes
+    every work request answer [overloaded] — the deterministic-
+    backpressure configuration the golden tests use. Engine counters
+    ({!Ninja_core.Experiments.cache_stats}) are baselined here so
+    {!stats} reports deltas for this service's lifetime. *)
+
+val conn : write:(string -> unit) -> conn
+(** A new connection whose replies are emitted through [write], one
+    complete reply line (no trailing newline) per call. [write] is
+    called under the connection's lock — never concurrently with
+    itself — and in request order. *)
+
+val handle_line : t -> conn -> string -> unit
+(** Ingest one request line. Always results in exactly one reply line
+    for this position in the stream — possibly emitted later, when the
+    pool task finishes, but never out of order. Never raises on any
+    input; engine exceptions become [internal_error] replies. *)
+
+val shutdown : ?drain:bool -> t -> unit
+(** Stop the service: new work is answered [shutting_down] from the
+    moment shutdown begins. With [drain] (the default) every admitted
+    request finishes and is answered normally; with [~drain:false] the
+    queued backlog is cancelled ({!Ninja_util.Pool.cancel_queued}) and
+    the waiters of never-started entries are answered [shutting_down] —
+    no client hangs either way. Running tasks always finish. Flushes the
+    installed store's cost estimates and joins the pool; the service
+    must not be used afterwards. *)
+
+val pool : t -> Ninja_util.Pool.t
+(** The underlying pool — exposed so the saturation tests can occupy
+    workers deterministically (a blocker task holding a lock) before
+    submitting requests. *)
+
+(** A snapshot of the service counters, all since {!create}. The
+    [s_simulations]/[s_memo_hits]/[s_store_hits] trio are deltas of the
+    global engine counters — [s_simulations] is the number of
+    simulations actually executed, the coalescing tests' ground truth. *)
+type stats = {
+  s_received : int;  (** lines ingested, well-formed or not *)
+  s_simulate : int;  (** decoded [simulate] requests *)
+  s_analyze : int;  (** decoded [analyze] requests *)
+  s_tune : int;  (** decoded [tune] requests *)
+  s_report : int;  (** decoded [report] requests *)
+  s_protocol_errors : int;  (** lines rejected at decode *)
+  s_distinct_keys : int;  (** distinct resolved work keys seen *)
+  s_coalesced : int;  (** requests attached to an in-flight computation *)
+  s_overloaded : int;  (** requests rejected by admission control *)
+  s_rejected_shutdown : int;  (** requests rejected or orphaned by shutdown *)
+  s_completed : int;  (** work entries finished *)
+  s_inflight : int;  (** work entries currently admitted *)
+  s_simulations : int;  (** engine simulations actually executed *)
+  s_memo_hits : int;  (** engine in-memory memo hits *)
+  s_store_hits : int;  (** engine persistent-store hits *)
+}
+
+val stats : t -> stats
+(** Snapshot the counters. Quiescent (post-{!shutdown} or idle) reads
+    are exact; mid-flight reads are an instantaneous mixture. *)

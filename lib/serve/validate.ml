@@ -1,0 +1,68 @@
+(* Name resolution for wire requests: machine presets, benchmarks,
+   source variants and ladder steps, each mapping a bad name to the
+   matching Protocol error code instead of raising. The machine table
+   mirrors ninja_cli's presets (which delegates here) so the CLI and the
+   service can never drift apart. *)
+
+module Machine = Ninja_arch.Machine
+module Driver = Ninja_kernels.Driver
+module P = Protocol
+
+let machine_names =
+  [ "westmere"; "mic"; "kentsfield"; "nehalem"; "future1"; "future2"; "future3" ]
+
+let machine_of_name name =
+  match String.lowercase_ascii name with
+  | "kentsfield" | "core2" -> Ok Machine.kentsfield
+  | "nehalem" -> Ok Machine.nehalem
+  | "westmere" -> Ok Machine.westmere
+  | "mic" | "knf" | "knights-ferry" -> Ok Machine.knights_ferry
+  | "future1" -> Ok (Machine.future ~generation:1)
+  | "future2" -> Ok (Machine.future ~generation:2)
+  | "future3" -> Ok (Machine.future ~generation:3)
+  | other ->
+      Error
+        ( P.Unknown_machine,
+          Printf.sprintf "unknown machine %S (have: %s)" other
+            (String.concat ", " machine_names) )
+
+let bench_of_name name =
+  match Ninja_kernels.Registry.find name with
+  | b -> Ok b
+  | exception Invalid_argument _ ->
+      Error
+        ( P.Unknown_benchmark,
+          Printf.sprintf "unknown benchmark %S (have: %s)" name
+            (String.concat ", "
+               (List.map
+                  (fun (b : Driver.benchmark) -> b.b_name)
+                  Ninja_kernels.Registry.all)) )
+
+let variants_of_bench (b : Driver.benchmark) ~variant =
+  match variant with
+  | None -> Ok b.b_sources
+  | Some v -> (
+      match List.assoc_opt v b.b_sources with
+      | Some src -> Ok [ (v, src) ]
+      | None ->
+          Error
+            ( P.Unknown_variant,
+              Printf.sprintf "benchmark %s has no %S variant (has: %s)"
+                b.b_name v
+                (String.concat ", " (List.map fst b.b_sources)) ))
+
+(* The synthetic rung run_step_cached knows beyond the benchmark's own
+   ladder. *)
+let synthetic_steps = [ "tuned" ]
+
+let step_of_bench (b : Driver.benchmark) name =
+  let ladder = Ninja_core.Experiments.ladder b ~scale:b.default_scale in
+  let names =
+    List.map (fun (s : Driver.step) -> s.step_name) ladder @ synthetic_steps
+  in
+  if List.mem name names then Ok name
+  else
+    Error
+      ( P.Unknown_step,
+        Printf.sprintf "benchmark %s has no %S step (has: %s)" b.b_name name
+          (String.concat ", " names) )

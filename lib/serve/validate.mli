@@ -1,0 +1,41 @@
+(** Request-name resolution: machines, benchmarks, variants and ladder
+    steps, with structured errors.
+
+    Every resolver returns [Error (code, message)] — the exact
+    {!Protocol.error_code} and human message the service puts in its
+    error reply — instead of raising, so a misspelled name in a
+    well-formed request can never crash a connection. The machine name
+    table is the single source of truth shared with [ninja_cli]'s
+    [--machine] flag. *)
+
+val machine_names : string list
+(** The canonical preset names, in presentation order (aliases like
+    ["core2"] and ["knf"] resolve but are not listed). *)
+
+val machine_of_name :
+  string ->
+  (Ninja_arch.Machine.t, Protocol.error_code * string) result
+(** Case-insensitive preset lookup; [Error (Unknown_machine, _)] lists
+    the valid names. *)
+
+val bench_of_name :
+  string ->
+  (Ninja_kernels.Driver.benchmark, Protocol.error_code * string) result
+(** Registry lookup; [Error (Unknown_benchmark, _)] lists the suite. *)
+
+val variants_of_bench :
+  Ninja_kernels.Driver.benchmark ->
+  variant:string option ->
+  ((string * string) list, Protocol.error_code * string) result
+(** The benchmark's Cee sources to analyze: all of them when [variant]
+    is [None], the named one otherwise ([Error (Unknown_variant, _)]
+    when it does not exist). *)
+
+val step_of_bench :
+  Ninja_kernels.Driver.benchmark ->
+  string ->
+  (string, Protocol.error_code * string) result
+(** Check a ladder-step name against the benchmark's ladder at its
+    default scale, plus the synthetic ["tuned"] rung. Builds (or reuses)
+    the memoized ladder, so the first call per benchmark costs a
+    compile. *)

@@ -22,8 +22,10 @@
    Error handling: the first task exception flips the pool into draining
    mode — queued tasks are cancelled (popped and dropped without
    running), tasks already in flight finish, and every exception raised
-   is kept in order. [wait] re-raises a lone exception as-is and wraps
-   two or more in [Task_errors]. *)
+   is kept in order together with the failing task's label. [wait]
+   re-raises a lone exception as-is and wraps two or more in
+   [Task_errors], labels attached so the caller can tell which step of
+   a batch failed. *)
 
 type stats = {
   domains : int;
@@ -35,11 +37,13 @@ type stats = {
   max_depth : int array;
 }
 
-exception Task_errors of exn list
+exception Task_errors of (string * exn) list
+
+let default_label = "task"
 
 type slot = {
   smu : Mutex.t;
-  deque : (unit -> unit) Wsdeque.t;
+  deque : (string * (unit -> unit)) Wsdeque.t;
   rng : Rng.t;  (* victim selection; only its owner worker touches it *)
   mutable busy_s : float;
   mutable ran : int;
@@ -56,7 +60,7 @@ type t = {
   mutable pending : int;  (* enqueued + currently running *)
   mutable queued : int;  (* enqueued, not yet popped *)
   mutable stopping : bool;
-  mutable errors : exn list;  (* reverse chronological *)
+  mutable errors : (string * exn) list;  (* reverse chronological *)
   mutable cancelled : int;
   mutable workers : unit Domain.t list;
 }
@@ -92,7 +96,7 @@ let find_task p me =
 
 let rec worker_loop p me =
   match find_task p me with
-  | Some (task, stolen) ->
+  | Some ((label, task), stolen) ->
       let run =
         locked p.mu (fun () ->
             p.queued <- p.queued - 1;
@@ -113,7 +117,9 @@ let rec worker_loop p me =
             mine.ran <- mine.ran + 1;
             if stolen then mine.stolen <- mine.stolen + 1);
         locked p.mu (fun () ->
-            (match err with Some e -> p.errors <- e :: p.errors | None -> ()))
+            (match err with
+            | Some e -> p.errors <- (label, e) :: p.errors
+            | None -> ()))
       end;
       locked p.mu (fun () ->
           p.pending <- p.pending - 1;
@@ -163,7 +169,7 @@ let create ~domains =
 
 let size p = Array.length p.slots
 
-let submit_on p i task =
+let submit_on ?(label = default_label) p i task =
   let n = Array.length p.slots in
   if i < 0 || i >= n then invalid_arg "Pool.submit_on: bad worker index";
   Mutex.lock p.mu;
@@ -175,13 +181,13 @@ let submit_on p i task =
   p.queued <- p.queued + 1;
   let s = p.slots.(i) in
   locked s.smu (fun () ->
-      Wsdeque.push_back s.deque task;
+      Wsdeque.push_back s.deque (label, task);
       let d = Wsdeque.length s.deque in
       if d > s.max_depth then s.max_depth <- d);
   Condition.signal p.nonempty;
   Mutex.unlock p.mu
 
-let submit p task =
+let submit ?label p task =
   (* the cursor is read/advanced under the global mutex inside submit_on's
      critical section only for [pending]; racing on [next] itself would
      only skew the distribution, but keep it exact: *)
@@ -190,7 +196,7 @@ let submit p task =
       p.next <- (i + 1) mod Array.length p.slots;
       i)
   in
-  submit_on p i task
+  submit_on ?label p i task
 
 let wait p =
   Mutex.lock p.mu;
@@ -202,8 +208,36 @@ let wait p =
   Mutex.unlock p.mu;
   match errs with
   | [] -> ()
-  | [ e ] -> raise e
+  | [ (_, e) ] -> raise e
   | es -> raise (Task_errors es)
+
+let pending p = locked p.mu (fun () -> p.pending)
+
+(* Drop every queued-but-unstarted task. Each removal is mirrored into
+   the pending/queued counters under the global mutex, so a concurrent
+   worker popping from the same deque (both touch it under the slot
+   mutex) stays consistent: a task is either run by the worker or
+   counted cancelled here, never both. *)
+let cancel_queued p =
+  let n = ref 0 in
+  Array.iter
+    (fun s ->
+      locked s.smu (fun () ->
+          let rec drain () =
+            match Wsdeque.pop_back s.deque with
+            | Some _ ->
+                incr n;
+                drain ()
+            | None -> ()
+          in
+          drain ()))
+    p.slots;
+  locked p.mu (fun () ->
+      p.queued <- p.queued - !n;
+      p.pending <- p.pending - !n;
+      p.cancelled <- p.cancelled + !n;
+      if p.pending = 0 then Condition.broadcast p.idle);
+  !n
 
 let shutdown p =
   Mutex.lock p.mu;
@@ -253,7 +287,7 @@ let pp_stats ppf s =
         s.run_per_domain.(i) b s.max_depth.(i))
     s.busy_s
 
-let map_list ?domains ?on_stats f xs =
+let map_list ?domains ?on_stats ?label f xs =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let n = List.length xs in
   if domains <= 1 || n <= 1 then begin
@@ -277,7 +311,11 @@ let map_list ?domains ?on_stats f xs =
     let arr = Array.of_list xs in
     let out = Array.make n None in
     let p = create ~domains:(min domains n) in
-    Array.iteri (fun i x -> submit p (fun () -> out.(i) <- Some (f x))) arr;
+    Array.iteri
+      (fun i x ->
+        let label = Option.map (fun l -> l x) label in
+        submit ?label p (fun () -> out.(i) <- Some (f x)))
+      arr;
     let fin () = shutdown p in
     (try wait p
      with e ->

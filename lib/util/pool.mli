@@ -29,10 +29,15 @@ type stats = {
   max_depth : int array;  (** per-domain deque high-water mark *)
 }
 
-exception Task_errors of exn list
+exception Task_errors of (string * exn) list
 (** Raised by {!wait} when two or more tasks failed, carrying every task
-    exception in the order they occurred. A lone failure is re-raised
-    as itself. *)
+    exception in the order they occurred, each paired with the failing
+    task's submit label (see {!submit}; [{!default_label}] when the
+    submitter gave none) so multi-failure reports keep per-task
+    identity. A lone failure is re-raised as itself. *)
+
+val default_label : string
+(** ["task"] — the label recorded for tasks submitted without one. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the [-j] default. *)
@@ -44,13 +49,15 @@ val create : domains:int -> t
 val size : t -> int
 (** Number of worker domains. *)
 
-val submit : t -> (unit -> unit) -> unit
+val submit : ?label:string -> t -> (unit -> unit) -> unit
 (** Enqueue a task, round-robin across the worker deques. Tasks must not
     themselves call {!wait} or {!shutdown}. On the first task exception
     the pool drains: queued tasks are cancelled without running, and
-    {!wait} reports every exception raised (see {!Task_errors}). *)
+    {!wait} reports every exception raised (see {!Task_errors}).
+    [label] names the task in error reports (a step or job name);
+    default {!default_label}. *)
 
-val submit_on : t -> int -> (unit -> unit) -> unit
+val submit_on : ?label:string -> t -> int -> (unit -> unit) -> unit
 (** [submit_on p i task] enqueues onto worker [i]'s deque specifically —
     for callers that plan their own distribution, and for tests that
     construct deliberate imbalance to exercise stealing. *)
@@ -60,6 +67,17 @@ val wait : t -> unit
     then re-raise a lone task exception as itself, or two or more as
     {!Task_errors} (chronological order). The error state is cleared, so
     the pool remains usable. *)
+
+val pending : t -> int
+(** Tasks enqueued or currently running — [0] iff the pool is idle.
+    Instantaneous; for admission control and drain loops. *)
+
+val cancel_queued : t -> int
+(** Remove every queued-but-unstarted task from the deques without
+    running it (tasks already executing finish normally) and return the
+    number removed. Removed tasks count as [cancelled] in {!stats}.
+    The force-shutdown hook for services that must stop accepting and
+    discard their backlog; pair with {!wait} to quiesce. *)
 
 val shutdown : t -> unit
 (** Drain remaining tasks, then join all worker domains. The pool must
@@ -76,7 +94,10 @@ val pp_stats : Format.formatter -> stats -> unit
     streams. *)
 
 val map_list :
-  ?domains:int -> ?on_stats:(stats -> unit) -> ('a -> 'b) -> 'a list -> 'b list
+  ?domains:int ->
+  ?on_stats:(stats -> unit) ->
+  ?label:('a -> string) ->
+  ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~domains f xs] applies [f] to every element across a
     temporary pool of [domains] workers and returns results in input order
     ([List.map] observational equivalence, whatever the interleaving).
@@ -87,4 +108,5 @@ val map_list :
     is exactly the serial path. Default: {!default_domains}.
     [on_stats] receives the pool's scheduler counters after all tasks
     finish (a synthetic all-serial snapshot on the degenerate path); it
-    is not called when a task failed. *)
+    is not called when a task failed. [label], when given, names each
+    element's task for {!Task_errors} reporting. *)

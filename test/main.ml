@@ -17,5 +17,6 @@ let () =
       Test_profile.suite;
       Test_sched.suite;
       Test_store.suite;
+      Test_serve.suite;
       Test_tuner.suite;
       Test_core.suite ]

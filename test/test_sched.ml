@@ -102,20 +102,97 @@ let test_submit_on_bounds () =
 
 let test_multi_error_aggregation () =
   (* two tasks, pinned to different workers, both already in flight when
-     they fail: wait must report both, in Task_errors *)
+     they fail: wait must report both, in Task_errors, each under the
+     label it was submitted with — a multi-failure report that loses
+     per-task identity is useless for a grid of hundreds of jobs *)
   let p = Pool.create ~domains:2 in
-  Pool.submit_on p 0 (fun () -> Unix.sleepf 0.2; failwith "left");
-  Pool.submit_on p 1 (fun () -> Unix.sleepf 0.2; failwith "right");
+  Pool.submit_on ~label:"step-left" p 0 (fun () -> Unix.sleepf 0.2; failwith "left");
+  Pool.submit_on ~label:"step-right" p 1 (fun () -> Unix.sleepf 0.2; failwith "right");
   (match Pool.wait p with
   | () -> Alcotest.fail "wait did not raise"
   | exception Pool.Task_errors errs ->
-      let msgs =
+      let tagged =
         List.sort compare
-          (List.map (function Failure m -> m | e -> Printexc.to_string e) errs)
+          (List.map
+             (fun (label, e) ->
+               (label, match e with Failure m -> m | e -> Printexc.to_string e))
+             errs)
       in
-      Alcotest.(check (list string)) "both failures reported" [ "left"; "right" ] msgs
+      Alcotest.(check (list (pair string string)))
+        "both failures reported under their step names"
+        [ ("step-left", "left"); ("step-right", "right") ]
+        tagged
   | exception e -> Alcotest.fail ("expected Task_errors, got " ^ Printexc.to_string e));
   Pool.shutdown p
+
+let test_unlabeled_error_default_label () =
+  (* tasks submitted without a label still aggregate, under the default *)
+  let p = Pool.create ~domains:2 in
+  Pool.submit_on p 0 (fun () -> Unix.sleepf 0.2; failwith "a");
+  Pool.submit_on ~label:"named" p 1 (fun () -> Unix.sleepf 0.2; failwith "b");
+  (match Pool.wait p with
+  | () -> Alcotest.fail "wait did not raise"
+  | exception Pool.Task_errors errs ->
+      Alcotest.(check (list string)) "default label fills the gap"
+        (List.sort compare [ Pool.default_label; "named" ])
+        (List.sort compare (List.map fst errs))
+  | exception e -> Alcotest.fail ("expected Task_errors, got " ^ Printexc.to_string e));
+  Pool.shutdown p
+
+let test_map_list_labels_errors () =
+  (* the grid path: map_list's labeler names each failing element *)
+  (match
+     Pool.map_list ~domains:2 ~label:(fun x -> "job-" ^ string_of_int x)
+       (fun x ->
+         Unix.sleepf 0.2;
+         if x >= 0 then failwith ("boom " ^ string_of_int x))
+       [ 1; 2 ]
+   with
+  | _ -> Alcotest.fail "map_list did not raise"
+  | exception Pool.Task_errors errs ->
+      Alcotest.(check (list string)) "element labels survive aggregation"
+        [ "job-1"; "job-2" ]
+        (List.sort compare (List.map fst errs))
+  | exception Failure _ ->
+      (* one task may be cancelled before running if the other fails
+         first; a lone failure re-raises as itself, which is also a
+         correct outcome — but with the 0.2s sleeps both are in flight
+         before either fails, so treat it as a scheduling fluke *)
+      Alcotest.fail "expected both failures in flight")
+
+let test_cancel_queued () =
+  (* one worker, blocked by a gate task: everything behind it is queued.
+     cancel_queued must drop exactly the backlog, count it as cancelled,
+     and leave the pool usable. *)
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let p = Pool.create ~domains:1 in
+  let ran = Atomic.make 0 in
+  let started = Atomic.make false in
+  Pool.submit p (fun () ->
+      Atomic.set started true;
+      Mutex.lock gate;
+      Mutex.unlock gate);
+  (* wait until the worker has picked the gate task up, so it is running,
+     not queued — cancel_queued must never touch a running task *)
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  for _ = 1 to 10 do
+    Pool.submit p (fun () -> Atomic.incr ran)
+  done;
+  let dropped = Pool.cancel_queued p in
+  Mutex.unlock gate;
+  Pool.wait p;
+  Alcotest.(check int) "backlog dropped" 10 dropped;
+  Alcotest.(check int) "cancelled tasks never ran" 0 (Atomic.get ran);
+  Alcotest.(check int) "stats count the cancellations" 10
+    (Pool.stats p).Pool.cancelled;
+  (* still usable *)
+  Pool.submit p (fun () -> Atomic.incr ran);
+  Pool.wait p;
+  Pool.shutdown p;
+  Alcotest.(check int) "pool usable after cancel" 1 (Atomic.get ran)
 
 let test_failure_drains_queue () =
   (* a fast failure at the front cancels the (slow) tasks still queued
@@ -223,6 +300,10 @@ let suite =
       Alcotest.test_case "steals rebalance" `Quick test_steals_rebalance;
       Alcotest.test_case "submit_on bounds" `Quick test_submit_on_bounds;
       Alcotest.test_case "multi-error aggregation" `Quick test_multi_error_aggregation;
+      Alcotest.test_case "unlabeled error default label" `Quick
+        test_unlabeled_error_default_label;
+      Alcotest.test_case "map_list error labels" `Quick test_map_list_labels_errors;
+      Alcotest.test_case "cancel_queued" `Quick test_cancel_queued;
       Alcotest.test_case "failure drains queue" `Quick test_failure_drains_queue;
       Alcotest.test_case "shutdown under load" `Quick test_shutdown_under_load;
       Alcotest.test_case "map_list stats" `Quick test_map_list_stats;

@@ -1,0 +1,464 @@
+(* The simulation service (lib/serve): protocol golden transcript,
+   encode/decode round-trip property, malformed-input totality,
+   coalescing (identical-key burst → exactly one simulation),
+   deterministic saturation/recovery under a plugged pool, and the
+   -j1-vs-j4 reply-stream differential. *)
+
+module P = Ninja_serve.Protocol
+module Service = Ninja_serve.Service
+module Script = Ninja_serve.Script
+module Server = Ninja_serve.Server
+module E = Ninja_core.Experiments
+module Pool = Ninja_util.Pool
+module Json = Ninja_report.Json
+
+(* ---- scaffolding ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A connection writing into a list, plus a blocking wait for the n-th
+   reply — the async counterpart of Script's lockstep sink. *)
+type sink = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable replies : string list;  (* newest first *)
+  mutable count : int;
+}
+
+let make_conn () =
+  let s =
+    { mu = Mutex.create (); cond = Condition.create (); replies = []; count = 0 }
+  in
+  let conn =
+    Service.conn ~write:(fun line ->
+        Mutex.lock s.mu;
+        s.replies <- line :: s.replies;
+        s.count <- s.count + 1;
+        Condition.signal s.cond;
+        Mutex.unlock s.mu)
+  in
+  (s, conn)
+
+let await s n =
+  Mutex.lock s.mu;
+  while s.count < n do
+    Condition.wait s.cond s.mu
+  done;
+  let rs = List.rev s.replies in
+  Mutex.unlock s.mu;
+  rs
+
+(* Plug a 1-domain pool: a gate task that holds the only worker until
+   [release] is called — makes admission/coalescing windows
+   deterministic. *)
+let plug_pool pool =
+  let gate = Mutex.create () in
+  let started = Atomic.make false in
+  Mutex.lock gate;
+  Pool.submit ~label:"gate" pool (fun () ->
+      Atomic.set started true;
+      Mutex.lock gate;
+      Mutex.unlock gate);
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  fun () -> Mutex.unlock gate
+
+let ok_of_reply line =
+  match Json.parse line with
+  | Json.Obj fields -> (
+      match List.assoc_opt "ok" fields with
+      | Some (Json.Bool b) -> b
+      | _ -> Alcotest.fail ("reply without ok field: " ^ line))
+  | _ -> Alcotest.fail ("reply is not an object: " ^ line)
+
+let error_code_of_reply line =
+  match Json.parse line with
+  | Json.Obj fields -> (
+      match List.assoc_opt "error" fields with
+      | Some (Json.Obj e) -> (
+          match List.assoc_opt "code" e with
+          | Some (Json.Str c) -> Some c
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* ---- golden transcript ---- *)
+
+let test_golden_transcript () =
+  E.set_store None;
+  let got = Script.run Script.golden_script in
+  let path =
+    if Sys.file_exists "golden_serve.txt" then "golden_serve.txt"
+    else Filename.concat "test" "golden_serve.txt"
+  in
+  Alcotest.(check string)
+    "golden serve transcript (regenerate: dune exec \
+     tools/gen_serve_golden.exe > test/golden_serve.txt)"
+    (read_file path) got
+
+(* ---- protocol round-trip property ---- *)
+
+let id_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> P.Id_num (float_of_int n)) (int_range (-1000) 1000);
+        map (fun s -> P.Id_str s) (string_size ~gen:printable (int_range 0 12));
+      ])
+
+let name_gen =
+  QCheck.Gen.(
+    oneofl
+      [ "blackscholes"; "NBody"; "no such thing"; ""; "+autovec"; "naïve";
+        "a\"b\\c"; "tab\there" ])
+
+let request_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun bench machine step -> P.Simulate { bench; machine; step })
+          name_gen name_gen name_gen;
+        map2
+          (fun bench variant -> P.Analyze { bench; variant })
+          name_gen (opt name_gen);
+        map2 (fun bench machine -> P.Tune { bench; machine }) name_gen name_gen;
+        map (fun live -> P.Report { live }) bool;
+      ])
+
+let arb_id_request =
+  QCheck.make
+    ~print:(fun (id, r) -> P.encode_request id r)
+    QCheck.Gen.(pair id_gen request_gen)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"request encode/decode round-trip" ~count:500
+    arb_id_request (fun (id, req) ->
+      let line = P.encode_request id req in
+      (* the encoded line is a single line (protocol framing invariant) *)
+      if String.contains line '\n' then
+        QCheck.Test.fail_reportf "encoded request contains a newline: %s" line;
+      match P.decode_request line with
+      | Ok (id', req') -> id' = id && req' = req
+      | Error e ->
+          QCheck.Test.fail_reportf "decode failed with %s: %s"
+            (P.error_code_name e.P.de_code)
+            e.P.de_msg)
+
+let prop_reply_single_line =
+  let arb =
+    QCheck.make
+      ~print:(fun r -> P.encode_reply r)
+      QCheck.Gen.(
+        oneof
+          [
+            map2
+              (fun id msg ->
+                P.Error_reply
+                  { id = Some id; code = P.Internal_error; message = msg })
+              id_gen (string_size ~gen:printable (int_range 0 40));
+            map2
+              (fun id live ->
+                P.Result
+                  { id; rtype = "report"; result = Json.Bool live })
+              id_gen bool;
+          ])
+  in
+  QCheck.Test.make ~name:"encoded replies are single JSON lines" ~count:200 arb
+    (fun reply ->
+      let line = P.encode_reply reply in
+      (not (String.contains line '\n'))
+      && match Json.parse line with Json.Obj _ -> true | _ -> false)
+
+(* ---- malformed input totality ---- *)
+
+(* decode_request must map arbitrary junk to Error, never an exception. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode_request never raises" ~count:1000
+    QCheck.(string_gen QCheck.Gen.printable)
+    (fun s ->
+      match P.decode_request s with Ok _ | Error _ -> true)
+
+(* And the full service must answer exactly one structured reply per
+   line, whatever the line is. max_inflight=0 keeps everything
+   synchronous (work requests answer `overloaded`). *)
+let test_junk_lines_get_replies () =
+  let svc = Service.create ~domains:1 ~max_inflight:0 () in
+  let sink, conn = make_conn () in
+  let junk =
+    [
+      "";
+      "   ";
+      "{";
+      "}";
+      "{}";
+      "[]";
+      "null";
+      "true";
+      "\"id\"";
+      "{\"id\":}";
+      "{\"id\": 1}";
+      "{\"id\": 1, \"type\": \"simulate\", \"bench\": \"blackscholes\"}";
+      "{\"id\": 1, \"type\": \"analyze\", \"bench\": [1]}";
+      "{\"id\": {}, \"type\": \"report\"}";
+      "{\"id\": 1, \"type\": \"report\", \"extra\": 1}";
+      "\xff\xfe garbage \x00 bytes";
+      String.make 4096 '{';
+    ]
+  in
+  List.iter (fun l -> Service.handle_line svc conn l) junk;
+  let replies = await sink (List.length junk) in
+  Service.shutdown svc;
+  Alcotest.(check int)
+    "one reply per line" (List.length junk) (List.length replies);
+  List.iter
+    (fun r ->
+      match Json.parse r with
+      | Json.Obj fields ->
+          Alcotest.(check bool)
+            "reply has ok field" true
+            (List.mem_assoc "ok" fields)
+      | _ -> Alcotest.fail ("non-object reply: " ^ r))
+    replies
+
+(* ---- coalescing: identical-key burst → exactly one simulation ---- *)
+
+let test_identical_key_burst_coalesces () =
+  E.set_store None;
+  E.reset_cache ();
+  let svc = Service.create ~domains:1 ~max_inflight:4 () in
+  let release = plug_pool (Service.pool svc) in
+  let sink, conn = make_conn () in
+  let n = 32 in
+  let req =
+    "{\"id\": 1, \"type\": \"simulate\", \"bench\": \"blackscholes\", \
+     \"machine\": \"westmere\", \"step\": \"+parallel\"}"
+  in
+  for _ = 1 to n do
+    Service.handle_line svc conn req
+  done;
+  (* all ingested while the pool is plugged: one admitted, rest attached *)
+  let st = Service.stats svc in
+  Alcotest.(check int) "one in flight" 1 st.Service.s_inflight;
+  Alcotest.(check int) "burst coalesced" (n - 1) st.Service.s_coalesced;
+  Alcotest.(check int) "one distinct key" 1 st.Service.s_distinct_keys;
+  release ();
+  let replies = await sink n in
+  Service.shutdown svc;
+  let st = Service.stats svc in
+  Alcotest.(check int) "exactly one simulation" 1 st.Service.s_simulations;
+  Alcotest.(check int) "one entry completed" 1 st.Service.s_completed;
+  (match replies with
+  | first :: rest ->
+      Alcotest.(check bool) "ok reply" true (ok_of_reply first);
+      List.iter
+        (fun r ->
+          Alcotest.(check string) "byte-identical fan-out reply" first r)
+        rest
+  | [] -> Alcotest.fail "no replies")
+
+(* Aliased machine names resolve to one key, so they coalesce too. *)
+let test_alias_coalesces () =
+  E.set_store None;
+  E.reset_cache ();
+  let svc = Service.create ~domains:1 ~max_inflight:4 () in
+  let release = plug_pool (Service.pool svc) in
+  let sink, conn = make_conn () in
+  let send m =
+    Service.handle_line svc conn
+      (Printf.sprintf
+         "{\"id\": 1, \"type\": \"simulate\", \"bench\": \"blackscholes\", \
+          \"machine\": %S, \"step\": \"+autovec\"}"
+         m)
+  in
+  List.iter send [ "mic"; "knf"; "knights-ferry" ];
+  let st = Service.stats svc in
+  Alcotest.(check int) "aliases share one key" 1 st.Service.s_distinct_keys;
+  Alcotest.(check int) "two coalesced" 2 st.Service.s_coalesced;
+  release ();
+  let replies = await sink 3 in
+  Service.shutdown svc;
+  let st = Service.stats svc in
+  Alcotest.(check int) "one simulation" 1 st.Service.s_simulations;
+  match replies with
+  | a :: rest -> List.iter (Alcotest.(check string) "identical replies" a) rest
+  | [] -> Alcotest.fail "no replies"
+
+(* ---- saturation and recovery ---- *)
+
+let test_saturation_and_recovery () =
+  E.set_store None;
+  let svc = Service.create ~domains:1 ~max_inflight:2 () in
+  let release = plug_pool (Service.pool svc) in
+  let sink, conn = make_conn () in
+  let analyze b =
+    Service.handle_line svc conn
+      (Printf.sprintf "{\"id\": \"%s\", \"type\": \"analyze\", \"bench\": %S}" b b)
+  in
+  (* five distinct keys against max_inflight=2 with the worker plugged:
+     exactly the first two admit, the rest bounce immediately *)
+  List.iter analyze [ "NBody"; "Conv2D"; "Stencil7"; "LBM"; "MergeSort" ];
+  let st = Service.stats svc in
+  Alcotest.(check int) "two admitted" 2 st.Service.s_inflight;
+  Alcotest.(check int) "three overloaded" 3 st.Service.s_overloaded;
+  Alcotest.(check int) "nothing coalesced" 0 st.Service.s_coalesced;
+  release ();
+  let replies = await sink 5 in
+  (* replies are released in request order: 2 ok, then the 3 rejections *)
+  (match replies with
+  | [ r1; r2; r3; r4; r5 ] ->
+      Alcotest.(check bool) "1st ok" true (ok_of_reply r1);
+      Alcotest.(check bool) "2nd ok" true (ok_of_reply r2);
+      List.iter
+        (fun r ->
+          Alcotest.(check (option string))
+            "overloaded code" (Some "overloaded") (error_code_of_reply r))
+        [ r3; r4; r5 ]
+  | rs -> Alcotest.fail (Printf.sprintf "expected 5 replies, got %d" (List.length rs)));
+  (* recovery: once drained, new work admits again *)
+  analyze "TreeSearch";
+  let replies = await sink 6 in
+  Alcotest.(check bool) "recovered" true (ok_of_reply (List.nth replies 5));
+  Service.shutdown svc;
+  let st = Service.stats svc in
+  Alcotest.(check int) "3 work entries completed" 3 st.Service.s_completed
+
+(* ---- force shutdown: cancelled backlog still gets answers ---- *)
+
+let test_force_shutdown_answers_backlog () =
+  E.set_store None;
+  let svc = Service.create ~domains:1 ~max_inflight:4 () in
+  let release = plug_pool (Service.pool svc) in
+  let sink, conn = make_conn () in
+  List.iter
+    (fun b ->
+      Service.handle_line svc conn
+        (Printf.sprintf "{\"id\": %S, \"type\": \"analyze\", \"bench\": %S}" b b))
+    [ "NBody"; "Conv2D"; "Stencil7" ];
+  let st = Service.stats svc in
+  Alcotest.(check int) "three queued" 3 st.Service.s_inflight;
+  (* release the gate only after shutdown begins cancelling: the gate
+     task is running (not cancellable), the three entries are queued *)
+  let shutdown_done = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Service.shutdown ~drain:false svc;
+        Atomic.set shutdown_done true)
+  in
+  (* cancel_queued runs before Pool.wait, which blocks on the gate *)
+  while (Pool.stats (Service.pool svc)).Pool.cancelled < 3 do
+    Domain.cpu_relax ()
+  done;
+  release ();
+  Domain.join d;
+  Alcotest.(check bool) "shutdown returned" true (Atomic.get shutdown_done);
+  let replies = await sink 3 in
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string))
+        "orphan answered shutting_down" (Some "shutting_down")
+        (error_code_of_reply r))
+    replies;
+  let st = Service.stats svc in
+  Alcotest.(check int) "no entry completed" 0 st.Service.s_completed;
+  Alcotest.(check int) "orphans counted" 3 st.Service.s_rejected_shutdown
+
+(* ---- -j differential: reply stream independent of domains ---- *)
+
+let differential_requests =
+  [
+    "{\"id\": 1, \"type\": \"report\"}";
+    "{\"id\": 2, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"step\": \"naive serial\"}";
+    "{\"id\": 3, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"step\": \"+autovec\"}";
+    "{\"id\": 4, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"machine\": \"knf\", \"step\": \"+autovec\"}";
+    "{\"id\": 5, \"type\": \"analyze\", \"bench\": \"nbody\"}";
+    "not json";
+    "{\"id\": 6, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"step\": \"+parallel\"}";
+    "{\"id\": 7, \"type\": \"simulate\", \"bench\": \"blackscholes\", \"step\": \"nope\"}";
+    "{\"id\": 8, \"type\": \"report\"}";
+  ]
+
+let run_differential ~domains =
+  let svc = Service.create ~domains ~max_inflight:8 () in
+  let sink, conn = make_conn () in
+  List.iter (Service.handle_line svc conn) differential_requests;
+  let replies = await sink (List.length differential_requests) in
+  Service.shutdown svc;
+  replies
+
+let test_j_differential () =
+  E.set_store None;
+  (* cold memo for -j1, warm for -j4: the comparison also proves the
+     reply stream is cache-temperature independent *)
+  E.reset_cache ();
+  let r1 = run_differential ~domains:1 in
+  let r4 = run_differential ~domains:4 in
+  Alcotest.(check (list string)) "-j4 replies byte-identical to -j1" r1 r4
+
+(* ---- TCP transport smoke ---- *)
+
+let test_tcp_roundtrip () =
+  E.set_store None;
+  let svc = Service.create ~domains:1 ~max_inflight:4 () in
+  let port = ref 0 in
+  let port_mu = Mutex.create () in
+  let port_cond = Condition.create () in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.run_tcp svc ~port:0 ~conns:1
+          ~on_listen:(fun p ->
+            Mutex.lock port_mu;
+            port := p;
+            Condition.signal port_cond;
+            Mutex.unlock port_mu)
+          ())
+      ()
+  in
+  Mutex.lock port_mu;
+  while !port = 0 do
+    Condition.wait port_cond port_mu
+  done;
+  let p = !port in
+  Mutex.unlock port_mu;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc "{\"id\": 1, \"type\": \"report\"}\n";
+  output_string oc "junk\n";
+  flush oc;
+  let r1 = input_line ic in
+  let r2 = input_line ic in
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  Thread.join server;
+  (try Unix.close fd with _ -> ());
+  Alcotest.(check bool) "report ok over TCP" true (ok_of_reply r1);
+  Alcotest.(check (option string))
+    "junk rejected over TCP" (Some "bad_json") (error_code_of_reply r2)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol golden transcript" `Quick
+        test_golden_transcript;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_reply_single_line;
+      QCheck_alcotest.to_alcotest prop_decode_total;
+      Alcotest.test_case "junk lines all get structured replies" `Quick
+        test_junk_lines_get_replies;
+      Alcotest.test_case "identical-key burst: one simulation" `Quick
+        test_identical_key_burst_coalesces;
+      Alcotest.test_case "machine aliases coalesce" `Quick test_alias_coalesces;
+      Alcotest.test_case "saturation rejects, drain recovers" `Quick
+        test_saturation_and_recovery;
+      Alcotest.test_case "force shutdown answers backlog" `Quick
+        test_force_shutdown_answers_backlog;
+      Alcotest.test_case "-j1 vs -j4 reply stream" `Slow test_j_differential;
+      Alcotest.test_case "TCP transport round-trip" `Quick test_tcp_roundtrip;
+    ] )

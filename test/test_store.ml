@@ -226,6 +226,58 @@ let test_concurrent_writers () =
       | None -> Alcotest.fail "entry missing after concurrent writes"
       | Some r' -> Alcotest.(check string) "final bytes intact" (render r) (render r'))
 
+(* A reader racing a writer replacing the same key must always see a
+   complete payload — one of the two reports being written, bit-exact —
+   or miss cleanly (and the engine would re-simulate); a torn read or an
+   exception is a store bug. Atomic temp-file+rename replacement is what
+   makes this hold. *)
+let test_reader_during_writer () =
+  with_temp_dir (fun dir ->
+      let st = Store.open_ ~dir () in
+      let machine = Machine.westmere in
+      let key = "dd0123456789" in
+      let b = Registry.find "BlackScholes" in
+      let r1 = Lazy.force westmere_report in
+      let r2 = Driver.run_step ~machine (step_of b "naive serial") in
+      let s1 = render r1 and s2 = render r2 in
+      Alcotest.(check bool) "the two payloads differ" true (s1 <> s2);
+      let writes = 60 and reads = 300 in
+      let outcomes =
+        Pool.map_list ~domains:4
+          (fun role ->
+            if role = 0 then begin
+              (* the writer: keep replacing the entry, alternating *)
+              for i = 1 to writes do
+                Store.save st ~key ~machine ~step_name:"ninja" ~cost_s:0.1
+                  (if i mod 2 = 0 then r1 else r2)
+              done;
+              true
+            end
+            else begin
+              (* a reader: every load is old-complete, new-complete, or
+                 a clean miss *)
+              let ok = ref true in
+              for _ = 1 to reads do
+                match Store.load st ~key ~machine with
+                | None -> ()
+                | Some r ->
+                    let s = render r in
+                    if s <> s1 && s <> s2 then ok := false
+                | exception _ -> ok := false
+              done;
+              !ok
+            end)
+          [ 0; 1; 2; 3 ]
+      in
+      Alcotest.(check (list bool))
+        "no torn reads" [ true; true; true; true ] outcomes;
+      match Store.load st ~key ~machine with
+      | None -> Alcotest.fail "entry missing after writer finished"
+      | Some r ->
+          let s = render r in
+          Alcotest.(check bool) "final payload is one of the two" true
+            (s = s1 || s = s2))
+
 let test_salt_invalidates () =
   with_temp_dir (fun dir ->
       let machine = Machine.westmere in
@@ -393,6 +445,8 @@ let suite =
       Alcotest.test_case "truncated entry recovers" `Quick test_truncated_entry_recovers;
       QCheck_alcotest.to_alcotest prop_bit_flip;
       Alcotest.test_case "concurrent writers" `Quick test_concurrent_writers;
+      Alcotest.test_case "reader during writer" `Quick
+        test_reader_during_writer;
       Alcotest.test_case "salt bump invalidates" `Quick test_salt_invalidates;
       Alcotest.test_case "opt tag changes key" `Quick test_opt_tag_changes_key;
       Alcotest.test_case "machine/step change key" `Quick test_machine_param_changes_key;

@@ -1,0 +1,13 @@
+(* Regenerate the ninja-serve/v1 protocol golden transcript:
+
+     dune exec tools/gen_serve_golden.exe > test/golden_serve.txt
+
+   The script itself lives in Ninja_serve.Script.golden_script so the
+   generator and the byte-comparison test can never replay different
+   inputs. No persistent store is installed: the golden must be
+   cache-temperature-independent anyway, and a cold in-memory run keeps
+   regeneration hermetic. *)
+
+let () =
+  Ninja_core.Experiments.set_store None;
+  print_string (Ninja_serve.Script.run Ninja_serve.Script.golden_script)
