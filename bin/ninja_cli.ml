@@ -40,20 +40,68 @@ let passes_arg =
   in
   Arg.(value & opt (some string) None & info [ "passes" ] ~doc ~docv:"LIST")
 
+(* Flag errors are hard failures with a stable, greppable shape
+   (`ninja_cli: error <code>: ...`), pinned byte-for-byte by the
+   cram-style test in bin/dune. *)
+let flag_error code fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "ninja_cli: error %s: %s@." code msg;
+      exit 1)
+    fmt
+
 let opt_config_of_flags ~opt:_ ~no_opt ~passes =
   match passes with
   | Some spec -> (
       match Ninja_vm.Optimize.parse_passes spec with
       | Ok c -> Some c
-      | Error msg ->
-          Fmt.epr "--passes: %s@." msg;
-          exit 1)
+      | Error msg -> flag_error "bad_pass_list" "--passes: %s" msg)
   | None -> if no_opt then None else Some Ninja_vm.Optimize.default
 
-let strategy_of_flags ~opt ~no_opt ~passes =
-  match opt_config_of_flags ~opt ~no_opt ~passes with
-  | Some c -> Ninja_vm.Interp.Optimized c
-  | None -> Ninja_vm.Interp.Decoded
+let backend_arg =
+  let doc =
+    "Host execution backend for simulations: $(b,tree) (reference \
+     walker), $(b,decoded) (indexed dispatch), $(b,optimized) (decoded + \
+     optimizer passes), or $(b,compiled) (closure-threaded code; the \
+     default). Reported numbers are identical for every backend; only \
+     the simulator's own speed changes."
+  in
+  Arg.(value & opt (some string) None & info [ "backend" ] ~doc ~docv:"NAME")
+
+(* --backend names the executor; --passes/--no-opt pick the pass list the
+   optimizing backends run. Without --backend, --no-opt falls back to the
+   plain decoded executor and everything else gets the compiled default. *)
+let strategy_of_flags ?backend ~opt ~no_opt ~passes () =
+  let config () =
+    Option.value
+      (opt_config_of_flags ~opt ~no_opt ~passes)
+      ~default:Ninja_vm.Optimize.none
+  in
+  match backend with
+  | Some name -> (
+      match Ninja_vm.Interp.strategy_of_name name with
+      | Some Ninja_vm.Interp.Tree -> Ninja_vm.Interp.Tree
+      | Some Ninja_vm.Interp.Decoded -> Ninja_vm.Interp.Decoded
+      | Some (Ninja_vm.Interp.Optimized _) ->
+          Ninja_vm.Interp.Optimized (config ())
+      | Some (Ninja_vm.Interp.Compiled _) ->
+          Ninja_vm.Interp.Compiled (config ())
+      | None ->
+          flag_error "bad_backend"
+            "--backend: unknown backend %S (try: tree, decoded, optimized, \
+             compiled)"
+            name)
+  | None -> (
+      match opt_config_of_flags ~opt ~no_opt ~passes with
+      | Some c -> Ninja_vm.Interp.Compiled c
+      | None -> Ninja_vm.Interp.Decoded)
+
+(* Commands whose simulations flow through Timing.simulate's default
+   strategy (experiments, bench, serve) install the chosen backend
+   process-wide instead of threading it through every call. *)
+let install_backend ?backend ?(opt = false) ?(no_opt = false) ?passes () =
+  Ninja_vm.Interp.set_default_strategy
+    (strategy_of_flags ?backend ~opt ~no_opt ~passes ())
 
 (* ---- experiments ---- *)
 
@@ -127,7 +175,8 @@ let experiments_cmd =
     in
     Arg.(value & opt (some string) None & info [ "sched-trace" ] ~doc ~docv:"FILE")
   in
-  let run csv jobs cache_dir no_cache sched_trace ids =
+  let run csv jobs cache_dir no_cache sched_trace backend ids =
+    install_backend ?backend ();
     let experiments =
       if ids = [] then Ninja_core.Experiments.all
       else
@@ -156,7 +205,7 @@ let experiments_cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const run $ csv $ jobs_arg $ cache_dir_arg $ no_cache_arg $ sched_trace
-      $ ids)
+      $ backend_arg $ ids)
 
 (* ---- ladder ---- *)
 
@@ -177,11 +226,12 @@ let ladder_cmd =
     let doc = "Print each variant's per-pass optimizer rewrite report." in
     Arg.(value & flag & info [ "opt-report" ] ~doc)
   in
-  let run machine bench scale validate opt no_opt passes opt_report =
+  let run machine bench scale validate backend opt no_opt passes opt_report =
     let machine = machine_of_name machine in
     let b = Ninja_kernels.Registry.find bench in
     let scale = Option.value scale ~default:b.default_scale in
-    let strategy = strategy_of_flags ~opt ~no_opt ~passes in
+    let strategy = strategy_of_flags ?backend ~opt ~no_opt ~passes () in
+    Ninja_vm.Interp.set_default_strategy strategy;
     Fmt.pr "%s at scale %d on %a@.@." b.b_name scale Ninja_arch.Machine.pp machine;
     let steps = b.steps ~scale in
     let baseline = ref None in
@@ -201,7 +251,7 @@ let ladder_cmd =
         if opt_report then begin
           let config =
             match strategy with
-            | Ninja_vm.Interp.Optimized c -> c
+            | Ninja_vm.Interp.Optimized c | Ninja_vm.Interp.Compiled c -> c
             | Tree | Decoded -> Ninja_vm.Optimize.default
           in
           let d = Ninja_vm.Decode.decode (step.make ~machine) in
@@ -213,8 +263,8 @@ let ladder_cmd =
   Cmd.v
     (Cmd.info "ladder" ~doc:"Run one benchmark's naive-to-ninja performance ladder")
     Term.(
-      const run $ machine_arg $ bench_arg $ scale_arg $ validate_arg $ opt_arg
-      $ no_opt_arg $ passes_arg $ opt_report_arg)
+      const run $ machine_arg $ bench_arg $ scale_arg $ validate_arg
+      $ backend_arg $ opt_arg $ no_opt_arg $ passes_arg $ opt_report_arg)
 
 (* ---- list ---- *)
 
@@ -572,14 +622,15 @@ let bench_cmd =
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run mode out smoke jobs cache_dir no_cache opt no_opt passes =
+  let run mode out smoke jobs cache_dir no_cache backend opt no_opt passes =
     if mode <> "simulate" then begin
       Fmt.epr "unknown bench mode %S (try: simulate)@." mode;
       exit 1
     end;
-    (* the self-benchmark always times all three configurations; the
-       flags pick which pass list the *optimized* one runs (--no-opt
-       degenerates it to the plain decoded executor) *)
+    install_backend ?backend ~opt ~no_opt ?passes ();
+    (* the self-benchmark always times all four configurations; the
+       flags pick which pass list the *optimized* and *compiled* ones
+       run (--no-opt degenerates both to the plain decoded pass list) *)
     let opt =
       Option.value
         (opt_config_of_flags ~opt ~no_opt ~passes)
@@ -595,9 +646,10 @@ let bench_cmd =
         S.run ?domains:jobs ~opt
           ~progress:(fun j ->
             Fmt.epr
-              "  %-16s %-14s %-14s %8.1fs fast %8.1fs opt %8.1fs baseline@."
+              "  %-16s %-14s %-14s %8.1fs fast %8.1fs opt %8.1fs compiled \
+               %8.1fs baseline@."
               j.S.j_bench j.S.j_machine j.S.j_step j.S.j_fast_s j.S.j_opt_s
-              j.S.j_baseline_s)
+              j.S.j_compiled_s j.S.j_baseline_s)
           ()
     in
     (* cold/warm experiment-grid timing against the persistent store
@@ -631,7 +683,7 @@ let bench_cmd =
           report")
     Term.(
       const run $ mode_arg $ out_arg $ smoke_arg $ jobs_arg $ cache_dir_arg
-      $ no_cache_arg $ opt_arg $ no_opt_arg $ passes_arg)
+      $ no_cache_arg $ backend_arg $ opt_arg $ no_opt_arg $ passes_arg)
 
 (* ---- serve (concurrent simulation service) ---- *)
 
@@ -658,11 +710,12 @@ let serve_cmd =
       & opt int Ninja_serve.Service.default_max_inflight
       & info [ "max-inflight" ] ~doc ~docv:"K")
   in
-  let run port stdio max_inflight jobs cache_dir no_cache =
+  let run port stdio max_inflight jobs cache_dir no_cache backend =
     if stdio && port <> None then begin
       Fmt.epr "--port and --stdio are mutually exclusive@.";
       exit 1
     end;
+    install_backend ?backend ();
     ignore (install_store ~cache_dir ~no_cache);
     let domains =
       match jobs with
@@ -687,7 +740,7 @@ let serve_cmd =
           backpressure, and a graceful drain on shutdown")
     Term.(
       const run $ port_arg $ stdio_arg $ max_inflight_arg $ jobs_arg
-      $ cache_dir_arg $ no_cache_arg)
+      $ cache_dir_arg $ no_cache_arg $ backend_arg)
 
 let main_cmd =
   let info =

@@ -131,9 +131,21 @@ let simulate ~machine ?(n_threads = 1) ?(runs = 1) ?prepare ?trace ?strategy ?fa
   in
   let counts = Counts.create n_threads in
   let instructions = ref 0 in
+  (* an absent strategy means "whatever backend the process selected"
+     (Interp.default_strategy, steered by the CLI --backend flag), not
+     Interp.run's own bare default *)
+  let strategy =
+    match strategy with Some s -> s | None -> Interp.default_strategy ()
+  in
+  (* one session for all launches: decode/optimize/compile run once,
+     each loop iteration is a bare launch *)
+  let launch =
+    Interp.session ~n_threads ~width:m.simd_width ~sink ?trace ~strategy prog
+      mem
+  in
   for run = 0 to runs - 1 do
     (match prepare with Some f -> f run mem | None -> ());
-    let r = Interp.run ~n_threads ~width:m.simd_width ~sink ?trace ?strategy prog mem in
+    let r = launch () in
     Counts.merge_into ~dst:counts r.counts;
     instructions := !instructions + r.instructions
   done;

@@ -133,7 +133,14 @@ let rec run_step_cached ~machine (bench : Driver.benchmark) step_name =
         | None -> None
         | Some st ->
             let prog = step.Driver.make ~machine in
-            let skey = Store.key st ~machine ~step_name prog in
+            (* the simulation runs through the process-default backend
+               (Driver.run_step's resolved strategy), so its tag is part
+               of the key — a buggy backend can only poison its own key
+               space *)
+            let backend =
+              Ninja_vm.Interp.strategy_tag (Ninja_vm.Interp.default_strategy ())
+            in
+            let skey = Store.key ~backend st ~machine ~step_name prog in
             (st, skey, Store.load st ~key:skey ~machine) |> Option.some
       in
       match from_store with

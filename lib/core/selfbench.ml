@@ -3,22 +3,26 @@
    Every experiment number in this repository is deterministic, so the
    only performance that can regress is the wall-clock cost of producing
    them. This module measures simulated-ops-per-second over a grid of
-   (benchmark, machine, ladder step) jobs, running each job twice:
+   (benchmark, machine, ladder step) jobs, running each job in four
+   configurations:
 
    - the *fast* configuration — the pre-decoded [Interp.Decoded] executor
-     over the fast-path cache hierarchy (the defaults);
+     over the fast-path cache hierarchy;
    - the *optimized* configuration — [Interp.Optimized], the fast path
      plus the {!Ninja_vm.Optimize} pass pipeline over the decoded
-     arrays; and
+     arrays;
+   - the *compiled* configuration — [Interp.Compiled], the optimized
+     arrays threaded into chained closures by {!Ninja_vm.Compile} (the
+     simulation default since that backend landed); and
    - the *baseline* configuration — [Interp.Tree] over the reference
      hierarchy ([~fast_path:false]), i.e. the simulator as it was before
      the fast path existed.
 
-   All three produce bit-identical reports (the optimized one is checked
-   structurally against the fast one on every job); the per-job
-   instruction counts are asserted equal, so the ops/s ratios are a pure
-   like-for-like measure of the interpreter and cache-model overhead.
-   Results aggregate per
+   All four produce bit-identical reports (the optimized and compiled
+   ones are checked structurally against the fast one on every job); the
+   per-job instruction counts are asserted equal, so the ops/s ratios are
+   a pure like-for-like measure of the interpreter and cache-model
+   overhead. Results aggregate per
    benchmark (summing ops and seconds across machines and steps) and the
    headline number is the geometric mean of per-benchmark ops/s, matching
    how the paper reports performance summaries. *)
@@ -30,7 +34,7 @@ module Stats = Ninja_util.Stats
 module Pool = Ninja_util.Pool
 module Json = Ninja_report.Json
 
-let schema_version = "ninja-selfbench/v3"
+let schema_version = "ninja-selfbench/v4"
 
 type job = { bench : Driver.benchmark; machine : Machine.t; step : Driver.step }
 
@@ -41,6 +45,7 @@ type job_result = {
   j_ops : int;  (** simulated instructions, identical in all configurations *)
   j_fast_s : float;
   j_opt_s : float;
+  j_compiled_s : float;
   j_baseline_s : float;
 }
 
@@ -49,9 +54,11 @@ type bench_result = {
   b_ops : int;
   b_fast_s : float;
   b_opt_s : float;
+  b_compiled_s : float;
   b_baseline_s : float;
   b_ops_per_s : float;
   b_opt_ops_per_s : float;
+  b_compiled_ops_per_s : float;
   b_baseline_ops_per_s : float;
 }
 
@@ -59,13 +66,16 @@ type result = {
   domains : int;
   wall_s : float;
   sched : Pool.stats;
+  configurations : (string * string) list;
   jobs : job_result list;
   benchmarks : bench_result list;
   geomean_ops_per_s : float;
   opt_geomean_ops_per_s : float;
+  compiled_geomean_ops_per_s : float;
   baseline_geomean_ops_per_s : float;
   speedup : float;
   opt_speedup : float;
+  compiled_speedup : float;
 }
 
 type grid_result = {
@@ -102,32 +112,57 @@ let jobs_of ~benchmarks ~machines ~steps =
         machines)
     benchmarks
 
-(* Best-of-[repeats] timing: each job is tens of milliseconds, so a
-   single sample is at the mercy of the scheduler; the minimum over a few
-   repetitions is the standard low-noise estimator for deterministic
-   work. The simulated result is identical across repetitions. *)
-let time ~repeats f =
-  let r = ref (f ()) in (* untimed warm-up run; also the returned report *)
-  let best = ref infinity in
+(* Best-of-[repeats] timing, round-robin across the configurations: each
+   job is tens of milliseconds and the host's slow periods (frequency
+   scaling, hypervisor steal) last whole seconds, so timing one
+   configuration's repeats back to back would let a single slow epoch
+   bias that configuration's minimum. Interleaving the configurations
+   per round spreads any epoch across all of them; the minimum over
+   rounds is then a fair low-noise estimator for deterministic work. The
+   simulated result is identical across repetitions. *)
+let time_round_robin ~repeats fs =
+  let n = Array.length fs in
+  let reports = Array.map (fun f -> f ()) fs (* untimed warm-up runs *) in
+  let best = Array.make n infinity in
   for _ = 1 to repeats do
-    let t0 = Unix.gettimeofday () in
-    r := f ();
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt
+    Array.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        reports.(i) <- f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < best.(i) then best.(i) <- dt)
+      fs
   done;
-  (!r, !best)
+  (reports, best)
 
 let run_job ~opt ~repeats { bench; machine; step } =
-  let fast, j_fast_s = time ~repeats (fun () -> Driver.run_step ~machine step) in
-  let optimized, j_opt_s =
-    time ~repeats (fun () ->
-        Driver.run_step ~strategy:(Ninja_vm.Interp.Optimized opt) ~machine step)
+  (* every configuration names its strategy explicitly: the bare default
+     is the process-wide backend, which is exactly what this benchmark
+     must not depend on *)
+  let reports, best =
+    time_round_robin ~repeats
+      [|
+        (fun () ->
+          Driver.run_step ~strategy:Ninja_vm.Interp.Decoded ~machine step);
+        (fun () ->
+          Driver.run_step ~strategy:(Ninja_vm.Interp.Optimized opt) ~machine
+            step);
+        (fun () ->
+          Driver.run_step ~strategy:(Ninja_vm.Interp.Compiled opt) ~machine
+            step);
+        (fun () ->
+          Driver.run_step ~strategy:Ninja_vm.Interp.Tree ~fast_path:false
+            ~machine step);
+      |]
   in
-  let baseline, j_baseline_s =
-    time ~repeats (fun () ->
-        Driver.run_step ~strategy:Ninja_vm.Interp.Tree ~fast_path:false ~machine
-          step)
-  in
+  let fast = reports.(0)
+  and optimized = reports.(1)
+  and compiled = reports.(2)
+  and baseline = reports.(3) in
+  let j_fast_s = best.(0)
+  and j_opt_s = best.(1)
+  and j_compiled_s = best.(2)
+  and j_baseline_s = best.(3) in
   if fast.Ninja_arch.Timing.instructions <> baseline.Ninja_arch.Timing.instructions
   then
     invalid_arg
@@ -143,6 +178,11 @@ let run_job ~opt ~repeats { bench; machine; step } =
       (Fmt.str
          "Selfbench: %s/%s/%s: optimized pipeline changed the timing report"
          bench.Driver.b_name machine.Machine.name step.Driver.step_name);
+  if compare compiled fast <> 0 then
+    invalid_arg
+      (Fmt.str
+         "Selfbench: %s/%s/%s: compiled backend changed the timing report"
+         bench.Driver.b_name machine.Machine.name step.Driver.step_name);
   {
     j_bench = bench.Driver.b_name;
     j_machine = machine.Machine.name;
@@ -150,6 +190,7 @@ let run_job ~opt ~repeats { bench; machine; step } =
     j_ops = fast.Ninja_arch.Timing.instructions;
     j_fast_s;
     j_opt_s;
+    j_compiled_s;
     j_baseline_s;
   }
 
@@ -165,6 +206,7 @@ let aggregate ~benchmarks jobs =
           in
           let fast_s = sum (fun j -> j.j_fast_s) in
           let opt_s = sum (fun j -> j.j_opt_s) in
+          let compiled_s = sum (fun j -> j.j_compiled_s) in
           let baseline_s = sum (fun j -> j.j_baseline_s) in
           Some
             {
@@ -172,9 +214,11 @@ let aggregate ~benchmarks jobs =
               b_ops = ops;
               b_fast_s = fast_s;
               b_opt_s = opt_s;
+              b_compiled_s = compiled_s;
               b_baseline_s = baseline_s;
               b_ops_per_s = Stats.ratio (float_of_int ops) fast_s;
               b_opt_ops_per_s = Stats.ratio (float_of_int ops) opt_s;
+              b_compiled_ops_per_s = Stats.ratio (float_of_int ops) compiled_s;
               b_baseline_ops_per_s = Stats.ratio (float_of_int ops) baseline_s;
             })
     benchmarks
@@ -207,8 +251,19 @@ let run ?domains ?(repeats = 2) ?(opt = Ninja_vm.Optimize.default)
   let opt_geomean_ops_per_s =
     Stats.geomean (List.map (fun b -> b.b_opt_ops_per_s) per_bench)
   in
+  let compiled_geomean_ops_per_s =
+    Stats.geomean (List.map (fun b -> b.b_compiled_ops_per_s) per_bench)
+  in
   let baseline_geomean_ops_per_s =
     Stats.geomean (List.map (fun b -> b.b_baseline_ops_per_s) per_bench)
+  in
+  let configurations =
+    [
+      ("fast", Ninja_vm.Interp.strategy_tag Ninja_vm.Interp.Decoded);
+      ("optimized", Ninja_vm.Interp.strategy_tag (Ninja_vm.Interp.Optimized opt));
+      ("compiled", Ninja_vm.Interp.strategy_tag (Ninja_vm.Interp.Compiled opt));
+      ("baseline", Ninja_vm.Interp.strategy_tag Ninja_vm.Interp.Tree);
+    ]
   in
   {
     domains;
@@ -226,13 +281,17 @@ let run ?domains ?(repeats = 2) ?(opt = Ninja_vm.Optimize.default)
             run_per_domain = [| List.length results |];
             max_depth = [| 0 |];
           });
+    configurations;
     jobs = results;
     benchmarks = per_bench;
     geomean_ops_per_s;
     opt_geomean_ops_per_s;
+    compiled_geomean_ops_per_s;
     baseline_geomean_ops_per_s;
     speedup = Stats.ratio geomean_ops_per_s baseline_geomean_ops_per_s;
     opt_speedup = Stats.ratio opt_geomean_ops_per_s baseline_geomean_ops_per_s;
+    compiled_speedup =
+      Stats.ratio compiled_geomean_ops_per_s baseline_geomean_ops_per_s;
   }
 
 (* Cold-vs-warm persistent-store benchmark: run the experiment grid twice
@@ -306,11 +365,33 @@ let to_json ?grid r =
       ("domains", Json.Num (float_of_int r.domains));
       ("sched", sched_to_json r.sched);
       ("wall_s", Json.Num r.wall_s);
+      ( "configurations",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.configurations) );
       ("geomean_ops_per_s", Json.Num r.geomean_ops_per_s);
       ("opt_geomean_ops_per_s", Json.Num r.opt_geomean_ops_per_s);
+      ("compiled_geomean_ops_per_s", Json.Num r.compiled_geomean_ops_per_s);
       ("baseline_geomean_ops_per_s", Json.Num r.baseline_geomean_ops_per_s);
       ("speedup", Json.Num r.speedup);
       ("opt_speedup", Json.Num r.opt_speedup);
+      ("compiled_speedup", Json.Num r.compiled_speedup);
+      (* per-job timings so external checkers (tools/bench_check.ml) can
+         compare like-for-like jobs across reports with different grids *)
+      ( "job_times",
+        Json.List
+          (List.map
+             (fun j ->
+               Json.Obj
+                 [
+                   ("bench", Json.Str j.j_bench);
+                   ("machine", Json.Str j.j_machine);
+                   ("step", Json.Str j.j_step);
+                   ("ops", Json.Num (float_of_int j.j_ops));
+                   ("fast_s", Json.Num j.j_fast_s);
+                   ("opt_s", Json.Num j.j_opt_s);
+                   ("compiled_s", Json.Num j.j_compiled_s);
+                   ("baseline_s", Json.Num j.j_baseline_s);
+                 ])
+             r.jobs) );
       ( "benchmarks",
         Json.List
           (List.map
@@ -321,8 +402,12 @@ let to_json ?grid r =
                    ("ops", Json.Num (float_of_int b.b_ops));
                    ("ops_per_s", Json.Num b.b_ops_per_s);
                    ("opt_ops_per_s", Json.Num b.b_opt_ops_per_s);
+                   ("compiled_ops_per_s", Json.Num b.b_compiled_ops_per_s);
                    ("baseline_ops_per_s", Json.Num b.b_baseline_ops_per_s);
-                   ("wall_s", Json.Num (b.b_fast_s +. b.b_opt_s +. b.b_baseline_s));
+                   ( "wall_s",
+                     Json.Num
+                       (b.b_fast_s +. b.b_opt_s +. b.b_compiled_s
+                      +. b.b_baseline_s) );
                  ])
              r.benchmarks) );
     ]
@@ -341,16 +426,20 @@ let pp_result ppf r =
     r.wall_s;
   List.iter
     (fun b ->
-      Fmt.pf ppf "  %-16s %10.0f ops/s  opt %10.0f  (baseline %10.0f, %.2fx/%.2fx)@."
-        b.b_name b.b_ops_per_s b.b_opt_ops_per_s b.b_baseline_ops_per_s
+      Fmt.pf ppf
+        "  %-16s %10.0f ops/s  opt %10.0f  compiled %10.0f  (baseline %10.0f, \
+         %.2fx/%.2fx/%.2fx)@."
+        b.b_name b.b_ops_per_s b.b_opt_ops_per_s b.b_compiled_ops_per_s
+        b.b_baseline_ops_per_s
         (b.b_ops_per_s /. b.b_baseline_ops_per_s)
-        (b.b_opt_ops_per_s /. b.b_baseline_ops_per_s))
+        (b.b_opt_ops_per_s /. b.b_baseline_ops_per_s)
+        (b.b_compiled_ops_per_s /. b.b_baseline_ops_per_s))
     r.benchmarks;
   Fmt.pf ppf
-    "  geomean: %.0f ops/s (optimized %.0f) over %.0f baseline — %.2fx, \
-     optimized %.2fx@."
-    r.geomean_ops_per_s r.opt_geomean_ops_per_s r.baseline_geomean_ops_per_s
-    r.speedup r.opt_speedup;
+    "  geomean: %.0f ops/s (optimized %.0f, compiled %.0f) over %.0f baseline \
+     — %.2fx, optimized %.2fx, compiled %.2fx@."
+    r.geomean_ops_per_s r.opt_geomean_ops_per_s r.compiled_geomean_ops_per_s
+    r.baseline_geomean_ops_per_s r.speedup r.opt_speedup r.compiled_speedup;
   Fmt.pf ppf "  %a" Pool.pp_stats r.sched
 
 let pp_grid ppf g =

@@ -2,12 +2,14 @@
 
     Measures the simulator's own wall-clock throughput — simulated
     instructions per second — over a grid of (benchmark, machine, ladder
-    step) jobs, in three configurations: the default fast path
-    (pre-decoded dispatch over the fast cache hierarchy), the optimized
-    pipeline (fast path plus the {!Ninja_vm.Optimize} passes over the
-    decoded arrays), and the reference baseline (tree-walking
-    interpreter over the reference hierarchy). All three produce
-    bit-identical simulation reports — the optimized report is compared
+    step) jobs, in four configurations: the fast path (pre-decoded
+    dispatch over the fast cache hierarchy), the optimized pipeline
+    (fast path plus the {!Ninja_vm.Optimize} passes over the decoded
+    arrays), the compiled backend (optimized arrays threaded into
+    chained closures by {!Ninja_vm.Compile} — the simulation default),
+    and the reference baseline (tree-walking interpreter over the
+    reference hierarchy). All four produce bit-identical simulation
+    reports — the optimized and compiled reports are compared
     structurally against the fast one on every job, and instruction
     counts are asserted equal — so the ratios are a pure measure of
     simulator overhead. Results are written as [BENCH_simulator.json]
@@ -20,6 +22,7 @@ type job_result = {
   j_ops : int;  (** simulated instructions (identical in all configurations) *)
   j_fast_s : float;  (** wall seconds, fast configuration *)
   j_opt_s : float;  (** wall seconds, optimized configuration *)
+  j_compiled_s : float;  (** wall seconds, compiled configuration *)
   j_baseline_s : float;  (** wall seconds, baseline configuration *)
 }
 
@@ -28,9 +31,11 @@ type bench_result = {
   b_ops : int;  (** summed over the benchmark's jobs *)
   b_fast_s : float;
   b_opt_s : float;
+  b_compiled_s : float;
   b_baseline_s : float;
   b_ops_per_s : float;
   b_opt_ops_per_s : float;
+  b_compiled_ops_per_s : float;
   b_baseline_ops_per_s : float;
 }
 
@@ -40,13 +45,18 @@ type result = {
   sched : Ninja_util.Pool.stats;
       (** work-stealing scheduler counters for the run (synthetic
           single-domain snapshot when the serial path ran) *)
+  configurations : (string * string) list;
+      (** (configuration name, {!Ninja_vm.Interp.strategy_tag}) pairs for
+          the four timed configurations, recorded in the JSON report *)
   jobs : job_result list;
   benchmarks : bench_result list;  (** aggregated across machines and steps *)
   geomean_ops_per_s : float;
   opt_geomean_ops_per_s : float;
+  compiled_geomean_ops_per_s : float;
   baseline_geomean_ops_per_s : float;
   speedup : float;  (** fast over baseline geomean *)
   opt_speedup : float;  (** optimized over baseline geomean *)
+  compiled_speedup : float;  (** compiled over baseline geomean *)
 }
 
 type grid_result = {
@@ -65,11 +75,16 @@ type grid_result = {
     {!Store} (see {!run_grid}). *)
 
 val schema_version : string
-(** ["ninja-selfbench/v3"], the ["schema"] field of the JSON report.
+(** ["ninja-selfbench/v4"], the ["schema"] field of the JSON report.
     v2 added ["domains"]-aware defaults, the ["sched"] scheduler-stats
     object, and the optional ["grid"] cold/warm store object; v3 added
     the optimized-pipeline configuration (["opt_geomean_ops_per_s"],
-    ["opt_speedup"], per-benchmark ["opt_ops_per_s"]). *)
+    ["opt_speedup"], per-benchmark ["opt_ops_per_s"]); v4 added the
+    compiled configuration (["compiled_geomean_ops_per_s"],
+    ["compiled_speedup"], per-benchmark ["compiled_ops_per_s"]), the
+    ["configurations"] object recording each configuration's backend
+    tag, and the per-job ["job_times"] array that [tools/bench_check.ml]
+    uses to compare like-for-like jobs across reports. *)
 
 val default_steps : string list
 (** Both ladder endpoints, ["naive serial"] and ["ninja"] — the scalar and
@@ -100,9 +115,9 @@ val run :
     Steps a benchmark does not have are skipped. [progress] is called
     once per finished job (from worker domains when [domains > 1]).
     @raise Invalid_argument on an empty grid, a fast/baseline
-    instruction-count mismatch, or an optimized timing report that is
-    not structurally identical to the fast one (either would mean the
-    interpreter strategies diverged — a bug). *)
+    instruction-count mismatch, or an optimized or compiled timing
+    report that is not structurally identical to the fast one (any
+    would mean the interpreter strategies diverged — a bug). *)
 
 val run_grid :
   ?domains:int ->

@@ -42,8 +42,11 @@ module Json = Ninja_report.Json
 (* Bump whenever the timing model or interpreter semantics change in a
    way the program/machine fingerprints cannot see.
    v2: keys gained an optimizer-pass-list component, so entries produced
-   by optimized op arrays can never alias unoptimized ones. *)
-let version_salt = "ninja-store/v3"
+   by optimized op arrays can never alias unoptimized ones.
+   v4: keys gained an execution-backend component
+   ({!Ninja_vm.Interp.strategy_tag}), so entries produced by the
+   closure-compiled executor can never alias interpreted ones. *)
+let version_salt = "ninja-store/v4"
 
 let default_dir = "_ninja_cache"
 
@@ -132,18 +135,21 @@ let machine_fingerprint (m : Machine.t) =
     m.dram_latency m.dram_bw_gbs m.barrier_cycles m.spawn_cycles costs
     (Machine.gather_cost m)
 
-let key ?(opt = "") t ~machine ~step_name prog =
+let key ?(opt = "") ?(backend = "") t ~machine ~step_name prog =
   (* [opt] is the {!Ninja_vm.Optimize.tag} of the pass list the
-     interpreter ran ("" = plain decoded arrays). The fingerprint hashes
-     the *unoptimized* decode, so without this component an entry
-     simulated through a buggy pass could satisfy a later unoptimized
-     lookup (and vice versa); mixing the tag in keeps the two key
-     spaces disjoint. *)
+     interpreter ran ("" = plain decoded arrays), [backend] the
+     {!Ninja_vm.Interp.strategy_tag} of the execution backend ("" =
+     backend-agnostic). The fingerprint hashes the *unoptimized* decode,
+     so without these components an entry simulated through a buggy
+     pass — or a buggy compiled executor — could satisfy a later
+     unoptimized lookup (and vice versa); mixing the tags in keeps the
+     key spaces disjoint. *)
   let prog_fp = Decode.fingerprint (Decode.decode prog) in
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
-          [ t.salt; machine_fingerprint machine; step_name; prog_fp; opt ]))
+          [ t.salt; machine_fingerprint machine; step_name; prog_fp; opt;
+            backend ]))
 
 (* ------------------------------------------------------------------ *)
 (* Report (de)serialization                                            *)

@@ -58,15 +58,18 @@ val destroy : t -> unit
 
 val key :
   ?opt:string ->
+  ?backend:string ->
   t -> machine:Ninja_arch.Machine.t -> step_name:string ->
   Ninja_vm.Isa.program -> string
 (** The content address of one simulation: a hex digest over the store's
     salt, the machine fingerprint, [step_name], the decoded program's
-    fingerprint, and [opt] — the {!Ninja_vm.Optimize.tag} of the pass
-    list the interpreter ran (default [""], plain decoded arrays).
-    Because the program fingerprint always hashes the unoptimized
-    decode, the tag is what keeps optimized-run entries from aliasing
-    unoptimized ones. *)
+    fingerprint, [opt] — the {!Ninja_vm.Optimize.tag} of the pass
+    list the interpreter ran (default [""], plain decoded arrays) —
+    and [backend], the {!Ninja_vm.Interp.strategy_tag} of the execution
+    backend that produced the report (default [""]). Because the
+    program fingerprint always hashes the unoptimized decode, the tags
+    are what keep optimized-run and compiled-run entries from aliasing
+    plain decoded ones. *)
 
 val load :
   t -> key:string -> machine:Ninja_arch.Machine.t ->

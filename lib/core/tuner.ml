@@ -216,7 +216,10 @@ let simulate ~sims ?store ~machine ~step_name step prog =
       Atomic.incr sims;
       Driver.run_step ~machine step
   | Some st -> (
-      let key = Store.key st ~machine ~step_name prog in
+      let backend =
+        Ninja_vm.Interp.strategy_tag (Ninja_vm.Interp.default_strategy ())
+      in
+      let key = Store.key ~backend st ~machine ~step_name prog in
       match Store.load st ~key ~machine with
       | Some r -> r
       | None ->

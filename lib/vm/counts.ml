@@ -25,6 +25,12 @@ let grand_total t =
 
 let per_thread_total t ~thread = Array.fold_left ( + ) 0 t.table.(thread)
 
+let clear t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.table
+
+let copy t =
+  { n_threads = t.n_threads; table = Array.map Array.copy t.table }
+
 let merge_into ~dst src =
   if dst.n_threads <> src.n_threads then invalid_arg "Counts.merge_into: thread counts differ";
   Array.iteri

@@ -28,6 +28,14 @@ val grand_total : t -> int
 val per_thread_total : t -> thread:int -> int
 (** All instructions executed by one thread. *)
 
+val clear : t -> unit
+(** Reset every count to zero, keeping the arrays — a reusable
+    interpreter session zeroes its counts at each launch. *)
+
+val copy : t -> t
+(** Deep copy — a session's launch result snapshots its counts so the
+    next launch's {!clear} cannot disturb a retained report. *)
+
 val merge_into : dst:t -> t -> unit
 (** Accumulate [src] into [dst] (equal thread counts required) — used when
     a measurement spans several kernel launches. *)

@@ -11,31 +11,65 @@
    property (any location written by one thread and touched by another
    within the same phase is reported).
 
-   Two execution strategies produce bit-identical registers, memory,
+   Four execution strategies produce bit-identical registers, memory,
    counts, event streams and traps:
 
    - [Tree] walks the structured statement lists through small per-register
      accessor closures — the original, obviously-correct reference,
      deliberately left structurally untouched so it doubles as the
      performance baseline the self-benchmark measures against.
-   - [Decoded] (the default) runs {!Decode}'s flat op arrays with an
-     indexed program counter and a specialized executor: registers are
-     plain array reads (no accessor closures), instruction classes are
+   - [Decoded] (the bare-[run] default) runs {!Decode}'s flat op arrays
+     with an indexed program counter and a specialized executor: registers
+     are plain array reads (no accessor closures), instruction classes are
      counted through a pre-resolved index straight into the thread's
      {!Counts} row, operator dispatch is hoisted out of vector lane loops,
      and loop bounds live in dense per-loop state slots.
+   - [Optimized] additionally runs the {!Optimize} pass pipeline over the
+     decoded arrays before dispatch.
+   - [Compiled] (the simulation default, see [default_strategy]) runs the
+     optimized arrays through {!Compile}: each phase becomes chained
+     pre-resolved closures — threaded code with basic-block
+     superinstructions — eliminating the dispatch [match]es entirely.
 
    Equivalence is property-tested instruction-by-instruction in
-   test/test_fastpath.ml and pinned suite-wide by the experiments golden.
-   The event/trace hooks are devirtualized in both paths: emit closures
-   are selected once per phase on tracker/sink presence, so the
-   no-profiler case pays no per-access option matching. *)
+   test/test_fastpath.ml (three-way) and test/test_compile.ml (four-way),
+   and pinned suite-wide by the experiments golden. The event/trace hooks
+   are devirtualized in all paths: emit closures are selected once per
+   phase on tracker/sink presence, so the no-profiler case pays no
+   per-access option matching. *)
 
 exception Trap = Memory.Trap
 
 type result = { counts : Counts.t; instructions : int }
 
-type strategy = Tree | Decoded | Optimized of Optimize.config
+type strategy =
+  | Tree
+  | Decoded
+  | Optimized of Optimize.config
+  | Compiled of Optimize.config
+
+(* The strategy the simulation surfaces (Timing.simulate, and through it
+   experiments, ladder, bench and serve) resolve an absent ?strategy to.
+   A process-wide cell rather than a [run] default so one --backend flag
+   can steer every simulation a command performs; bare [run] keeps its
+   own [Decoded] default. *)
+let default_strategy_ref = ref (Compiled Optimize.default)
+let default_strategy () = !default_strategy_ref
+let set_default_strategy s = default_strategy_ref := s
+
+let strategy_tag = function
+  | Tree -> "tree"
+  | Decoded -> "decoded"
+  | Optimized c -> "optimized:" ^ Optimize.tag c
+  | Compiled c -> "compiled:" ^ Optimize.tag c
+
+let strategy_of_name name =
+  match name with
+  | "tree" -> Some Tree
+  | "decoded" -> Some Decoded
+  | "optimized" -> Some (Optimized Optimize.default)
+  | "compiled" -> Some (Compiled Optimize.default)
+  | _ -> None
 
 type thread_state = {
   si : int array;
@@ -139,7 +173,12 @@ exception Race of string list
 
 (* The work one thread performs in one phase: the structured block (tree
    walk) or the decoded flat op array (indexed dispatch). *)
-type work = Wtree of Isa.block | Wflat of Decode.dop array
+type work =
+  | Wtree of Isa.block
+  | Wflat of Decode.dop array
+  | Wcomp of (Compile.tctx -> unit)
+      (* a phase pre-compiled by {!Compile.compile}: one compilation,
+         shared by every thread that executes the phase *)
 
 (* Pre-resolved count-row indices for the decoded loop's bookkeeping. *)
 let salu_idx = Isa.op_class_index Isa.Salu
@@ -149,8 +188,9 @@ let vfp_idx = Isa.op_class_index Isa.Vfp
 let sload_idx = Isa.op_class_index Isa.Sload
 let sstore_idx = Isa.op_class_index Isa.Sstore
 
-let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
-    ?(strategy = Decoded) ?decoded ?on_states (prog : Isa.program) (mem : Memory.t) =
+let session ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel
+    ?(check_races = false) ?(strategy = Decoded) ?decoded ?on_states
+    (prog : Isa.program) (mem : Memory.t) =
   Isa.validate prog;
   if n_threads < 1 then invalid_arg "Interp.run: n_threads < 1";
   if width < 1 then invalid_arg "Interp.run: width < 1";
@@ -182,11 +222,11 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
               | Isa.Seq b -> (false, Wtree b))
             prog.phases,
           0 )
-    | Decoded | Optimized _ ->
+    | Decoded | Optimized _ | Compiled _ ->
         let d = Decode.decode prog in
         let d =
           match strategy with
-          | Optimized config -> Optimize.run ~config d
+          | Optimized config | Compiled config -> Optimize.run ~config d
           | _ -> d
         in
         ( Array.to_list
@@ -196,6 +236,39 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
   let for_cur = Array.make (max n_fors 1) 0 in
   let for_hi = Array.make (max n_fors 1) 0 in
   let for_step = Array.make (max n_fors 1) 0 in
+
+  (* Compiled strategy: compile each flat phase once, up front — the
+     closures take the per-thread state as an argument ({!Compile.tctx}),
+     so a parallel phase's n_threads executions share one compilation.
+     Selected even when [?decoded] supplies the arrays, so the
+     compiler-mutation differentials can execute deliberately broken
+     arrays through the compiled backend too. *)
+  let phase_work =
+    match strategy with
+    | Compiled _ ->
+        let cctx =
+          {
+            Compile.mem;
+            width;
+            scratch;
+            all_true;
+            instructions;
+            fuel = remaining_fuel;
+            prog_name = prog.prog_name;
+            for_cur;
+            for_hi;
+            for_step;
+            trace;
+          }
+        in
+        List.map
+          (fun (parallel, w) ->
+            match w with
+            | Wflat code -> (parallel, Wcomp (Compile.compile cctx code))
+            | w -> (parallel, w))
+          phase_work
+    | _ -> phase_work
+  in
 
   (* Memory-access hook, devirtualized: selected once per (thread, phase)
      on sink/tracker presence so the common no-instrumentation case is a
@@ -1169,9 +1242,33 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
     done
   in
 
+  (* ---- compiled executor: run one thread through a phase closure
+     pre-compiled by {!Compile} (see the phase_work mapping above). ---- *)
+  let run_compiled ~thread st (k : Compile.tctx -> unit) =
+    let emit =
+      match (tracker, sink) with
+      | None, Some f ->
+          fun ~nt ~buf ~idx ~bytes ~kind ~chain ->
+            f { Event.thread; addr = Memory.address mem buf idx; bytes; kind; chain; nt }
+      | _ -> make_emit ~thread
+    in
+    k
+      {
+        Compile.si = st.si;
+        sf = st.sf;
+        vf = st.vf;
+        vi = st.vi;
+        vm = st.vm;
+        row = Counts.thread_row counts ~thread;
+        thread;
+        emit;
+      }
+  in
+
   let run_block ~thread st = function
     | Wtree b -> run_tree ~thread st b
     | Wflat code -> run_flat ~thread st code
+    | Wcomp k -> run_compiled ~thread st k
   in
 
   let init_thread tid =
@@ -1183,32 +1280,56 @@ let run ?(n_threads = 1) ?(width = 4) ?sink ?trace ?fuel ?(check_races = false)
     st.si.(n) <- n_threads;
     st.si.(w) <- width
   in
-  List.iteri
-    (fun phase_idx (parallel, work) ->
-      (match tracker with
-      | Some rt ->
-          Hashtbl.reset rt.writes;
-          Hashtbl.reset rt.reads
-      | None -> ());
-      let run_thread ~parallel tid work =
-        init_thread tid;
-        let scope = Trace.Phase { index = phase_idx; parallel } in
-        (match trace with
-        | Some f -> f (Trace.Enter { thread = tid; scope })
+  (* The launch thunk: everything above (decode, optimize, compile,
+     executor selection) ran once; each call below is one kernel launch
+     against the same memory. Per-launch architectural state — counts,
+     fuel, the register files — is reset so launch N is indistinguishable
+     from a fresh [run] call. *)
+  let budget = Option.value fuel ~default:max_int in
+  fun () ->
+    Counts.clear counts;
+    instructions := 0;
+    remaining_fuel := budget;
+    Array.iter
+      (fun st ->
+        Array.fill st.si 0 (Array.length st.si) 0;
+        Array.fill st.sf 0 (Array.length st.sf) 0.;
+        Array.iter (fun a -> Array.fill a 0 width 0.) st.vf;
+        Array.iter (fun a -> Array.fill a 0 width 0) st.vi;
+        Array.iter (fun a -> Array.fill a 0 width false) st.vm)
+      states;
+    List.iteri
+      (fun phase_idx (parallel, work) ->
+        (match tracker with
+        | Some rt ->
+            Hashtbl.reset rt.writes;
+            Hashtbl.reset rt.reads
         | None -> ());
-        run_block ~thread:tid states.(tid) work;
-        match trace with
-        | Some f -> f (Trace.Exit { thread = tid; scope })
-        | None -> ()
-      in
-      if parallel then
-        for tid = 0 to n_threads - 1 do
-          run_thread ~parallel:true tid work
-        done
-      else run_thread ~parallel:false 0 work;
-      match tracker with
-      | Some rt when rt.races <> [] -> raise (Race (List.rev rt.races))
-      | _ -> ())
-    phase_work;
-  (match on_states with Some f -> f states | None -> ());
-  { counts; instructions = !instructions }
+        let run_thread ~parallel tid work =
+          init_thread tid;
+          let scope = Trace.Phase { index = phase_idx; parallel } in
+          (match trace with
+          | Some f -> f (Trace.Enter { thread = tid; scope })
+          | None -> ());
+          run_block ~thread:tid states.(tid) work;
+          match trace with
+          | Some f -> f (Trace.Exit { thread = tid; scope })
+          | None -> ()
+        in
+        if parallel then
+          for tid = 0 to n_threads - 1 do
+            run_thread ~parallel:true tid work
+          done
+        else run_thread ~parallel:false 0 work;
+        match tracker with
+        | Some rt when rt.races <> [] -> raise (Race (List.rev rt.races))
+        | _ -> ())
+      phase_work;
+    (match on_states with Some f -> f states | None -> ());
+    { counts = Counts.copy counts; instructions = !instructions }
+
+let run ?n_threads ?width ?sink ?trace ?fuel ?check_races ?strategy ?decoded
+    ?on_states prog mem =
+  (session ?n_threads ?width ?sink ?trace ?fuel ?check_races ?strategy ?decoded
+     ?on_states prog mem)
+    ()

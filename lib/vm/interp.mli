@@ -8,11 +8,13 @@
     execution for race-free programs; [~check_races:true] verifies that
     property at element granularity and raises {!Race} otherwise.
 
-    Three execution strategies share one instruction executor and produce
-    bit-identical results: [Tree] walks the structured program (the
-    reference), [Decoded] — the default — runs {!Decode}'s flat op arrays
-    with an indexed dispatch loop, and [Optimized] additionally runs the
-    {!Optimize} pass pipeline over the decoded arrays first. *)
+    Four execution strategies produce bit-identical results: [Tree] walks
+    the structured program (the reference), [Decoded] — the bare-[run]
+    default — runs {!Decode}'s flat op arrays with an indexed dispatch
+    loop, [Optimized] additionally runs the {!Optimize} pass pipeline
+    over the decoded arrays first, and [Compiled] — the simulation
+    default, see {!default_strategy} — threads the optimized arrays into
+    chained closures via {!Compile}. *)
 
 exception Trap of string
 (** Runtime fault: out-of-bounds access, division by zero, bad lane index,
@@ -38,6 +40,32 @@ type strategy =
           dispatch. Counts, traces, events, traps, memory and final
           registers stay bit-identical to [Decoded]; only host wall-clock
           changes *)
+  | Compiled of Optimize.config
+      (** decode, optimize, then compile each phase into chained
+          pre-resolved closures ({!Compile}: threaded code, basic-block
+          superinstructions, batched bookkeeping) — the fastest backend,
+          observables still bit-identical *)
+
+val default_strategy : unit -> strategy
+(** The strategy simulations run with when none is requested explicitly:
+    {!Timing.simulate} (and through it experiments, the ladder, the
+    benchmarks and the serve layer) resolves an absent [?strategy] to
+    this. Initially [Compiled Optimize.default]; the CLI [--backend]
+    flag overrides it process-wide via {!set_default_strategy}. Bare
+    {!run} keeps its own [Decoded] default. *)
+
+val set_default_strategy : strategy -> unit
+(** Set {!default_strategy}. Not thread-safe: meant for CLI startup,
+    before any simulation runs. *)
+
+val strategy_tag : strategy -> string
+(** Stable identity string ("tree", "decoded", "optimized:<passes>",
+    "compiled:<passes>") — disjoint per backend and per optimizer
+    config, embedded into persistent-store keys. *)
+
+val strategy_of_name : string -> strategy option
+(** Parse a [--backend] name ("tree" | "decoded" | "optimized" |
+    "compiled"; the latter two with the default pass pipeline). *)
 
 (** Final architectural state of one thread: scalar int/float files and
     vector float/int/mask files (one array per register, one slot per
@@ -52,6 +80,29 @@ type thread_state = {
   vm : bool array array;  (** vector mask registers *)
 }
 
+val session :
+  ?n_threads:int ->
+  ?width:int ->
+  ?sink:Event.sink ->
+  ?trace:Trace.sink ->
+  ?fuel:int ->
+  ?check_races:bool ->
+  ?strategy:strategy ->
+  ?decoded:Decode.t ->
+  ?on_states:(thread_state array -> unit) ->
+  Isa.program ->
+  Memory.t ->
+  unit ->
+  result
+(** [session program memory] validates the program and performs all
+    per-program work once — decode, optimizer passes, closure
+    compilation, executor selection — returning a launch thunk. Each call
+    of the thunk is one kernel launch against the same memory, with
+    counts, fuel and the register files freshly reset: a sequence of
+    thunk calls is observably identical to the same sequence of {!run}
+    calls, but multi-launch steps no longer pay the per-program costs on
+    every launch. Parameters are those of {!run}. *)
+
 val run :
   ?n_threads:int ->
   ?width:int ->
@@ -65,7 +116,8 @@ val run :
   Isa.program ->
   Memory.t ->
   result
-(** [run program memory] validates and executes the program.
+(** [run program memory] validates and executes the program — a
+    single-launch {!session}.
 
     @param n_threads SPMD thread count for [Par] phases (default 1).
     @param width vector lane count (default 4).
@@ -78,12 +130,16 @@ val run :
       (useful to bound buggy [While] loops in tests).
     @param check_races track per-phase read/write sets and raise {!Race}
       on cross-thread conflicts (costly; meant for tests).
-    @param strategy execution strategy (default [Decoded]).
+    @param strategy execution strategy (default [Decoded]; note that
+      {!Timing.simulate} resolves its own absent strategy to
+      {!default_strategy} instead).
     @param decoded run this pre-supplied flat form instead of decoding
-      [program] (overrides [strategy]; [program] must be the one it was
-      decoded from). Meant for tests that execute hand-transformed — or
-      deliberately broken — op arrays, e.g. the optimizer's mutation
-      differentials.
+      [program] ([program] must be the one it was decoded from). The
+      decode/optimize side of [strategy] is bypassed, but a [Compiled _]
+      strategy still selects the compiled executor for the supplied
+      arrays. Meant for tests that execute hand-transformed — or
+      deliberately broken — op arrays, e.g. the optimizer's and
+      compiler's mutation differentials.
     @param on_states called once after the last phase with the final
       per-thread register state (index = thread id); meant for
       differential tests. *)

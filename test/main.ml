@@ -4,6 +4,7 @@ let () =
       Test_vm.suite;
       Test_fastpath.suite;
       Test_optimize.suite;
+      Test_compile.suite;
       Test_fuzz_cee.suite;
       Test_arch.suite;
       Test_lang.suite;

@@ -11,9 +11,11 @@
    must be deterministic.
 
    Mutants that survive to a compiled program additionally run through
-   the [Ninja_vm.Optimize] pass pipeline: the optimized op arrays must
-   behave bit-identically to the plain decoded ones (values, traps,
-   events, traces, final registers and memory) on every survivor. *)
+   the [Ninja_vm.Optimize] pass pipeline and the closure-compiling
+   [Interp.Compiled] backend: both the optimized op arrays and their
+   compiled form must behave bit-identically to the plain decoded ones
+   (values, traps, events, traces, final registers and memory) on every
+   survivor. *)
 
 module Parser = Ninja_lang.Parser
 module Check = Ninja_lang.Check
@@ -335,7 +337,16 @@ let check_optimizer_agrees name (prog : Isa.program) =
       if compare plain optimized <> 0 then
         QCheck.Test.fail_reportf
           "%s: optimizer diverged from the decoded executor (tracing %b)" name
-          tracing)
+          tracing;
+      (* clean-implies-clean held above, so the compiled backend runs the
+         same clean arrays: its observations must match too *)
+      let compiled =
+        opt_observe ~strategy:(Interp.Compiled Optimize.default) ~tracing prog
+      in
+      if compare plain compiled <> 0 then
+        QCheck.Test.fail_reportf
+          "%s: compiled backend diverged from the decoded executor (tracing %b)"
+          name tracing)
     [ false; true ]
 
 let mutant_arb =
